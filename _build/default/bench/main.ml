@@ -1,0 +1,158 @@
+(* Benchmark harness: one Bechamel micro-benchmark per table/figure of the
+   paper (measuring the core operation each experiment exercises), followed
+   by the quick-scale regeneration of every table and figure.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* --- one Test.make per table/figure -------------------------------------- *)
+
+(* Table II: one DSE attack on a small protected target *)
+let bench_table2 =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:3 ~seed:1 ~input_size:1
+         ~control_index:0 ())
+  in
+  let img = Minic.Codegen.compile t.Minic.Randomfuns.prog in
+  let rop =
+    (Ropc.Rewriter.rewrite img ~functions:[ "target" ]
+       ~config:(Ropc.Config.rop_k 0.25)).Ropc.Rewriter.image
+  in
+  let budget =
+    { Symex.Engine.default_budget with wall_seconds = 0.4; solver_evals = 4000 }
+  in
+  Test.make ~name:"table2: DSE attack on ROP_0.25 target"
+    (Staged.stage (fun () ->
+         let tgt = { Symex.Engine.img = rop; func = "target"; n_inputs = 1 } in
+         ignore (Symex.Engine.dse ~goal:Symex.Engine.G_secret ~budget tgt)))
+
+(* Figure 5: chain execution overhead: run one ROP-encoded clbg benchmark *)
+let bench_fig5 =
+  let _, prog, fns, _ = List.nth Minic.Clbg.all 1 (* fannkuch *) in
+  let img = Minic.Codegen.compile prog in
+  let rop =
+    (Ropc.Rewriter.rewrite img ~functions:fns
+       ~config:(Ropc.Config.rop_k 0.05)).Ropc.Rewriter.image
+  in
+  Test.make ~name:"fig5: ROP_0.05 fannkuch execution"
+    (Staged.stage (fun () ->
+         ignore (Runner.call_exn ~fuel:100_000_000 rop ~func:"bench" ~args:[ 6L ])))
+
+(* Table III: a full rewrite of a clbg benchmark (chain crafting throughput) *)
+let bench_table3 =
+  let _, prog, fns, _ = List.nth Minic.Clbg.all 2 (* fasta *) in
+  Test.make ~name:"table3: rewrite fasta at k=1.0"
+    (Staged.stage (fun () ->
+         let img = Minic.Codegen.compile prog in
+         ignore
+           (Ropc.Rewriter.rewrite img ~functions:fns
+              ~config:(Ropc.Config.rop_k 1.0))))
+
+(* Table IV: RandomFuns generation *)
+let bench_table4 =
+  Test.make ~name:"table4: RandomFuns generation"
+    (Staged.stage (fun () ->
+         ignore
+           (Minic.Randomfuns.generate
+              (Minic.Randomfuns.default_params ~seed:3 ~input_size:4
+                 ~control_index:4 ()))))
+
+(* §VII-A.1: a TDS trace simplification *)
+let bench_efficacy =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:3 ~seed:1 ~input_size:1
+         ~control_index:0 ())
+  in
+  let img = Minic.Codegen.compile t.Minic.Randomfuns.prog in
+  let rop =
+    (Ropc.Rewriter.rewrite img ~functions:[ "target" ]
+       ~config:(Ropc.Config.rop_k 0.5)).Ropc.Rewriter.image
+  in
+  Test.make ~name:"efficacy: TDS on a P3 chain"
+    (Staged.stage (fun () ->
+         ignore (Taint.Tds.run ~fuel:200_000 rop ~func:"target" ~n_inputs:1 ~input:[| 9 |])))
+
+(* §VII-A.2: a ROPDissector chain analysis *)
+let bench_ropaware =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:3 ~seed:1 ~input_size:1
+         ~control_index:5 ())
+  in
+  let img = Minic.Codegen.compile t.Minic.Randomfuns.prog in
+  let r =
+    Ropc.Rewriter.rewrite img ~functions:[ "target" ]
+      ~config:(Ropc.Config.plain ())
+  in
+  let addr, len =
+    match List.assoc "target" r.Ropc.Rewriter.funcs with
+    | Ok st -> (st.Ropc.Rewriter.fs_chain_addr, st.Ropc.Rewriter.fs_chain_bytes)
+    | Error _ -> assert false
+  in
+  let img = r.Ropc.Rewriter.image in
+  Test.make ~name:"ropaware: ROPDissector chain walk"
+    (Staged.stage (fun () ->
+         ignore (Ropaware.Ropdissector.analyze img ~chain_addr:addr ~chain_len:len)))
+
+(* §VII-C1: corpus rewrite coverage *)
+let bench_coverage =
+  Test.make ~name:"coverage: rewrite the corpus"
+    (Staged.stage (fun () ->
+         let img = Minic.Corpus.compile () in
+         ignore
+           (Ropc.Rewriter.rewrite img ~functions:Minic.Corpus.all_names
+              ~config:(Ropc.Config.plain ()))))
+
+(* §VII-C3: the base64 chain *)
+let bench_casestudy =
+  let prog = Minic.Programs.base64_program () in
+  let img = Minic.Codegen.compile prog in
+  let rop =
+    (Ropc.Rewriter.rewrite img ~functions:[ "b64_check"; "b64_encode" ]
+       ~config:(Ropc.Config.rop_k 0.25)).Ropc.Rewriter.image
+  in
+  Test.make ~name:"casestudy: ROP_0.25 base64 check"
+    (Staged.stage (fun () ->
+         ignore
+           (Runner.call_exn ~fuel:100_000_000 rop ~func:"b64_check"
+              ~args:[ Minic.Programs.secret_arg ])))
+
+let tests =
+  [ bench_table2; bench_fig5; bench_table3; bench_table4; bench_efficacy;
+    bench_ropaware; bench_coverage; bench_casestudy ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "== Bechamel micro-benchmarks (one per table/figure) ==\n%!";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let results = Analyze.all ols Instance.monotonic_clock results in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              Printf.printf "%-45s %12.0f ns/run\n%!" name est
+            | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+         results)
+    tests
+
+let () =
+  run_benchmarks ();
+  Printf.printf "\n== Quick-scale regeneration of every table and figure ==\n%!";
+  Harness.Experiments.table4 ();
+  ignore (Harness.Experiments.table3 ());
+  ignore (Harness.Experiments.fig5 ());
+  ignore (Harness.Experiments.coverage ());
+  Harness.Experiments.ropaware ();
+  Harness.Experiments.efficacy ~budget_s:4.0 ();
+  Harness.Experiments.casestudy ~budget_s:6.0 ();
+  ignore (Harness.Experiments.table2 ~scale:Harness.Experiments.quick_scale ())

@@ -1,0 +1,1 @@
+bin/ropfuscator.ml: Arg Cmd Cmdliner List Minic Printf Ropc Runner String Term

@@ -1,0 +1,52 @@
+(* Regenerate any table or figure of the paper by id.
+
+     experiments table2 [--full]     Table II (DSE secret finding / coverage)
+     experiments fig5                Figure 5 (clbg overhead)
+     experiments table3              Table III (rewriter statistics)
+     experiments table4              Table IV (RandomFuns structures)
+     experiments efficacy            §VII-A.1 (SE and TDS vs P1/P3)
+     experiments ropaware            §VII-A.2 (ROPMEMU / ROPDissector)
+     experiments coverage            §VII-C1 (corpus rewrite coverage)
+     experiments casestudy           §VII-C3 (base64 memory models)
+     experiments all [--full]        everything *)
+
+open Cmdliner
+
+let run_one full name =
+  match name with
+  | "table2" ->
+    ignore
+      (Harness.Experiments.table2
+         ~scale:(if full then Harness.Experiments.full_scale
+                 else Harness.Experiments.quick_scale)
+         ())
+  | "fig5" -> ignore (Harness.Experiments.fig5 ())
+  | "table3" -> ignore (Harness.Experiments.table3 ())
+  | "table4" -> Harness.Experiments.table4 ()
+  | "efficacy" -> Harness.Experiments.efficacy ()
+  | "ropaware" -> Harness.Experiments.ropaware ()
+  | "coverage" -> ignore (Harness.Experiments.coverage ())
+  | "casestudy" -> Harness.Experiments.casestudy ()
+  | other -> Printf.eprintf "unknown experiment: %s\n" other; exit 2
+
+let all_names =
+  [ "table4"; "table3"; "fig5"; "coverage"; "ropaware"; "efficacy";
+    "casestudy"; "table2" ]
+
+let main name full =
+  if name = "all" then List.iter (run_one full) all_names
+  else run_one full name
+
+let name_arg =
+  let doc = "Experiment id: table2, fig5, table3, table4, efficacy, ropaware, coverage, casestudy, all." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full_arg =
+  let doc = "Run the full-scale (slow) version of the experiment." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the paper's tables and figures" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const main $ name_arg $ full_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Hashtbl List Minic Printf Ropaware Ropc Taint

@@ -1,0 +1,1 @@
+examples/base64_pipeline.mli:

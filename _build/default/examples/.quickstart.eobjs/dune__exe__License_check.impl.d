@@ -1,0 +1,1 @@
+examples/license_check.ml: Array Minic Option Printf Ropc Runner Symex

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Image Int64 List Machine Minic Printf Ropc Runner

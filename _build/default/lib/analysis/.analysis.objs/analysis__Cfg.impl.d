@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Bytes Char Format Hashtbl Image Int64 List Printf Queue String X86

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cfg Hashtbl List Option Regset Reguse X86

@@ -1,0 +1,1 @@
+lib/analysis/regset.ml: Format List String X86

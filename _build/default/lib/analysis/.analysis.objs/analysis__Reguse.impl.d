@@ -1,0 +1,1 @@
+lib/analysis/reguse.ml: Regset X86

@@ -1,0 +1,37 @@
+(* Register sets as bitmasks: bits 0..15 are the GPRs (Isa.reg_index), bit 16
+   is the CPU status flags pseudo-register.  Flag liveness drives the
+   rewriter's flag spilling (§IV-B2). *)
+
+open X86.Isa
+
+type t = int
+
+let empty = 0
+let flags_bit = 1 lsl 16
+
+let of_reg r = 1 lsl reg_index r
+let add t r = t lor of_reg r
+let add_flags t = t lor flags_bit
+let mem_reg t r = t land of_reg r <> 0
+let mem_flags t = t land flags_bit <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let is_empty t = t = 0
+let subset a b = a land lnot b = 0
+
+let of_list rs = List.fold_left add empty rs
+
+let to_list t =
+  List.filter (mem_reg t) all_regs
+
+let pp fmt t =
+  let names = List.map X86.Pp.reg_name (to_list t) in
+  let names = if mem_flags t then names @ [ "flags" ] else names in
+  Format.fprintf fmt "{%s}" (String.concat " " names)
+
+(* Conventional sets. *)
+let caller_saved = of_list [ RAX; RCX; RDX; RSI; RDI; R8; R9; R10; R11 ]
+let callee_saved = of_list [ RBX; RBP; R12; R13; R14; R15 ]
+let arg_regs = of_list [ RDI; RSI; RDX; RCX; R8; R9 ]
+let all = of_list all_regs

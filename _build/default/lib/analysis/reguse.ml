@@ -1,0 +1,81 @@
+(* Def/use sets per instruction, including the flags pseudo-register.
+
+   [defs] of a memory-destination instruction is empty (the store does not
+   define a register), but address registers appear in [uses]. *)
+
+open X86.Isa
+module R = Regset
+
+let use_mem (m : mem) =
+  let s = match m.base with Some r -> R.of_reg r | None -> R.empty in
+  match m.index with Some (r, _) -> R.add s r | None -> s
+
+let use_operand = function
+  | Reg r -> R.of_reg r
+  | Imm _ -> R.empty
+  | Mem m -> use_mem m
+
+(* registers read to *evaluate* a destination (address computation only) *)
+let use_dst_addr = function
+  | Reg _ | Imm _ -> R.empty
+  | Mem m -> use_mem m
+
+let def_operand = function
+  | Reg r -> R.of_reg r
+  | Imm _ | Mem _ -> R.empty
+
+(* (uses, defs) where both may include the flags bit *)
+let def_use (i : instr) : R.t * R.t =
+  match i with
+  | Nop | Hlt -> (R.empty, R.empty)
+  | Lahf -> (R.add_flags (R.of_reg X86.Isa.RAX), R.of_reg X86.Isa.RAX)
+  | Sahf -> (R.of_reg X86.Isa.RAX, R.flags_bit)
+  | Mov (_, d, s) -> (R.union (use_operand s) (use_dst_addr d), def_operand d)
+  | Movzx (_, _, r, s) | Movsx (_, _, r, s) -> (use_operand s, R.of_reg r)
+  | Lea (r, m) -> (use_mem m, R.of_reg r)
+  | Push s -> (R.add (use_operand s) RSP, R.of_reg RSP)
+  | Pop d ->
+    (R.add (use_dst_addr d) RSP, R.union (def_operand d) (R.of_reg RSP))
+  | Alu ((Cmp | Test), _, a, b) ->
+    (R.union (use_operand a) (use_operand b), R.flags_bit)
+  | Alu ((Adc | Sbb), _, d, s) ->
+    (R.add_flags (R.union (use_operand d) (use_operand s)),
+     R.union (def_operand d) R.flags_bit)
+  | Alu (_, _, d, s) ->
+    (R.union (use_operand d) (use_operand s),
+     R.union (def_operand d) R.flags_bit)
+  | Unary (Not, _, d) -> (use_operand d, def_operand d)
+  | Unary (_, _, d) -> (use_operand d, R.union (def_operand d) R.flags_bit)
+  | Imul2 (_, r, s) ->
+    (R.add (use_operand s) r, R.union (R.of_reg r) R.flags_bit)
+  | MulDiv (_, s) ->
+    (R.add (R.add (use_operand s) RAX) RDX,
+     R.union (R.of_list [ RAX; RDX ]) R.flags_bit)
+  | Shift (_, _, d, c) ->
+    let u = use_operand d in
+    let u = match c with S_cl -> R.add u RCX | S_imm _ -> u in
+    (u, R.union (def_operand d) R.flags_bit)
+  | Cmov (_, r, s) -> (R.add_flags (R.add (use_operand s) r), R.of_reg r)
+  | Setcc (_, d) -> (R.add_flags (use_dst_addr d), def_operand d)
+  | Jmp (J_rel _) -> (R.empty, R.empty)
+  | Jmp (J_op o) -> (use_operand o, R.empty)
+  | Jcc _ -> (R.flags_bit, R.empty)
+  | Call (J_rel _) ->
+    (* conservative: all argument registers may be read; caller-saved and
+       flags are clobbered *)
+    (R.add R.arg_regs RSP,
+     R.union (R.add R.caller_saved RSP) R.flags_bit)
+  | Call (J_op o) ->
+    (R.add (R.union (use_operand o) R.arg_regs) RSP,
+     R.union (R.add R.caller_saved RSP) R.flags_bit)
+  | Ret -> (R.of_list [ RSP; RAX ], R.of_reg RSP)
+  | Leave -> (R.of_list [ RBP; RSP ], R.of_list [ RBP; RSP ])
+  | Xchg (_, a, b) ->
+    (R.union (use_operand a) (use_operand b),
+     R.union (def_operand a) (def_operand b))
+
+(* Does executing [i] destroy the status flags? *)
+let clobbers_flags i = R.mem_flags (snd (def_use i))
+
+(* Does [i] read the status flags? *)
+let reads_flags i = R.mem_flags (fst (def_use i))

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Analysis Array Chain Config Int64 List Pool Printf Util X86

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Bytes Char Hashtbl Int64 List Random

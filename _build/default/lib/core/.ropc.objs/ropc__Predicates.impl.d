@@ -1,0 +1,1 @@
+lib/core/predicates.ml: Analysis Builder Chain Config Int64 List Util X86

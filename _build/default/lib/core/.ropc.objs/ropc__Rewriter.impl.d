@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Analysis Array Buffer Builder Bytes Chain Char Config Finder Hashtbl Image Int64 List Pool Predicates String Util X86

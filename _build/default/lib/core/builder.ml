@@ -1,0 +1,434 @@
+(* Chain crafting context (§IV-B2).
+
+   Holds the pool, the chain under construction and the per-function ABI
+   addresses, and provides the gadget-sequence templates used to lower
+   roplets: virtual-stack operations against other_rsp (kept in the
+   stack-switching array ss), branch groups with variable RSP addends,
+   native-call and epilogue stack switches, and flag spill/restore around
+   flag-polluting insertions. *)
+
+open X86.Isa
+module R = Analysis.Regset
+
+exception Bail of string
+
+type t = {
+  pool : Pool.t;
+  chain : Chain.t;
+  config : Config.t;
+  rng : Util.Rng.t;
+  fname : string;
+  ss_addr : int64;
+  spill_base : int64;          (* config.spill_slots 8-byte slots *)
+  flags_spill : int64;         (* 16 bytes *)
+  funcret_gadget : int64;      (* shared synthetic function-return gadget *)
+  p1_array : int64;            (* base of the P1 opaque array (0 if no P1) *)
+  p1_class_a : int array;      (* residue per class *)
+  mutable branch_ordinal : int;
+  mutable fresh_counter : int;
+  mutable program_points : int;   (* N of Table III *)
+}
+
+let create ~pool ~config ~rng ~fname ~ss_addr ~spill_base ~flags_spill
+    ~funcret_gadget ~p1_array ~p1_class_a =
+  { pool; chain = Chain.create (); config; rng; fname; ss_addr; spill_base;
+    flags_spill; funcret_gadget; p1_array; p1_class_a;
+    branch_ordinal = 0; fresh_counter = 0; program_points = 0 }
+
+let fresh b prefix =
+  let n = b.fresh_counter in
+  b.fresh_counter <- n + 1;
+  Printf.sprintf "%s$%s%d" b.fname prefix n
+
+let block_label addr = Printf.sprintf "bb_%Lx" addr
+
+(* --- scratch allocation -------------------------------------------------- *)
+
+(* Registers the chain machinery may never allocate: the chain's own program
+   counter and the frame register we keep live for the original code. *)
+let reserved = R.of_list [ RSP; RBP ]
+
+(* Allocate [n] scratch registers dead at this point ([live] from liveness,
+   [avoid] = operand registers of the roplet being lowered).  When dead
+   registers run short, live ones are borrowed via the spill slots
+   (capacity [config.spill_slots]); beyond that the rewrite fails, which the
+   coverage experiment reports like the paper's 40 register-pressure
+   failures. *)
+let with_scratch ?(allow_spill = true) b ~live ~avoid n (f : reg list -> unit) =
+  let forbidden = R.union (R.union live avoid) reserved in
+  let free = List.filter (fun r -> not (R.mem_reg forbidden r)) all_regs in
+  let free = Util.Rng.shuffle b.rng free in
+  if List.length free >= n then begin
+    let regs = List.filteri (fun i _ -> i < n) free in
+    f regs
+  end else if not allow_spill then
+    raise (Bail (Printf.sprintf
+                   "register pressure at a spill-unsafe point: need %d, have %d"
+                   n (List.length free)))
+  else begin
+    let missing = n - List.length free in
+    if missing > b.config.Config.spill_slots then
+      raise (Bail (Printf.sprintf "register pressure: need %d scratch, have %d, %d spill slots"
+                     n (List.length free) b.config.Config.spill_slots));
+    (* borrow live registers (not operands, not reserved) *)
+    let borrowable =
+      List.filter
+        (fun r -> R.mem_reg live r && not (R.mem_reg (R.union avoid reserved) r)
+                  && r <> RAX)
+        all_regs
+    in
+    if List.length borrowable < missing then
+      raise (Bail "register pressure: nothing left to spill");
+    let borrowed = List.filteri (fun i _ -> i < missing) borrowable in
+    let slot i = Int64.add b.spill_base (Int64.of_int (8 * i)) in
+    List.iteri
+      (fun i r ->
+         Chain.gadget b.chain
+           (Pool.request b.pool [ Mov (W64, Mem (mem_abs (slot i)), Reg r) ]))
+      borrowed;
+    f (free @ borrowed);
+    List.iteri
+      (fun i r ->
+         Chain.gadget b.chain
+           (Pool.request b.pool [ Mov (W64, Reg r, Mem (mem_abs (slot i))) ]))
+      borrowed
+  end
+
+(* Emit one gadget; [clobber] lists registers usable in diversification
+   prefixes (dynamically dead at this point). *)
+let g b ?(clobber = []) instrs =
+  Chain.gadget b.chain (Pool.request ~clobberable:clobber b.pool instrs)
+
+let imm b v = Chain.imm b.chain v
+
+(* Load a 64-bit constant into [r] from the chain, optionally disguising it
+   as a difference of gadget addresses (gadget confusion, §V-D). *)
+let load_imm b ~scratch r v =
+  let confused =
+    b.config.Config.gadget_confusion
+    && Util.Rng.int b.rng 100 < b.config.Config.imm_confusion_prob
+    && scratch <> []
+  in
+  if confused then begin
+    let r2 = List.hd scratch in
+    (* pick a cover address: an existing gadget looks most plausible *)
+    let cover = b.funcret_gadget in
+    g b [ Pop (Reg r) ];
+    imm b (Int64.add v cover);
+    g b [ Pop (Reg r2) ];
+    imm b cover;
+    g b [ Alu (Sub, W64, Reg r, Reg r2) ]
+  end else begin
+    g b [ Pop (Reg r) ];
+    imm b v
+  end
+
+(* Optionally insert an unaligned RSP update (eta mod 8 <> 0) after a
+   program point; the junk gap makes every 8-byte stride look like a
+   plausible chain item to a scanner. *)
+let maybe_skew b =
+  if b.config.Config.gadget_confusion
+     && Util.Rng.int b.rng 100 < b.config.Config.skew_prob
+  then begin
+    let eta = 8 + Util.Rng.range b.rng 1 7 in    (* 9..15, never 8-aligned *)
+    g b [ Alu (Add, W64, Reg RSP, Imm (Int64.of_int (eta - 8))) ];
+    Chain.skew b.chain (eta - 8)
+  end
+
+(* --- flag spill/restore (§IV-B2) ----------------------------------------- *)
+
+let flag_spill b =
+  let fs = b.flags_spill in
+  let fs8 = Int64.add fs 8L in
+  g b [ Mov (W64, Mem (mem_abs fs8), Reg RAX) ];
+  g b [ Lahf; Setcc (O, Reg RAX) ];
+  g b [ Mov (W64, Mem (mem_abs fs), Reg RAX) ];
+  g b [ Mov (W64, Reg RAX, Mem (mem_abs fs8)) ]
+
+let flag_restore b =
+  let fs = b.flags_spill in
+  let fs8 = Int64.add fs 8L in
+  g b [ Mov (W64, Mem (mem_abs fs8), Reg RAX) ];
+  g b [ Mov (W64, Reg RAX, Mem (mem_abs fs)) ];
+  g b [ Alu (Add, W8, Reg RAX, Imm 0x7FL); Sahf ];
+  g b [ Mov (W64, Reg RAX, Mem (mem_abs fs8)) ]
+
+(* Run [f] with the status register preserved if [flags_live]. *)
+let with_flags_preserved b ~flags_live f =
+  if flags_live then begin
+    flag_spill b;
+    f ();
+    flag_restore b
+  end else f ()
+
+(* --- virtual stack primitives -------------------------------------------- *)
+
+(* s1 := &other_rsp cell, i.e. ss + ss[0]. *)
+let load_cell_ptr b ~scratch s1 =
+  load_imm b ~scratch s1 b.ss_addr;
+  g b [ Alu (Add, W64, Reg s1, Mem (mem_b s1 0)) ]
+
+(* push <value in vr> *)
+let vpush_reg b ~live vr =
+  with_scratch b ~live ~avoid:(R.of_reg vr) 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_cell_ptr b ~scratch:[ s2 ] s1;
+        g b [ Mov (W64, Reg s2, Mem (mem_b s1 0));
+              Alu (Sub, W64, Reg s2, Imm 8L) ];
+        g b [ Mov (W64, Mem (mem_b s1 0), Reg s2) ];
+        g b [ Mov (W64, Mem (mem_b s2 0), Reg vr) ]
+      | _ -> assert false)
+
+let vpush_imm b ~live v =
+  with_scratch b ~live ~avoid:R.empty 3 (fun regs ->
+      match regs with
+      | [ s1; s2; s3 ] ->
+        load_cell_ptr b ~scratch:[ s2 ] s1;
+        g b [ Mov (W64, Reg s2, Mem (mem_b s1 0));
+              Alu (Sub, W64, Reg s2, Imm 8L) ];
+        g b [ Mov (W64, Mem (mem_b s1 0), Reg s2) ];
+        load_imm b ~scratch:[] s3 v;
+        g b [ Mov (W64, Mem (mem_b s2 0), Reg s3) ]
+      | _ -> assert false)
+
+(* pop <into dst register> *)
+let vpop b ~live dst =
+  with_scratch b ~live ~avoid:(R.of_reg dst) 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_cell_ptr b ~scratch:[ s2 ] s1;
+        g b [ Mov (W64, Reg s2, Mem (mem_b s1 0)) ];
+        g b [ Mov (W64, Reg dst, Mem (mem_b s2 0)) ];
+        g b [ Alu (Add, W64, Mem (mem_b s1 0), Imm 8L) ]
+      | _ -> assert false)
+
+(* rsp += delta (frame allocation / release) *)
+let rsp_adjust b ~live delta =
+  with_scratch b ~live ~avoid:R.empty 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_cell_ptr b ~scratch:[ s2 ] s1;
+        load_imm b ~scratch:[] s2 delta;
+        g b [ Alu (Add, W64, Mem (mem_b s1 0), Reg s2) ]
+      | _ -> assert false)
+
+(* dst := rsp   (e.g. mov rbp, rsp) *)
+let rsp_to_reg b ~live dst =
+  with_scratch b ~live ~avoid:(R.of_reg dst) 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_cell_ptr b ~scratch:[] s1;
+        g b [ Mov (W64, Reg dst, Mem (mem_b s1 0)) ]
+      | _ -> assert false)
+
+(* rsp := src   (e.g. mov rsp, rbp; the stack-release half of leave) *)
+let reg_to_rsp b ~live src =
+  with_scratch b ~live ~avoid:(R.of_reg src) 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_cell_ptr b ~scratch:[] s1;
+        g b [ Mov (W64, Mem (mem_b s1 0), Reg src) ]
+      | _ -> assert false)
+
+(* dst := [rsp + disp] with width/extension (Figure 3) *)
+let rsp_read b ~live ~move dst disp =
+  with_scratch b ~live ~avoid:(R.of_reg dst) 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_cell_ptr b ~scratch:[] s1;
+        g b [ Mov (W64, Reg s1, Mem (mem_b s1 0)) ];
+        g b [ move dst (Mem (mem_b s1 disp)) ]
+      | _ -> assert false)
+
+(* [rsp + disp] := src (register source) *)
+let rsp_write b ~live w disp src =
+  with_scratch b ~live ~avoid:(R.of_reg src) 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_cell_ptr b ~scratch:[] s1;
+        g b [ Mov (W64, Reg s1, Mem (mem_b s1 0)) ];
+        g b [ Mov (w, Mem (mem_b s1 disp), Reg src) ]
+      | _ -> assert false)
+
+(* dst := rsp + disp (lea dst, [rsp+disp]) *)
+let rsp_lea b ~live dst disp =
+  rsp_to_reg b ~live dst;
+  if disp <> 0 then
+    g b [ Lea (dst, mem_b dst disp) ]
+
+(* --- control transfers ----------------------------------------------------- *)
+
+(* Unprotected branch group (§IV-B2).  [cc] None = unconditional.  The popped
+   operand L is the offset of the destination block, a symbol materialized
+   once the chain layout is final. *)
+let plain_branch b ~live ~cc ~target =
+  let anchor = fresh b "a" in
+  with_scratch b ~live ~avoid:R.empty 2 (fun regs ->
+      match regs, cc with
+      | [ s1; _s2 ], None ->
+        g b [ Pop (Reg s1) ];
+        Chain.disp b.chain ~target ~anchor ~bias:0L;
+        g b [ Alu (Add, W64, Reg RSP, Reg s1) ];
+        Chain.anchor b.chain anchor
+      | [ s1; s2 ], Some cc ->
+        g b [ Pop (Reg s1) ];
+        Chain.disp b.chain ~target ~anchor ~bias:0L;
+        g b [ Mov (W64, Reg s2, Imm 0L); Cmov (cc_negate cc, s1, Reg s2) ];
+        g b [ Alu (Add, W64, Reg RSP, Reg s1) ];
+        Chain.anchor b.chain anchor
+      | _ -> assert false)
+
+(* P1 branch group: the branch offset is split into an array-encoded part [a]
+   (recovered through the periodic opaque array, with input-derived aliasing
+   via f(x)) and a branch-specific part delta-a popped from the chain
+   (§V-A). *)
+let p1_branch b ~live ~cc ~target =
+  let p1 =
+    match b.config.Config.p1 with Some p -> p | None -> assert false
+  in
+  let ordinal = b.branch_ordinal in
+  b.branch_ordinal <- ordinal + 1;
+  let cls = ordinal mod p1.Config.n in
+  let a = b.p1_class_a.(cls) in
+  let anchor = fresh b "a" in
+  let needed = match cc with Some _ -> 5 | None -> 4 in
+  with_scratch b ~live ~avoid:R.empty needed (fun regs ->
+      let sd, rest =
+        match cc, regs with
+        | Some _, sd :: rest -> (Some sd, rest)
+        | None, rest -> (None, rest)
+        | _ -> assert false
+      in
+      (match cc, sd with
+       | Some cc, Some sd ->
+         (* capture the branch decision before polluting the flags *)
+         g b [ Mov (W64, Reg sd, Imm 0L) ];
+         g b [ Setcc (cc, Reg sd) ]
+       | None, None -> ()
+       | _ -> assert false);
+      match rest with
+      | [ si; st; sv; so ] ->
+        (* f(x): opaquely combine up to 4 input-derived (live) registers *)
+        let sources =
+          List.filter
+            (fun r -> R.mem_reg live r && not (R.mem_reg reserved r))
+            all_regs
+        in
+        let sources = Util.Rng.shuffle b.rng sources in
+        let sources = List.filteri (fun i _ -> i < 4) sources in
+        (match sources with
+         | [] -> g b [ Mov (W64, Reg si, Imm 0L) ]
+         | first :: others ->
+           g b [ Mov (W64, Reg si, Reg first) ];
+           List.iter
+             (fun r ->
+                match Util.Rng.int b.rng 3 with
+                | 0 -> g b [ Alu (Add, W64, Reg si, Reg r) ]
+                | 1 -> g b [ Alu (Xor, W64, Reg si, Reg r) ]
+                | _ -> g b [ Alu (Add, W64, Reg si, Reg r);
+                             Shift (Rol, W64, Reg si, S_imm 3) ])
+             others);
+        g b [ Alu (And, W64, Reg si, Imm (Int64.of_int (p1.Config.p - 1))) ];
+        load_imm b ~scratch:[] st (Int64.of_int (8 * p1.Config.s));
+        g b [ Imul2 (W64, si, Reg st) ];
+        (* cell address = A + cls*8 + f(x)*s*8 *)
+        load_imm b ~scratch:[]
+          st (Int64.add b.p1_array (Int64.of_int (8 * cls)));
+        g b [ Mov (W64, Reg sv, Mem { base = Some st; index = Some (si, 1); disp = 0L }) ];
+        (* a = A[...] mod m *)
+        if p1.Config.m land (p1.Config.m - 1) = 0 then
+          g b [ Alu (And, W64, Reg sv, Imm (Int64.of_int (p1.Config.m - 1))) ]
+        else begin
+          (* div path: needs rax/rdx; they are scratch-only here *)
+          raise (Bail "non-power-of-two P1 modulus requires the div path (unimplemented fast path)")
+        end;
+        (* delta = (delta - a) + a *)
+        g b [ Pop (Reg so) ];
+        Chain.disp b.chain ~target ~anchor ~bias:(Int64.of_int a);
+        g b [ Alu (Add, W64, Reg so, Reg sv) ];
+        (match sd with
+         | Some sd -> g b [ Imul2 (W64, so, Reg sd) ]
+         | None -> ());
+        g b [ Alu (Add, W64, Reg RSP, Reg so) ];
+        Chain.anchor b.chain anchor
+      | _ -> assert false)
+
+let branch b ~live ~cc ~target =
+  match b.config.Config.p1 with
+  | Some _ -> p1_branch b ~live ~cc ~target
+  | None -> plain_branch b ~live ~cc ~target
+
+(* Jump-table dispatch: [reg] already holds the RSP displacement loaded from
+   the rewritten table (Appendix A); returns the anchor name the table
+   entries must be made relative to. *)
+let table_jump b ~live reg =
+  ignore live;
+  let anchor = fresh b "jt" in
+  g b [ Alu (Add, W64, Reg RSP, Reg reg) ];
+  Chain.anchor b.chain anchor;
+  anchor
+
+(* --- stack switching: calls and returns (§IV-B2, Figure 4) ---------------- *)
+
+type call_target =
+  | Ct_imm of int64            (* direct call: function entry address *)
+  | Ct_reg of reg              (* indirect call through a register *)
+
+(* Spilling across the call would not be reentrant (the slots are
+   per-function, and the callee may recurse into us), so the sequence is
+   shaped to need only the two caller-saved non-argument registers that are
+   always dead at a call site. *)
+let native_call b ~live target =
+  let avoid = match target with Ct_reg r -> R.of_reg r | Ct_imm _ -> R.empty in
+  with_scratch ~allow_spill:false b ~live ~avoid 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_imm b ~scratch:[ s2 ] s1 b.ss_addr;
+        g b [ Alu (Add, W64, Reg s1, Mem (mem_b s1 0)) ];          (* step A *)
+        g b [ Alu (Sub, W64, Mem (mem_b s1 0), Imm 8L) ];
+        g b [ Mov (W64, Reg s2, Mem (mem_b s1 0)) ];
+        (* step B: plant the function-return gadget as return address *)
+        g b [ Mov (W64, Mem (mem_b s2 0), Imm b.funcret_gadget) ];
+        (match target with
+         | Ct_imm addr ->
+           g b [ Pop (Reg s2) ];
+           imm b addr
+         | Ct_reg r -> g b [ Mov (W64, Reg s2, Reg r) ]);
+        (* step C: JOP gadget switches stacks and enters the callee *)
+        Chain.gadget b.chain
+          (Pool.request_jop b.pool
+             [ Xchg (W64, Reg RSP, Mem (mem_b s1 0)); Jmp (J_op (Reg s2)) ])
+      | _ -> assert false)
+
+(* Function epilogue: release the ss frame and return natively (Appendix A).
+   The final gadget's own ret pops the caller's return address from the
+   native stack. *)
+let epilogue b ~live =
+  with_scratch b ~live ~avoid:R.empty 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_imm b ~scratch:[] s1 b.ss_addr;
+        g b [ Alu (Sub, W64, Mem (mem_b s1 0), Imm 8L) ];
+        g b [ Alu (Add, W64, Reg s1, Mem (mem_b s1 0));
+              Alu (Add, W64, Reg s1, Imm 8L) ];
+        g b [ Mov (W64, Reg RSP, Mem (mem_b s1 0)) ]
+      | _ -> assert false)
+
+(* Tail-jump variant: unpivot, then jump to the tail target (Appendix A). *)
+let tail_jump b ~live target =
+  with_scratch b ~live ~avoid:R.empty 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_imm b ~scratch:[ s2 ] s1 b.ss_addr;
+        g b [ Alu (Sub, W64, Mem (mem_b s1 0), Imm 8L) ];
+        g b [ Alu (Add, W64, Reg s1, Mem (mem_b s1 0));
+              Alu (Add, W64, Reg s1, Imm 8L) ];
+        g b [ Pop (Reg s2) ];
+        imm b target;
+        Chain.gadget b.chain
+          (Pool.request_jop b.pool
+             [ Mov (W64, Reg RSP, Mem (mem_b s1 0)); Jmp (J_op (Reg s2)) ])
+      | _ -> assert false)
+
+let hlt b = g b [ Hlt ]

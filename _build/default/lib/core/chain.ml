@@ -1,0 +1,115 @@
+(* Chain representation and materialization (§IV-B3).
+
+   During crafting a chain is a list of symbolic 8-byte slots (gadget
+   addresses, immediate operands, RSP displacements towards labelled blocks)
+   interleaved with zero-width label/anchor markers and, under gadget
+   confusion, skew directives that shift subsequent slots by a non-multiple
+   of 8.  Materialization fixes the layout and turns symbolic displacements
+   into concrete byte offsets, like an assembler resolving labels. *)
+
+type slot =
+  | S_gadget of int64
+  | S_imm of int64
+  | S_disp of { target : string; anchor : string; bias : int64 }
+      (* materializes as off(target) - off(anchor) - bias; [bias] is the
+         array-encoded part [a] under P1, 0 otherwise *)
+  | S_label of string          (* marks a chain position (block entry) *)
+  | S_anchor of string         (* marks the RSP base of a displacement *)
+  | S_skew of int              (* skip this many junk bytes (eta, §V-D) *)
+
+type t = {
+  mutable slots : slot list;   (* reversed during construction *)
+}
+
+let create () = { slots = [] }
+
+let push t s = t.slots <- s :: t.slots
+
+let gadget t addr = push t (S_gadget addr)
+let imm t v = push t (S_imm v)
+let disp t ~target ~anchor ~bias = push t (S_disp { target; anchor; bias })
+let label t name = push t (S_label name)
+let anchor t name = push t (S_anchor name)
+let skew t eta = push t (S_skew eta)
+
+let slots t = List.rev t.slots
+
+type materialized = {
+  bytes : bytes;
+  (* offset of each label/anchor within the chain *)
+  offsets : (string, int) Hashtbl.t;
+  base : int64;                (* absolute address the chain is placed at *)
+}
+
+exception Materialize_error of string
+
+let slot_size = function
+  | S_gadget _ | S_imm _ | S_disp _ -> 8
+  | S_label _ | S_anchor _ -> 0
+  | S_skew eta -> eta
+
+(* Lay out and emit the chain for placement at absolute address [base].
+   [junk] supplies filler bytes for skew gaps (deceptive: they should look
+   like gadget addresses). *)
+let materialize ?(junk = fun _ -> Random.bits () land 0xff) ~base t =
+  ignore junk;
+  let items = slots t in
+  let offsets = Hashtbl.create 32 in
+  let total =
+    List.fold_left
+      (fun off s ->
+         (match s with
+          | S_label name | S_anchor name ->
+            if Hashtbl.mem offsets name then
+              raise (Materialize_error ("duplicate label " ^ name));
+            Hashtbl.replace offsets name off
+          | S_gadget _ | S_imm _ | S_disp _ | S_skew _ -> ());
+         off + slot_size s)
+      0 items
+  in
+  let buf = Bytes.create total in
+  let write64 off v =
+    for i = 0 to 7 do
+      Bytes.set buf (off + i)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+  in
+  let lookup name =
+    match Hashtbl.find_opt offsets name with
+    | Some o -> o
+    | None -> raise (Materialize_error ("undefined chain label " ^ name))
+  in
+  let _ =
+    List.fold_left
+      (fun off s ->
+         (match s with
+          | S_gadget a | S_imm a -> write64 off a
+          | S_disp { target; anchor; bias } ->
+            let v =
+              Int64.sub
+                (Int64.of_int (lookup target - lookup anchor))
+                bias
+            in
+            write64 off v
+          | S_skew eta ->
+            for i = 0 to eta - 1 do
+              Bytes.set buf (off + i) (Char.chr (junk i))
+            done
+          | S_label _ | S_anchor _ -> ());
+         off + slot_size s)
+      0 items
+  in
+  { bytes = buf; offsets; base }
+
+(* Absolute address of a label in a materialized chain. *)
+let label_addr m name =
+  match Hashtbl.find_opt m.offsets name with
+  | Some off -> Int64.add m.base (Int64.of_int off)
+  | None -> raise (Materialize_error ("undefined chain label " ^ name))
+
+(* Chain-relative displacement between two labels (for jump-table patches). *)
+let label_delta m ~target ~anchor =
+  match Hashtbl.find_opt m.offsets target, Hashtbl.find_opt m.offsets anchor with
+  | Some t, Some a -> Int64.of_int (t - a)
+  | None, _ -> raise (Materialize_error ("undefined chain label " ^ target))
+  | _, None -> raise (Materialize_error ("undefined chain label " ^ anchor))

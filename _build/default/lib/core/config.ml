@@ -1,0 +1,89 @@
+(* Rewriter configuration: which strengthening predicates are active and with
+   what parameters (Table I terminology). *)
+
+type p1_params = {
+  n : int;          (* residue classes encoded in the array *)
+  s : int;          (* period stride; s > n leaves garbage cells *)
+  p : int;          (* repetitions (power of two: f(x) is masked to p-1) *)
+  m : int;          (* modulus; power of two uses the mask fast path,
+                       otherwise a div-based extraction sequence is used *)
+}
+
+(* Paper setting (§VII-A): n=4, s=n, p=32.  The paper uses m=7; we default to
+   m=8 so residue extraction is a single AND, which lowers chain register
+   pressure; see EXPERIMENTS.md for the (immaterial) difference. *)
+let default_p1 = { n = 4; s = 4; p = 32; m = 8 }
+
+type p3_variant =
+  | P3_for              (* FOR state-forking loops, adapted from [14] *)
+  | P3_array            (* opaque input-derived updates to the P1 array *)
+
+type p3_params = {
+  k : float;            (* fraction of eligible program points shielded *)
+  variant : p3_variant;
+  max_iters : int;      (* loop bound: counter is masked to this many values *)
+}
+
+let default_p3 k = { k; variant = P3_for; max_iters = 63 }
+
+type t = {
+  seed : int;
+  p1 : p1_params option;
+  p2 : bool;
+  p3 : p3_params option;
+  gadget_confusion : bool;
+  skew_prob : int;          (* percent of program points followed by an
+                               unaligned RSP update (needs gadget_confusion) *)
+  imm_confusion_prob : int; (* percent of immediates encoded as address
+                               differences (needs gadget_confusion) *)
+  variants : int;           (* gadget diversification factor *)
+  spill_slots : int;        (* per-function scratch spill capacity *)
+  read_only_chains : bool;  (* reserved: see §IV-C *)
+}
+
+let default = {
+  seed = 1;
+  p1 = None;
+  p2 = false;
+  p3 = None;
+  gadget_confusion = false;
+  skew_prob = 15;
+  imm_confusion_prob = 20;
+  variants = 3;
+  spill_slots = 2;
+  read_only_chains = false;
+}
+
+(* ROP_k of Table I: P1 at the paper's parameters plus P3 at fraction [k]
+   (P2 and confusion are orthogonal switches used by the ROP-aware
+   experiments, disabled for the DSE measurements as in §VII-B). *)
+let rop_k ?(seed = 1) ?(p2 = false) ?(confusion = false) k = {
+  default with
+  seed;
+  p1 = Some default_p1;
+  p2;
+  p3 = (if k > 0.0 then Some (default_p3 k) else None);
+  gadget_confusion = confusion;
+}
+
+(* Plain encoding with no strengthening predicates. *)
+let plain ?(seed = 1) () = { default with seed }
+
+let describe t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "ROP";
+  (match t.p1 with
+   | Some p ->
+     Buffer.add_string b
+       (Printf.sprintf "+P1(n=%d,s=%d,p=%d,m=%d)" p.n p.s p.p p.m)
+   | None -> ());
+  if t.p2 then Buffer.add_string b "+P2";
+  (match t.p3 with
+   | Some p ->
+     Buffer.add_string b
+       (Printf.sprintf "+P3(%s,k=%.2f)"
+          (match p.variant with P3_for -> "for" | P3_array -> "array")
+          p.k)
+   | None -> ());
+  if t.gadget_confusion then Buffer.add_string b "+GC";
+  Buffer.contents b

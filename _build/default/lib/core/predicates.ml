@@ -1,0 +1,183 @@
+(* Strengthening predicates P2 and P3 (§V-B, §V-C).
+
+   P1 lives in Builder.p1_branch since it replaces the RSP update sequence
+   itself; P2 guards and P3 state-widening sequences are separate gadget
+   groups inserted around the translated roplets. *)
+
+open X86.Isa
+module R = Analysis.Regset
+
+(* The value whose (non-)zeroness encodes an E/NE branch decision, recovered
+   from the flag-setting instruction so P2 can recompute it
+   flag-independently at the branch targets. *)
+type branch_value =
+  | Bv_reg of reg                    (* test r, r *)
+  | Bv_sub_imm of reg * int64        (* cmp r, imm *)
+  | Bv_sub_reg of reg * reg          (* cmp r1, r2 *)
+
+let branch_value_of_instr = function
+  | Alu (Test, W64, Reg a, Reg b) when a = b -> Some (Bv_reg a)
+  | Alu (Cmp, W64, Reg a, Imm v) -> Some (Bv_sub_imm (a, v))
+  | Alu (Cmp, W64, Reg a, Reg b) -> Some (Bv_sub_reg (a, b))
+  | _ -> None
+
+let branch_value_regs = function
+  | Bv_reg r -> R.of_reg r
+  | Bv_sub_imm (r, _) -> R.of_reg r
+  | Bv_sub_reg (a, b) -> R.union (R.of_reg a) (R.of_reg b)
+
+(* Load d into scratch register s1. *)
+let load_d b s1 = function
+  | Bv_reg r -> Builder.g b [ Mov (W64, Reg s1, Reg r) ]
+  | Bv_sub_imm (r, v) ->
+    Builder.g b [ Mov (W64, Reg s1, Reg r) ];
+    Builder.g b [ Alu (Sub, W64, Reg s1, Imm v) ]
+  | Bv_sub_reg (r1, r2) ->
+    Builder.g b [ Mov (W64, Reg s1, Reg r1) ];
+    Builder.g b [ Alu (Sub, W64, Reg s1, Reg r2) ]
+
+(* Guard for a path that is legitimate when d == 0:   rsp += 8*d.
+   A brute-forced flip arrives with d != 0 and RSP flows into unintended
+   code by a multiple of 8 (§V-B). *)
+let guard_zero_ok b ~live bv =
+  Builder.with_scratch b ~live ~avoid:(branch_value_regs bv) 1 (fun regs ->
+      match regs with
+      | [ s1 ] ->
+        load_d b s1 bv;
+        Builder.g b [ Shift (Shl, W64, Reg s1, S_imm 3) ];
+        Builder.g b [ Alu (Add, W64, Reg RSP, Reg s1) ]
+      | _ -> assert false)
+
+(* Guard for a path legitimate when d != 0:  rsp += 8*(1 - notZero(d)), with
+   notZero computed flag-independently so the attacker cannot flip it. *)
+let guard_nonzero_ok b ~live bv =
+  Builder.with_scratch b ~live ~avoid:(branch_value_regs bv) 2 (fun regs ->
+      match regs with
+      | [ s1; s2 ] ->
+        load_d b s1 bv;
+        (* notZero(n) = (n | -n) >> 63 *)
+        Builder.g b [ Mov (W64, Reg s2, Reg s1); Unary (Neg, W64, Reg s2) ];
+        Builder.g b [ Alu (Or, W64, Reg s1, Reg s2) ];
+        Builder.g b [ Shift (Shr, W64, Reg s1, S_imm 63) ];
+        Builder.g b [ Alu (Xor, W64, Reg s1, Imm 1L) ];   (* 1 - notZero *)
+        Builder.g b [ Shift (Shl, W64, Reg s1, S_imm 3) ];
+        Builder.g b [ Alu (Add, W64, Reg RSP, Reg s1) ]
+      | _ -> assert false)
+
+(* The guard a given edge needs: for an E-branch the taken path is legitimate
+   when d == 0; for NE it is the other way around. *)
+let taken_guard b ~live ~cc bv =
+  match cc with
+  | E -> guard_zero_ok b ~live bv
+  | NE -> guard_nonzero_ok b ~live bv
+  | O | NO | B | AE | BE | A | S | NS | P | NP | L | GE | LE | G ->
+    invalid_arg "P2 guards only E/NE branches"
+
+let fall_guard b ~live ~cc bv =
+  match cc with
+  | E -> guard_nonzero_ok b ~live bv
+  | NE -> guard_zero_ok b ~live bv
+  | O | NO | B | AE | BE | A | S | NS | P | NP | L | GE | LE | G ->
+    invalid_arg "P2 guards only E/NE branches"
+
+(* --- P3: state-space widening (§V-C) -------------------------------------- *)
+
+(* Pick the "symbolic" register: a live value the later computation may
+   depend on (approximating the paper's angr-based data-flow selection). *)
+let pick_sym b ~live =
+  let candidates =
+    List.filter
+      (fun r -> R.mem_reg live r && not (R.mem_reg Builder.reserved r))
+      all_regs
+  in
+  match candidates with
+  | [] -> None
+  | cs -> Some (Util.Rng.choose b.Builder.rng cs)
+
+(* First variant: FOR state-forking loop adapted from Ollivier et al. [14].
+   A ROP loop counts up to the low bits of the symbolic register in a dead
+   register, then folds the (identical) bits back: the value is preserved,
+   but a path-oriented explorer sees [max_iters+1] distinct states. *)
+let p3_for b ~live ~max_iters sym =
+  let head = Builder.fresh b "p3h" in
+  let done_ = Builder.fresh b "p3e" in
+  let a_exit = Builder.fresh b "p3x" in
+  let a_back = Builder.fresh b "p3b" in
+  Builder.with_scratch b ~live ~avoid:(R.of_reg sym) 4 (fun regs ->
+      match regs with
+      | [ dead; cnt; t; u ] ->
+        Builder.g b [ Mov (W64, Reg dead, Imm 0L) ];
+        Builder.g b [ Mov (W64, Reg cnt, Reg sym) ];
+        Builder.g b [ Alu (And, W64, Reg cnt, Imm (Int64.of_int max_iters)) ];
+        Chain.label b.Builder.chain head;
+        Builder.g b [ Alu (Test, W64, Reg cnt, Reg cnt) ];
+        Builder.g b [ Mov (W64, Reg t, Imm 0L); Setcc (E, Reg t) ];
+        Builder.g b [ Pop (Reg u) ];
+        Chain.disp b.Builder.chain ~target:done_ ~anchor:a_exit ~bias:0L;
+        Builder.g b [ Imul2 (W64, u, Reg t) ];
+        Builder.g b [ Alu (Add, W64, Reg RSP, Reg u) ];
+        Chain.anchor b.Builder.chain a_exit;
+        Builder.g b [ Unary (Inc, W64, Reg dead) ];
+        Builder.g b [ Unary (Dec, W64, Reg cnt) ];
+        Builder.g b [ Pop (Reg u) ];
+        Chain.disp b.Builder.chain ~target:head ~anchor:a_back ~bias:0L;
+        Builder.g b [ Alu (Add, W64, Reg RSP, Reg u) ];
+        Chain.anchor b.Builder.chain a_back;
+        Chain.label b.Builder.chain done_;
+        Builder.g b [ Alu (And, W64, Reg dead, Imm 0xFFL) ];
+        Builder.g b [ Alu (Or, W64, Reg sym, Reg dead) ]
+      | _ -> assert false)
+
+(* Second variant: opaque input-derived updates to the P1 array.  Adds a
+   multiple of m to a cell selected by the symbolic register: every P1
+   invariant survives, but branch offsets loaded later now (fake-)depend on
+   input data, which trace simplification cannot remove without knowing the
+   invariants (§V-C). *)
+let p3_array b ~live sym =
+  let p1 =
+    match b.Builder.config.Config.p1 with
+    | Some p -> p
+    | None -> invalid_arg "P3 array variant requires P1"
+  in
+  let cls = Util.Rng.int b.Builder.rng p1.Config.n in
+  Builder.with_scratch b ~live ~avoid:(R.of_reg sym) 3 (fun regs ->
+      match regs with
+      | [ s1; s2; s3 ] ->
+        (* cell index (byte offset within the class) *)
+        Builder.g b [ Mov (W64, Reg s1, Reg sym) ];
+        Builder.g b [ Alu (And, W64, Reg s1, Imm (Int64.of_int (p1.Config.p - 1))) ];
+        Builder.g b [ Pop (Reg s2) ];
+        Builder.imm b (Int64.of_int (8 * p1.Config.s));
+        Builder.g b [ Imul2 (W64, s1, Reg s2) ];
+        (* opaque increment: m * (sym & 7) *)
+        Builder.g b [ Mov (W64, Reg s3, Reg sym) ];
+        Builder.g b [ Alu (And, W64, Reg s3, Imm 7L) ];
+        Builder.g b [ Pop (Reg s2) ];
+        Builder.imm b (Int64.of_int p1.Config.m);
+        Builder.g b [ Imul2 (W64, s3, Reg s2) ];
+        (* A[class + f(sym)*s] += m * (sym & 7) *)
+        Builder.g b [ Pop (Reg s2) ];
+        Builder.imm b
+          (Int64.add b.Builder.p1_array (Int64.of_int (8 * cls)));
+        Builder.g b
+          [ Alu (Add, W64,
+                 Mem { base = Some s2; index = Some (s1, 1); disp = 0L },
+                 Reg s3) ]
+      | _ -> assert false)
+
+(* Insert a P3 instance at the current point if the configuration and RNG
+   say so; flags are preserved when live. *)
+let maybe_p3 b ~live ~flags_live =
+  match b.Builder.config.Config.p3 with
+  | None -> ()
+  | Some p3 ->
+    if Util.Rng.int b.Builder.rng 1000 < int_of_float (p3.Config.k *. 1000.) then
+      match pick_sym b ~live with
+      | None -> ()
+      | Some sym ->
+        Builder.with_flags_preserved b ~flags_live (fun () ->
+            match p3.Config.variant with
+            | Config.P3_for -> p3_for b ~live ~max_iters:p3.Config.max_iters sym
+            | Config.P3_array ->
+              if b.Builder.config.Config.p1 <> None then p3_array b ~live sym
+              else p3_for b ~live ~max_iters:p3.Config.max_iters sym)

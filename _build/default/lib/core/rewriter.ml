@@ -1,0 +1,482 @@
+(* The binary rewriter (Figure 2): turns compiled functions into
+   self-contained ROP chains.
+
+   Per function: CFG reconstruction -> liveness -> per-instruction roplet
+   translation and chain crafting -> materialization into the .rop section ->
+   pivot stub installed over the original body -> jump tables patched to hold
+   chain displacements (Appendix A).  A session shares the gadget pool, the
+   stack-switching array and the synthetic function-return gadget across all
+   rewritten functions of an image. *)
+
+open X86.Isa
+module R = Analysis.Regset
+module Cfg = Analysis.Cfg
+
+type failure =
+  | F_cfg                       (* CFG reconstruction failed *)
+  | F_register_pressure of string
+  | F_unsupported of string     (* e.g. push rsp, pop mem *)
+  | F_too_small                 (* body cannot hold the pivoting stub *)
+
+let failure_to_string = function
+  | F_cfg -> "cfg-reconstruction"
+  | F_register_pressure m -> "register-pressure: " ^ m
+  | F_unsupported m -> "unsupported-instruction: " ^ m
+  | F_too_small -> "too-small"
+
+type func_stats = {
+  fs_points : int;              (* N: program points (instructions) *)
+  fs_chain_bytes : int;
+  fs_chain_addr : int64;
+  fs_blocks : int;
+  fs_block_offsets : int list;  (* chain offsets of the translated blocks *)
+}
+
+type func_result = (func_stats, failure) result
+
+type result = {
+  image : Image.t;
+  funcs : (string * func_result) list;
+  total_gadget_uses : int;      (* A of Table III *)
+  unique_gadgets : int;         (* B of Table III *)
+}
+
+exception Unsupported of string
+
+(* --- pivot stub (Appendix A) ---------------------------------------------- *)
+
+let pivot_stub ~ss_addr ~chain_addr =
+  X86.Encode.encode_list
+    [ Push (Imm ss_addr);
+      Pop (Reg RAX);
+      Alu (Add, W64, Mem (mem_b RAX 0), Imm 8L);
+      Alu (Add, W64, Reg RAX, Mem (mem_b RAX 0));      (* step (a) *)
+      Mov (W64, Mem (mem_b RAX 0), Reg RSP);           (* step (b) *)
+      Push (Imm chain_addr);
+      Pop (Reg RSP);                                   (* step (c) *)
+      Ret ]
+
+let pivot_stub_size = Bytes.length (pivot_stub ~ss_addr:0L ~chain_addr:0L)
+
+(* --- per-instruction translation ------------------------------------------ *)
+
+let mentions_rsp_mem (m : mem) =
+  m.base = Some RSP || (match m.index with Some (RSP, _) -> true | _ -> false)
+
+let mentions_rsp_op = function
+  | Reg RSP -> true
+  | Reg _ | Imm _ -> false
+  | Mem m -> mentions_rsp_mem m
+
+(* Translate one non-terminator instruction at [live] (live-out u uses u
+   defs). *)
+let translate_instr b ~live (i : instr) =
+  let direct () = Builder.g b [ i ] in
+  (* split an ALU immediate into a chain operand with some probability, for
+     diversity and to give gadget confusion material to work on *)
+  let alu_imm_split op w d v =
+    if Util.Rng.int b.Builder.rng 100 < 50 then
+      Builder.with_scratch b ~live ~avoid:(Analysis.Reguse.use_operand d) 1
+        (fun regs ->
+           match regs with
+           | [ s ] ->
+             Builder.load_imm b ~scratch:[] s v;
+             Builder.g b [ Alu (op, w, d, Reg s) ]
+           | _ -> assert false)
+    else direct ()
+  in
+  match i with
+  | Nop -> ()
+  | Push (Reg RSP) -> raise (Unsupported "push rsp")
+  | Push (Mem m) when mentions_rsp_mem m -> raise (Unsupported "push [rsp+..]")
+  | Push (Reg r) -> Builder.vpush_reg b ~live r
+  | Push (Imm v) -> Builder.vpush_imm b ~live v
+  | Push (Mem m) ->
+    Builder.with_scratch b ~live ~avoid:(Analysis.Reguse.use_mem m) 1
+      (fun regs ->
+         match regs with
+         | [ s ] ->
+           Builder.g b [ Mov (W64, Reg s, Mem m) ];
+           Builder.vpush_reg b ~live:(R.add live s) s
+         | _ -> assert false)
+  | Pop (Reg RSP) -> raise (Unsupported "pop rsp")
+  | Pop (Reg r) -> Builder.vpop b ~live r
+  | Pop (Imm _) | Pop (Mem _) -> raise (Unsupported "pop to memory")
+  | Mov (W64, Reg RBP, Reg RSP) -> Builder.rsp_to_reg b ~live RBP
+  | Mov (W64, Reg RSP, Reg r) when r <> RSP -> Builder.reg_to_rsp b ~live r
+  | Mov (W64, Reg r, Reg RSP) when r <> RSP -> Builder.rsp_to_reg b ~live r
+  | Mov (_, Reg RSP, _) | Mov (_, _, Reg RSP) ->
+    raise (Unsupported "unhandled rsp move")
+  | Mov (w, Reg r, Mem m) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None ->
+       Builder.rsp_read b ~live
+         ~move:(fun d s ->
+             match w with
+             | W64 -> Mov (W64, Reg d, s)
+             | w -> Movzx (W64, w, d, s))
+         r (Int64.to_int m.disp)
+     | _ -> raise (Unsupported "rsp-indexed addressing"))
+  | Movzx (dw, sw, r, Mem m) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None ->
+       Builder.rsp_read b ~live ~move:(fun d s -> Movzx (dw, sw, d, s))
+         r (Int64.to_int m.disp)
+     | _ -> raise (Unsupported "rsp-indexed addressing"))
+  | Movsx (dw, sw, r, Mem m) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None ->
+       Builder.rsp_read b ~live ~move:(fun d s -> Movsx (dw, sw, d, s))
+         r (Int64.to_int m.disp)
+     | _ -> raise (Unsupported "rsp-indexed addressing"))
+  | Mov (w, Mem m, Reg r) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None -> Builder.rsp_write b ~live w (Int64.to_int m.disp) r
+     | _ -> raise (Unsupported "rsp-indexed addressing"))
+  | Mov (w, Mem m, Imm v) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None ->
+       Builder.with_scratch b ~live ~avoid:R.empty 1 (fun regs ->
+           match regs with
+           | [ s ] ->
+             Builder.load_imm b ~scratch:[] s v;
+             Builder.rsp_write b ~live:(R.add live s) w (Int64.to_int m.disp) s
+           | _ -> assert false)
+     | _ -> raise (Unsupported "rsp-indexed addressing"))
+  | Lea (r, m) when mentions_rsp_mem m ->
+    (match m.base, m.index with
+     | Some RSP, None -> Builder.rsp_lea b ~live r (Int64.to_int m.disp)
+     | _ -> raise (Unsupported "rsp-indexed lea"))
+  | Alu (Add, W64, Reg RSP, Imm v) -> Builder.rsp_adjust b ~live v
+  | Alu (Sub, W64, Reg RSP, Imm v) -> Builder.rsp_adjust b ~live (Int64.neg v)
+  | Alu (_, _, d, s) when mentions_rsp_op d || mentions_rsp_op s ->
+    raise (Unsupported "alu on rsp")
+  | Leave ->
+    (* mov rsp, rbp; pop rbp *)
+    Builder.reg_to_rsp b ~live RBP;
+    Builder.vpop b ~live RBP
+  | Call (J_rel _) | Call (J_op _) ->
+    (* handled by the caller (needs the instruction's address) *)
+    assert false
+  | Xchg (_, a, bb) when mentions_rsp_op a || mentions_rsp_op bb ->
+    raise (Unsupported "xchg with rsp")
+  | Mov (W64, Reg r, Imm v) ->
+    (* idiomatic pop-from-chain load; subject to immediate confusion *)
+    Builder.with_scratch b ~live ~avoid:(R.of_reg r) 1 (fun regs ->
+        Builder.load_imm b ~scratch:(List.map (fun r -> r) regs) r v)
+  | Alu (op, w, d, Imm v)
+    when op <> Cmp && op <> Test && not (mentions_rsp_op d) ->
+    alu_imm_split op w d v
+  | Mov _ | Movzx _ | Movsx _ | Lea _ | Alu _ | Unary _ | Imul2 _
+  | MulDiv _ | Shift _ | Cmov _ | Setcc _ | Xchg _ | Lahf | Sahf ->
+    direct ()
+  | Hlt | Ret | Jmp _ | Jcc _ -> assert false  (* terminators *)
+
+(* --- per-function rewriting ------------------------------------------------ *)
+
+type session = {
+  img : Image.t;
+  config : Config.t;
+  rng : Util.Rng.t;
+  pool : Pool.t;
+  ss_addr : int64;
+  funcret_gadget : int64;
+  rop_buf : Buffer.t;            (* accumulates the .rop section *)
+  mutable table_patches : (int64 * int64) list;  (* addr, value *)
+}
+
+let rop_cursor s = Int64.add Image.rop_base (Int64.of_int (Buffer.length s.rop_buf))
+
+let rop_align8 s =
+  while Buffer.length s.rop_buf land 7 <> 0 do
+    Buffer.add_char s.rop_buf '\000'
+  done
+
+(* Reserve [n] zeroed bytes in .rop and return their address. *)
+let rop_alloc s n =
+  rop_align8 s;
+  let addr = rop_cursor s in
+  Buffer.add_bytes s.rop_buf (Bytes.make n '\000');
+  addr
+
+let rop_emit s (b : bytes) =
+  rop_align8 s;
+  let addr = rop_cursor s in
+  Buffer.add_bytes s.rop_buf b;
+  addr
+
+(* Create the P1 array for one function: p periods of s cells; cell
+   [i*s + c] for class c < n holds a random value congruent to a_c mod m;
+   the remaining (garbage) cells are random (§V-A). *)
+let make_p1_array s (p1 : Config.p1_params) =
+  let a = Array.init p1.Config.n (fun _ -> Util.Rng.int s.rng p1.Config.m) in
+  let cells = Bytes.create (8 * p1.Config.p * p1.Config.s) in
+  for i = 0 to p1.Config.p - 1 do
+    for c = 0 to p1.Config.s - 1 do
+      let residue =
+        if c < p1.Config.n then a.(c) else Util.Rng.int s.rng p1.Config.m
+      in
+      let v =
+        Int64.add
+          (Int64.mul (Int64.of_int p1.Config.m)
+             (Int64.of_int (Util.Rng.int s.rng 0x0FFFFFF)))
+          (Int64.of_int residue)
+      in
+      let off = 8 * (i * p1.Config.s + c) in
+      for k = 0 to 7 do
+        Bytes.set cells (off + k)
+          (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff))
+      done
+    done
+  done;
+  (a, cells)
+
+(* Registers the lowering of [bi] must preserve: whatever is live after it
+   plus the instruction's own sources.  Its destinations are deliberately NOT
+   protected: every lowering template writes them last, and for calls the
+   clobbered caller-saved registers are exactly the scratch the chain wants
+   (they are what the paper's allocator picks first). *)
+let live_for live_info (bi : Cfg.binstr) =
+  let uses, _defs = Analysis.Reguse.def_use bi.Cfg.instr in
+  R.union (Analysis.Liveness.live_out_at live_info bi.Cfg.addr) uses
+
+let rewrite_function (s : session) fname : func_result =
+  match Cfg.of_image s.img fname with
+  | exception Cfg.Analysis_error _ -> Error F_cfg
+  | cfg when cfg.Cfg.failed -> Error F_cfg
+  | cfg ->
+    let sym =
+      match Image.find_symbol s.img fname with
+      | Some sy -> sy
+      | None -> assert false
+    in
+    if sym.Image.sym_size < pivot_stub_size then Error F_too_small
+    else begin
+      let live_info = Analysis.Liveness.compute cfg in
+      (* per-function ABI data in .rop *)
+      let spill_base = rop_alloc s (8 * s.config.Config.spill_slots) in
+      let flags_spill = rop_alloc s 16 in
+      let p1_array, p1_class_a =
+        match s.config.Config.p1 with
+        | Some p1 ->
+          let a, cells = make_p1_array s p1 in
+          let addr = rop_emit s cells in
+          (addr, a)
+        | None -> (0L, [||])
+      in
+      let b =
+        Builder.create ~pool:s.pool ~config:s.config
+          ~rng:(Util.Rng.split s.rng) ~fname ~ss_addr:s.ss_addr
+          ~spill_base ~flags_spill ~funcret_gadget:s.funcret_gadget
+          ~p1_array ~p1_class_a
+      in
+      (* trampolines for P2-protected taken edges, emitted after the blocks *)
+      let trampolines = ref [] in
+      (* jump tables to patch once the chain layout is final *)
+      let table_jobs : (int64 * string * int64 list) list ref = ref [] in
+      let emit_block_body block =
+        List.iter
+          (fun bi ->
+             let live = live_for live_info bi in
+             let flags_live =
+               Analysis.Liveness.flags_live_after live_info bi.Cfg.addr
+               || Analysis.Reguse.reads_flags bi.Cfg.instr
+             in
+             b.Builder.program_points <- b.Builder.program_points + 1;
+             Predicates.maybe_p3 b ~live ~flags_live;
+             (match bi.Cfg.instr with
+              | Call (J_rel d) ->
+                let target = Int64.add (Cfg.next_addr bi) (Int64.of_int d) in
+                Builder.native_call b ~live (Builder.Ct_imm target)
+              | Call (J_op (Reg r)) ->
+                Builder.native_call b ~live (Builder.Ct_reg r)
+              | Call (J_op (Mem m)) when not (mentions_rsp_mem m) ->
+                Builder.with_scratch b ~live ~avoid:(Analysis.Reguse.use_mem m)
+                  1 (fun regs ->
+                      match regs with
+                      | [ sr ] ->
+                        Builder.g b [ Mov (W64, Reg sr, Mem m) ];
+                        Builder.native_call b ~live:(R.add live sr)
+                          (Builder.Ct_reg sr)
+                      | _ -> assert false)
+              | Call (J_op _) -> raise (Unsupported "call through rsp memory")
+              | i -> translate_instr b ~live i);
+             if not flags_live then Builder.maybe_skew b)
+          block.Cfg.b_instrs
+      in
+      let order = cfg.Cfg.order in
+      let next_of =
+        let rec pairs = function
+          | a :: (bb :: _ as rest) -> (a, Some bb) :: pairs rest
+          | [ a ] -> [ (a, None) ]
+          | [] -> []
+        in
+        pairs order
+      in
+      let result =
+        try
+          List.iter
+            (fun (addr, next) ->
+               let block = Cfg.block_exn cfg addr in
+               Chain.label b.Builder.chain (Builder.block_label addr);
+               emit_block_body block;
+               let term_live =
+                 match block.Cfg.b_term_instr with
+                 | Some ti -> live_for live_info ti
+                 | None -> R.all
+               in
+               (match block.Cfg.b_term with
+                | Cfg.T_hlt -> Builder.hlt b
+                | Cfg.T_ret -> Builder.epilogue b ~live:Analysis.Liveness.exit_live
+                | Cfg.T_tail t -> Builder.tail_jump b ~live:Analysis.Liveness.tail_live t
+                | Cfg.T_jmp t ->
+                  Builder.branch b ~live:term_live ~cc:None
+                    ~target:(Builder.block_label t)
+                | Cfg.T_fall f ->
+                  if next <> Some f then
+                    Builder.branch b ~live:term_live ~cc:None
+                      ~target:(Builder.block_label f)
+                | Cfg.T_jcc (cc, t, f) ->
+                  let bv =
+                    if s.config.Config.p2 && (cc = E || cc = NE) then
+                      match List.rev block.Cfg.b_instrs with
+                      | last :: _ -> Predicates.branch_value_of_instr last.Cfg.instr
+                      | [] -> None
+                    else None
+                  in
+                  (match bv with
+                   | Some bv ->
+                     (* the guards recompute d from the compared registers,
+                        so those stay live through the branch group *)
+                     let live =
+                       R.union term_live (Predicates.branch_value_regs bv)
+                     in
+                     let tramp = Builder.fresh b "p2t" in
+                     Builder.branch b ~live ~cc:(Some cc) ~target:tramp;
+                     trampolines :=
+                       (tramp, cc, bv, Builder.block_label t, live)
+                       :: !trampolines;
+                     (* fall-through guard sits inline, before the next
+                        block's label so only this edge runs it *)
+                     Predicates.fall_guard b ~live ~cc bv
+                   | None ->
+                     Builder.branch b ~live:term_live ~cc:(Some cc)
+                       ~target:(Builder.block_label t));
+                  if next <> Some f then
+                    Builder.branch b ~live:term_live ~cc:None
+                      ~target:(Builder.block_label f)
+                | Cfg.T_jmp_table { jump_reg; table_addr; entries; _ } ->
+                  let anchor = Builder.table_jump b ~live:term_live jump_reg in
+                  table_jobs := (table_addr, anchor, entries) :: !table_jobs
+                | Cfg.T_jmp_unresolved _ -> raise (Unsupported "indirect jump")))
+            next_of;
+          (* P2 trampolines: taken-edge guard, then the real transfer *)
+          List.iter
+            (fun (tramp, cc, bv, target, live) ->
+               Chain.label b.Builder.chain tramp;
+               Predicates.taken_guard b ~live ~cc bv;
+               Builder.branch b ~live ~cc:None ~target)
+            (List.rev !trampolines);
+          Ok ()
+        with
+        | Builder.Bail m -> Error (F_register_pressure m)
+        | Unsupported m -> Error (F_unsupported m)
+      in
+      match result with
+      | Error e -> Error e
+      | Ok () ->
+        (* materialize *)
+        rop_align8 s;
+        let base = rop_cursor s in
+        let rngj = Util.Rng.split s.rng in
+        let m =
+          Chain.materialize
+            ~junk:(fun _ -> Util.Rng.int rngj 256)
+            ~base b.Builder.chain
+        in
+        let addr = rop_emit s m.Chain.bytes in
+        assert (addr = base);
+        (* install the pivot stub over the original body *)
+        Image.replace_function_body s.img sym
+          (pivot_stub ~ss_addr:s.ss_addr ~chain_addr:base);
+        (* patch the jump tables with chain displacements *)
+        List.iter
+          (fun (table_addr, anchor, entries) ->
+             List.iteri
+               (fun i target ->
+                  let v =
+                    Chain.label_delta m ~target:(Builder.block_label target)
+                      ~anchor
+                  in
+                  Image.patch s.img
+                    (Int64.add table_addr (Int64.of_int (8 * i))) 8 v)
+               entries)
+          !table_jobs;
+        let block_offsets =
+          Hashtbl.fold
+            (fun name off acc ->
+               if String.length name > 3 && String.sub name 0 3 = "bb_" then
+                 off :: acc
+               else acc)
+            m.Chain.offsets []
+          |> List.sort compare
+        in
+        Ok
+          { fs_points = b.Builder.program_points;
+            fs_chain_bytes = Bytes.length m.Chain.bytes;
+            fs_chain_addr = base;
+            fs_blocks = List.length order;
+            fs_block_offsets = block_offsets }
+    end
+
+(* --- session --------------------------------------------------------------- *)
+
+let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
+    ~(config : Config.t) : result =
+  let img = Image.copy img in
+  let rng = Util.Rng.create config.Config.seed in
+  (* found gadgets from parts left unobfuscated *)
+  let found =
+    if found_gadget_scan then Finder.scan_image img ~excluding:functions
+    else []
+  in
+  let text = Image.section_exn img ".text" in
+  let pool_base = Image.section_end text in
+  let pool =
+    Pool.create ~variants:config.Config.variants ~rng:(Util.Rng.split rng)
+      ~next_addr:pool_base found
+  in
+  let rop_buf = Buffer.create 4096 in
+  let s =
+    { img; config; rng; pool;
+      ss_addr = Image.rop_base;         (* ss is the first .rop object *)
+      funcret_gadget = 0L;              (* patched below *)
+      rop_buf;
+      table_patches = [] }
+  in
+  (* ss array: 64 frames *)
+  let ss_addr = rop_alloc s (8 * 64) in
+  assert (ss_addr = Image.rop_base);
+  (* synthetic function-return gadget with hard-wired ss address *)
+  let funcret =
+    Pool.request_jop pool
+      [ Mov (W64, Reg R11, Imm ss_addr);
+        Alu (Add, W64, Reg R11, Mem (mem_b R11 0));
+        Xchg (W64, Reg RSP, Mem (mem_b R11 0));
+        Ret ]
+  in
+  let s = { s with funcret_gadget = funcret } in
+  Pool.reset_stats pool;   (* the funcret request should not skew Table III *)
+  let funcs =
+    List.map (fun fname -> (fname, rewrite_function s fname)) functions
+  in
+  (* append synthesized gadgets to .text and create the .rop section *)
+  let pool_bytes = Pool.emitted_bytes pool in
+  let appended_at = Image.append img ".text" pool_bytes in
+  assert (appended_at = pool_base);
+  ignore
+    (Image.add_section img ~name:".rop" ~addr:Image.rop_base
+       ~data:(Buffer.to_bytes rop_buf) ~writable:true ~executable:false);
+  Image.add_symbol img ~name:"__ss" ~addr:ss_addr ~size:(8 * 64) ();
+  let uses, uniq = Pool.stats pool in
+  { image = img; funcs; total_gadget_uses = uses; unique_gadgets = uniq }

@@ -1,0 +1,1 @@
+lib/gadget/finder.ml: Bytes Gadget Image Int64 List X86

@@ -1,0 +1,1 @@
+lib/gadget/gadget.ml: Bytes Format List Printf String X86

@@ -1,0 +1,1 @@
+lib/gadget/pool.ml: Buffer Gadget Hashtbl Int64 List Option Util X86

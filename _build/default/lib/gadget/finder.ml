@@ -1,0 +1,57 @@
+(* Gadget finder: scans executable bytes for naturally occurring sequences
+   ending in ret, decoding at every offset (aligned or not) exactly like an
+   attacker's gadget scanner would.  The rewriter draws on these "found"
+   gadgets for program parts left unobfuscated before synthesizing artificial
+   ones (§IV-A1). *)
+
+open X86.Isa
+
+(* Scan [buf] (loaded at [base]) and return all gadgets of at most
+   [max_instrs] instructions ending in ret. *)
+let scan ?(max_instrs = 3) ~base (buf : bytes) : Gadget.t list =
+  let n = Bytes.length buf in
+  let out = ref [] in
+  for off = 0 to n - 1 do
+    (* decode forward from [off], up to max_instrs *)
+    let rec go pos acc count =
+      if count > max_instrs then ()
+      else
+        match X86.Decode.decode buf pos with
+        | None -> ()
+        | Some (Ret, _) ->
+          let body = List.rev acc in
+          out :=
+            { Gadget.addr = Int64.add base (Int64.of_int off);
+              body;
+              ending = Gadget.E_ret }
+            :: !out
+        | Some (Jmp (J_op (Reg r)), _) when acc <> [] ->
+          out :=
+            { Gadget.addr = Int64.add base (Int64.of_int off);
+              body = List.rev (Jmp (J_op (Reg r)) :: acc);
+              ending = Gadget.E_jop r }
+            :: !out
+        | Some ((Hlt | Jmp _ | Jcc _ | Call _), _) -> ()
+        | Some (i, len) -> go (pos + len) (i :: acc) (count + 1)
+    in
+    go off [] 0
+  done;
+  List.rev !out
+
+(* Scan the ranges of [img]'s .text that belong to functions NOT in
+   [excluding] (those will be wiped by the rewriter). *)
+let scan_image ?(max_instrs = 3) (img : Image.t) ~excluding =
+  let text = Image.section_exn img ".text" in
+  let excluded a =
+    List.exists
+      (fun name ->
+         match Image.find_symbol img name with
+         | Some s ->
+           Int64.compare s.Image.sym_addr a <= 0
+           && Int64.compare a
+                (Int64.add s.Image.sym_addr (Int64.of_int s.Image.sym_size)) < 0
+         | None -> false)
+      excluding
+  in
+  let all = scan ~max_instrs ~base:text.Image.sec_addr text.Image.sec_data in
+  List.filter (fun g -> not (excluded g.Gadget.addr)) all

@@ -1,0 +1,37 @@
+(* Gadget representation.
+
+   A gadget is a short instruction sequence located in executable memory whose
+   last instruction transfers control via the stack (ret) or a register (the
+   JOP gadgets used for stack switching, §IV-B2). *)
+
+open X86.Isa
+
+type ending =
+  | E_ret                      (* ends in ret *)
+  | E_jop of reg               (* ends in jmp reg *)
+
+type t = {
+  addr : int64;
+  body : instr list;           (* excluding the final ret (included for jop) *)
+  ending : ending;
+}
+
+let instrs g =
+  match g.ending with
+  | E_ret -> g.body @ [ Ret ]
+  | E_jop _ -> g.body
+
+let encode g = X86.Encode.encode_list (instrs g)
+
+let length g = Bytes.length (encode g)
+
+let to_string g =
+  let body = String.concat "; " (List.map X86.Pp.instr_str (instrs g)) in
+  Printf.sprintf "0x%Lx: %s" g.addr body
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)
+
+(* Key identifying a gadget's semantics: its exact instruction list. *)
+type key = instr list
+
+let key g : key = g.body

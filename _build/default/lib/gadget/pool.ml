@@ -1,0 +1,111 @@
+(* Gadget pool: serves chain-crafting requests for gadget functionality.
+
+   The rewriter controls the binary, so missing gadgets are synthesized as
+   dead code appended to .text (§IV-A1).  For *diversity* (§I, §V-D) the pool
+   keeps several variants of each requested sequence — extra synthetic copies
+   at distinct addresses, optionally prefixed with dynamically-dead
+   instructions over registers the requester declared clobberable — and picks
+   one at random per use.  Found gadgets (from the finder) are preferred when
+   their body matches a request exactly. *)
+
+open X86.Isa
+
+type t = {
+  rng : Util.Rng.t;
+  found : (Gadget.key, Gadget.t list) Hashtbl.t;
+  synthesized : (Gadget.key, Gadget.t list) Hashtbl.t;
+  mutable next_addr : int64;            (* where the next synthetic gadget goes *)
+  mutable emitted : Gadget.t list;      (* reversed *)
+  variants : int;                       (* max variants kept per key *)
+  dead_prefix_prob : int;               (* percent chance of a dead prefix *)
+  (* usage statistics (Table III) *)
+  mutable uses : int;                   (* A: total gadget uses *)
+  used_addrs : (int64, unit) Hashtbl.t; (* B: unique gadgets used *)
+}
+
+let create ?(variants = 3) ?(dead_prefix_prob = 40) ~rng ~next_addr found_list =
+  let found = Hashtbl.create 256 in
+  List.iter
+    (fun g ->
+       let k = Gadget.key g in
+       let prev = Option.value (Hashtbl.find_opt found k) ~default:[] in
+       Hashtbl.replace found k (g :: prev))
+    found_list;
+  { rng; found; synthesized = Hashtbl.create 256; next_addr; emitted = [];
+    variants; dead_prefix_prob; uses = 0; used_addrs = Hashtbl.create 256 }
+
+(* Dynamically-dead prefix instructions: harmless writes to a clobberable
+   register.  They concur to nothing, diversifying the byte pattern. *)
+let dead_prefix t ~clobberable =
+  match clobberable with
+  | [] -> []
+  | regs when Util.Rng.int t.rng 100 < t.dead_prefix_prob ->
+    let r = Util.Rng.choose t.rng regs in
+    (match Util.Rng.int t.rng 4 with
+     | 0 -> [ Mov (W64, Reg r, Imm (Int64.of_int (Util.Rng.int t.rng 4096))) ]
+     | 1 -> [ Alu (Xor, W64, Reg r, Reg r) ]
+     | 2 -> [ Unary (Not, W64, Reg r) ]
+     | _ -> [ Lea (r, { base = Some r; index = None; disp = 0L }) ])
+  | _ -> []
+
+let synthesize t ~ending ~clobberable body =
+  let prefix = dead_prefix t ~clobberable in
+  let g =
+    { Gadget.addr = t.next_addr; body = prefix @ body; ending }
+  in
+  t.next_addr <- Int64.add t.next_addr (Int64.of_int (Gadget.length g));
+  t.emitted <- g :: t.emitted;
+  g
+
+let record_use t g =
+  t.uses <- t.uses + 1;
+  Hashtbl.replace t.used_addrs g.Gadget.addr ();
+  g.Gadget.addr
+
+(* Request a ret-ending gadget whose body is exactly [body].  [clobberable]
+   lists registers that are dead at the use site, allowed to appear in
+   dynamically-dead diversification prefixes. *)
+let request ?(clobberable = []) t (body : instr list) : int64 =
+  let key : Gadget.key = body in
+  let candidates =
+    Option.value (Hashtbl.find_opt t.found key) ~default:[]
+    @ Option.value (Hashtbl.find_opt t.synthesized key) ~default:[]
+  in
+  let g =
+    if candidates = [] || List.length candidates < t.variants
+       && Util.Rng.int t.rng 100 < 30
+    then begin
+      let g = synthesize t ~ending:Gadget.E_ret ~clobberable body in
+      let prev = Option.value (Hashtbl.find_opt t.synthesized key) ~default:[] in
+      Hashtbl.replace t.synthesized key (g :: prev);
+      g
+    end
+    else Util.Rng.choose t.rng candidates
+  in
+  record_use t g
+
+(* Request a JOP gadget (ends with jmp reg, no ret). *)
+let request_jop ?(clobberable = []) t (body : instr list) : int64 =
+  let key : Gadget.key = body in
+  match Hashtbl.find_opt t.synthesized key with
+  | Some (g :: _) -> record_use t g
+  | Some [] | None ->
+    let g = synthesize t ~ending:(Gadget.E_jop RAX) ~clobberable body in
+    (* ending reg is informational; body already contains the jmp *)
+    Hashtbl.replace t.synthesized key [ g ];
+    record_use t g
+
+(* Bytes of all synthesized gadgets, in address order, for appending to
+   .text.  The first gadget's address must equal the pool's [next_addr] at
+   creation time. *)
+let emitted_bytes t =
+  let gs = List.rev t.emitted in
+  let buf = Buffer.create 1024 in
+  List.iter (fun g -> Buffer.add_bytes buf (Gadget.encode g)) gs;
+  Buffer.to_bytes buf
+
+let stats t = (t.uses, Hashtbl.length t.used_addrs)
+
+let reset_stats t =
+  t.uses <- 0;
+  Hashtbl.reset t.used_addrs

@@ -1,0 +1,1 @@
+lib/harness/configs.ml: Image List Minic Ropc Vmobf

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Configs Hashtbl Image Int64 List Machine Minic Option Printf Report Ropaware Ropc Runner Symex Taint Util Vmobf

@@ -1,0 +1,71 @@
+(* Obfuscation configuration terminology (Table I) and appliers. *)
+
+type obf =
+  | Native
+  | Rop of float                       (* ROP_k: P1 + P3 at fraction k *)
+  | Rop_full of Ropc.Config.t          (* explicit rewriter configuration *)
+  | Vm of int * Vmobf.implicit_layers  (* nVM-IMP_x *)
+
+type named = { name : string; obf : obf }
+
+(* The 15 configurations of Table II. *)
+let table2_configs : named list =
+  [ { name = "NATIVE"; obf = Native };
+    { name = "ROP_0.05"; obf = Rop 0.05 };
+    { name = "ROP_0.25"; obf = Rop 0.25 };
+    { name = "ROP_0.50"; obf = Rop 0.50 };
+    { name = "ROP_0.75"; obf = Rop 0.75 };
+    { name = "ROP_1.00"; obf = Rop 1.00 };
+    { name = "1VM-IMPall"; obf = Vm (1, Vmobf.Imp_all) };
+    { name = "2VM"; obf = Vm (2, Vmobf.Imp_none) };
+    { name = "2VM-IMPfirst"; obf = Vm (2, Vmobf.Imp_first) };
+    { name = "2VM-IMPlast"; obf = Vm (2, Vmobf.Imp_last) };
+    { name = "2VM-IMPall"; obf = Vm (2, Vmobf.Imp_all) };
+    { name = "3VM"; obf = Vm (3, Vmobf.Imp_none) };
+    { name = "3VM-IMPfirst"; obf = Vm (3, Vmobf.Imp_first) };
+    { name = "3VM-IMPlast"; obf = Vm (3, Vmobf.Imp_last) };
+    { name = "3VM-IMPall"; obf = Vm (3, Vmobf.Imp_all) } ]
+
+let rop_ks = [ 0.0; 0.05; 0.25; 0.50; 0.75; 1.00 ]
+
+exception Obfuscation_failed of string
+
+(* Apply a configuration to [prog], obfuscating [funcs] (ROP) or each
+   function in [funcs] (VM), and return the final image. *)
+let apply ?(seed = 1) (obf : obf) (prog : Minic.Ast.program) ~funcs : Image.t =
+  match obf with
+  | Native -> Minic.Codegen.compile prog
+  | Rop k ->
+    let img = Minic.Codegen.compile prog in
+    let r =
+      Ropc.Rewriter.rewrite img ~functions:funcs
+        ~config:(Ropc.Config.rop_k ~seed k)
+    in
+    List.iter
+      (fun (f, res) ->
+         match res with
+         | Ok _ -> ()
+         | Error e ->
+           raise (Obfuscation_failed
+                    (f ^ ": " ^ Ropc.Rewriter.failure_to_string e)))
+      r.Ropc.Rewriter.funcs;
+    r.Ropc.Rewriter.image
+  | Rop_full config ->
+    let img = Minic.Codegen.compile prog in
+    let r = Ropc.Rewriter.rewrite img ~functions:funcs ~config in
+    List.iter
+      (fun (f, res) ->
+         match res with
+         | Ok _ -> ()
+         | Error e ->
+           raise (Obfuscation_failed
+                    (f ^ ": " ^ Ropc.Rewriter.failure_to_string e)))
+      r.Ropc.Rewriter.funcs;
+    r.Ropc.Rewriter.image
+  | Vm (layers, implicit) ->
+    let prog =
+      List.fold_left
+        (fun prog f -> Vmobf.layered ~implicit ~layers ~seed prog f)
+        prog funcs
+    in
+    Minic.Codegen.compile prog

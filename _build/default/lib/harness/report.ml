@@ -1,0 +1,33 @@
+(* Fixed-width text tables for the experiment reports. *)
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+let rule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+(* Print a table: headers and rows are string lists. *)
+let table ~title ~headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+         List.fold_left
+           (fun acc row ->
+              max acc (String.length (List.nth row i)))
+           (String.length h) rows)
+      headers
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n"
+    (String.concat " | " (List.map2 pad widths headers));
+  Printf.printf "%s\n" (rule widths);
+  List.iter
+    (fun row ->
+       Printf.printf "%s\n" (String.concat " | " (List.map2 pad widths row)))
+    rows;
+  flush stdout
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let i v = string_of_int v

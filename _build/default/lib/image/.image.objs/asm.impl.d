@@ -1,0 +1,1 @@
+lib/image/asm.ml: Buffer Bytes Char Hashtbl Image Int64 List X86

@@ -1,0 +1,1 @@
+lib/image/image.ml: Bytes Char Int64 List Machine Printf X86

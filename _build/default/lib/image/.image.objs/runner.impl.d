@@ -1,0 +1,1 @@
+lib/image/runner.ml: Format Image Int64 List Machine X86

@@ -1,0 +1,212 @@
+(* Symbolic assembler and linker.
+
+   Code is written as lists of {!item}s with local labels and references to
+   global symbols; [link] lays out functions in .text and data blobs in
+   .data, then resolves every reference.  All symbolic encodings have a fixed
+   length, so layout is a single deterministic pass. *)
+
+open X86.Isa
+
+type item =
+  | Ins of instr                (* concrete instruction *)
+  | Label of string             (* local label, scope = enclosing function *)
+  | Jmp_l of string             (* jmp to local label *)
+  | Jcc_l of cc * string
+  | Call_s of string            (* call a global symbol *)
+  | Lea_s of reg * string       (* reg := address of global symbol *)
+  | Lea_l of reg * string       (* reg := absolute address of a local label *)
+  | Mov_s of reg * string       (* reg := address of global symbol (imm32) *)
+  | Push_s of string            (* push address of global symbol *)
+  | Quad_l of string            (* 8 raw bytes: absolute address of a local
+                                   label; used for in-text jump tables *)
+
+type data_item =
+  | D_bytes of bytes
+  | D_quad of int64
+  | D_quad_sym of string        (* 8-byte address of a global symbol *)
+  | D_zero of int
+
+let item_length = function
+  | Ins i -> X86.Encode.length i
+  | Label _ -> 0
+  | Jmp_l _ -> 5                      (* opcode + rel32 *)
+  | Jcc_l _ -> 5
+  | Call_s _ -> 5
+  | Lea_s _ -> 7                      (* opcode + reg + mode 0x40 + disp32 *)
+  | Lea_l _ -> 7
+  | Mov_s _ -> 7                      (* opcode + reg mode + imm32 mode + 4 *)
+  | Push_s _ -> 6                     (* opcode + imm32 mode + 4 *)
+  | Quad_l _ -> 8
+
+let body_length items = List.fold_left (fun a i -> a + item_length i) 0 items
+
+exception Undefined of string
+
+(* Assemble [items] at absolute address [base]; [resolve] maps global symbol
+   names to addresses. *)
+let assemble ~base ~resolve items =
+  (* pass 1: local label offsets *)
+  let labels = Hashtbl.create 16 in
+  let _ =
+    List.fold_left
+      (fun off it ->
+         (match it with Label l -> Hashtbl.replace labels l off | _ -> ());
+         off + item_length it)
+      0 items
+  in
+  let local l =
+    match Hashtbl.find_opt labels l with
+    | Some off -> off
+    | None -> raise (Undefined ("label " ^ l))
+  in
+  let global s =
+    match resolve s with
+    | Some a -> a
+    | None -> raise (Undefined ("symbol " ^ s))
+  in
+  (* pass 2: emit *)
+  let buf = Buffer.create 256 in
+  let emit_exact expected i =
+    let b = X86.Encode.encode i in
+    assert (Bytes.length b = expected);
+    Buffer.add_bytes buf b
+  in
+  List.iter
+    (fun it ->
+       let off = Buffer.length buf in
+       let rel target_off used = target_off - (off + used) in
+       match it with
+       | Label _ -> ()
+       | Ins i -> Buffer.add_bytes buf (X86.Encode.encode i)
+       | Jmp_l l -> emit_exact 5 (Jmp (J_rel (rel (local l) 5)))
+       | Jcc_l (c, l) -> emit_exact 5 (Jcc (c, rel (local l) 5))
+       | Call_s s ->
+         let target = global s in
+         let here = Int64.add base (Int64.of_int (off + 5)) in
+         emit_exact 5 (Call (J_rel (Int64.to_int (Int64.sub target here))))
+       | Lea_s (r, s) -> emit_exact 7 (Lea (r, mem_abs (global s)))
+       | Lea_l (r, l) ->
+         emit_exact 7 (Lea (r, mem_abs (Int64.add base (Int64.of_int (local l)))))
+       | Quad_l l ->
+         let a = Int64.add base (Int64.of_int (local l)) in
+         for i = 0 to 7 do
+           Buffer.add_char buf
+             (Char.chr (Int64.to_int (Int64.shift_right_logical a (8 * i)) land 0xff))
+         done
+       | Mov_s (r, s) ->
+         (* force the imm32 form so the length is fixed *)
+         let a = global s in
+         assert (a >= -2147483648L && a <= 2147483647L);
+         Buffer.add_char buf (Char.chr (0x08 + width_index W64));
+         Buffer.add_char buf (Char.chr (reg_index r));
+         Buffer.add_char buf '\x51';
+         for i = 0 to 3 do
+           Buffer.add_char buf
+             (Char.chr (Int64.to_int (Int64.shift_right_logical a (8 * i)) land 0xff))
+         done
+       | Push_s s ->
+         let a = global s in
+         assert (a >= -2147483648L && a <= 2147483647L);
+         Buffer.add_char buf '\x61';
+         Buffer.add_char buf '\x51';
+         for i = 0 to 3 do
+           Buffer.add_char buf
+             (Char.chr (Int64.to_int (Int64.shift_right_logical a (8 * i)) land 0xff))
+         done)
+    items;
+  Buffer.to_bytes buf
+
+let data_item_length = function
+  | D_bytes b -> Bytes.length b
+  | D_quad _ -> 8
+  | D_quad_sym _ -> 8
+  | D_zero n -> n
+
+let data_length items = List.fold_left (fun a i -> a + data_item_length i) 0 items
+
+let assemble_data ~resolve items =
+  let buf = Buffer.create 64 in
+  let quad v =
+    for i = 0 to 7 do
+      Buffer.add_char buf
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+  in
+  List.iter
+    (function
+      | D_bytes b -> Buffer.add_bytes buf b
+      | D_quad v -> quad v
+      | D_quad_sym s ->
+        (match resolve s with
+         | Some a -> quad a
+         | None -> raise (Undefined ("symbol " ^ s)))
+      | D_zero n -> Buffer.add_bytes buf (Bytes.make n '\000'))
+    items;
+  Buffer.to_bytes buf
+
+type unit_ = {
+  u_functions : (string * item list) list;
+  u_data : (string * data_item list) list;
+}
+
+let align16 n = (n + 15) land lnot 15
+
+(* Lay out and link a compilation unit into a fresh image. *)
+let link (u : unit_) =
+  let img = Image.create () in
+  (* layout: functions in .text *)
+  let text_layout = ref [] in
+  let text_off = ref 0 in
+  List.iter
+    (fun (name, items) ->
+       let size = body_length items in
+       text_layout := (name, !text_off, size, items) :: !text_layout;
+       text_off := align16 (!text_off + size))
+    u.u_functions;
+  let text_layout = List.rev !text_layout in
+  (* layout: data blobs *)
+  let data_layout = ref [] in
+  let data_off = ref 0 in
+  List.iter
+    (fun (name, items) ->
+       let size = data_length items in
+       data_layout := (name, !data_off, size, items) :: !data_layout;
+       data_off := align16 (!data_off + size))
+    u.u_data;
+  let data_layout = List.rev !data_layout in
+  (* symbol table *)
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (name, off, _, _) ->
+       Hashtbl.replace table name (Int64.add Image.text_base (Int64.of_int off)))
+    text_layout;
+  List.iter
+    (fun (name, off, _, _) ->
+       Hashtbl.replace table name (Int64.add Image.data_base (Int64.of_int off)))
+    data_layout;
+  let resolve s = Hashtbl.find_opt table s in
+  (* emit text *)
+  let text = Bytes.make !text_off '\000' in
+  List.iter
+    (fun (name, off, size, items) ->
+       let base = Int64.add Image.text_base (Int64.of_int off) in
+       let b = assemble ~base ~resolve items in
+       Bytes.blit b 0 text off (Bytes.length b);
+       Image.add_symbol img ~is_function:true ~name ~addr:base ~size ())
+    text_layout;
+  (* emit data *)
+  let data = Bytes.make !data_off '\000' in
+  List.iter
+    (fun (name, off, size, items) ->
+       let b = assemble_data ~resolve items in
+       Bytes.blit b 0 data off (Bytes.length b);
+       Image.add_symbol img ~name
+         ~addr:(Int64.add Image.data_base (Int64.of_int off)) ~size ())
+    data_layout;
+  ignore
+    (Image.add_section img ~name:".text" ~addr:Image.text_base ~data:text
+       ~writable:false ~executable:true);
+  ignore
+    (Image.add_section img ~name:".data" ~addr:Image.data_base ~data
+       ~writable:true ~executable:false);
+  img

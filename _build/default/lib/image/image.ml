@@ -1,0 +1,139 @@
+(* Binary image: the ELF stand-in.
+
+   An image is a set of sections plus a symbol table.  The standard layout
+   mirrors a small static Linux binary:
+     .text   at 0x400000   (code, gadgets)
+     .data   at 0x800000   (globals, jump tables)
+     .rop    at 0xA00000   (ROP chains emitted by the rewriter)
+   The stack for native execution grows down from 0x70000000, and the chain
+   stacks / stack-switching array live inside .data. *)
+
+let text_base = 0x400000L
+let data_base = 0x800000L
+let rop_base = 0xA00000L
+let stack_top = 0x7000_0000L
+let stack_size = 1 lsl 20
+
+(* Executing this address halts the machine: the harness pushes it as the
+   return address of the function under test. *)
+let exit_stub_addr = 0x4FF000L
+
+type section = {
+  sec_name : string;
+  sec_addr : int64;
+  mutable sec_data : bytes;
+  sec_writable : bool;
+  sec_executable : bool;
+}
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int64;
+  sym_size : int;
+  sym_is_function : bool;
+}
+
+type t = {
+  mutable sections : section list;
+  mutable symbols : symbol list;
+}
+
+let create () = { sections = []; symbols = [] }
+
+let add_section t ~name ~addr ~data ~writable ~executable =
+  let s = { sec_name = name; sec_addr = addr; sec_data = data;
+            sec_writable = writable; sec_executable = executable } in
+  t.sections <- t.sections @ [ s ];
+  s
+
+let find_section t name =
+  List.find_opt (fun s -> s.sec_name = name) t.sections
+
+let section_exn t name =
+  match find_section t name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "no section %s" name)
+
+let section_end s = Int64.add s.sec_addr (Int64.of_int (Bytes.length s.sec_data))
+
+(* Append bytes to a section, returning the address they start at. *)
+let append t name (b : bytes) =
+  let s = section_exn t name in
+  let addr = section_end s in
+  s.sec_data <- Bytes.cat s.sec_data b;
+  addr
+
+let add_symbol t ?(is_function = false) ~name ~addr ~size () =
+  t.symbols <- { sym_name = name; sym_addr = addr; sym_size = size;
+                 sym_is_function = is_function } :: t.symbols
+
+let find_symbol t name =
+  List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+let symbol_addr t name =
+  match find_symbol t name with
+  | Some s -> s.sym_addr
+  | None -> invalid_arg (Printf.sprintf "undefined symbol %s" name)
+
+let functions t = List.filter (fun s -> s.sym_is_function) t.symbols
+
+let symbol_at t addr =
+  List.find_opt (fun s ->
+      Int64.compare s.sym_addr addr <= 0
+      && Int64.compare addr (Int64.add s.sym_addr (Int64.of_int s.sym_size)) < 0)
+    t.symbols
+
+(* Patch [len] bytes of [v] (little-endian) at absolute address [addr]. *)
+let patch t addr len v =
+  let s =
+    List.find_opt (fun s ->
+        Int64.compare s.sec_addr addr <= 0
+        && Int64.compare addr (section_end s) < 0)
+      t.sections
+  in
+  match s with
+  | None -> invalid_arg (Printf.sprintf "patch outside sections: 0x%Lx" addr)
+  | Some s ->
+    let off = Int64.to_int (Int64.sub addr s.sec_addr) in
+    for i = 0 to len - 1 do
+      Bytes.set s.sec_data (off + i)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+
+let read_byte t addr =
+  let s =
+    List.find_opt (fun s ->
+        Int64.compare s.sec_addr addr <= 0
+        && Int64.compare addr (section_end s) < 0)
+      t.sections
+  in
+  match s with
+  | None -> None
+  | Some s -> Some (Char.code (Bytes.get s.sec_data (Int64.to_int (Int64.sub addr s.sec_addr))))
+
+(* Replace the body of a function in .text with [b], padding the remainder of
+   the old body with invalid bytes (0x00), as the rewriter does when
+   installing a pivot stub over the original code. *)
+let replace_function_body t sym (b : bytes) =
+  let s = section_exn t ".text" in
+  let off = Int64.to_int (Int64.sub sym.sym_addr s.sec_addr) in
+  if Bytes.length b > sym.sym_size then
+    invalid_arg (Printf.sprintf "replacement for %s too large (%d > %d)"
+                   sym.sym_name (Bytes.length b) sym.sym_size);
+  Bytes.blit b 0 s.sec_data off (Bytes.length b);
+  Bytes.fill s.sec_data (off + Bytes.length b) (sym.sym_size - Bytes.length b) '\000'
+
+(* Load the image into a fresh machine, stack mapped, exit stub installed. *)
+let load t =
+  let mem = Machine.Memory.create () in
+  List.iter (fun s -> Machine.Memory.store_bytes mem s.sec_addr s.sec_data) t.sections;
+  Machine.Memory.map mem (Int64.sub stack_top (Int64.of_int stack_size)) stack_size;
+  Machine.Memory.store_bytes mem exit_stub_addr (X86.Encode.encode X86.Isa.Hlt);
+  mem
+
+(* Deep copy (sections are mutable). *)
+let copy t = {
+  sections =
+    List.map (fun s -> { s with sec_data = Bytes.copy s.sec_data }) t.sections;
+  symbols = t.symbols;
+}

@@ -1,0 +1,51 @@
+(* Convenience harness for calling a function inside a loaded image with the
+   SysV-style convention used by the minic compiler: integer args in
+   RDI, RSI, RDX, RCX, R8, R9; result in RAX.  The return address points at
+   the exit stub, so a clean return halts the machine. *)
+
+open X86.Isa
+
+type result = {
+  status : Machine.Exec.exit_status;
+  rax : int64;
+  steps : int;
+  cpu : Machine.Cpu.t;
+}
+
+let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
+
+(* Prepare a machine with RIP at [func]'s entry and the stack set up for a
+   call with [args]; does not run it. *)
+let setup ?mem img ~func ~args =
+  let mem = match mem with Some m -> m | None -> Image.load img in
+  let cpu = Machine.Cpu.create mem in
+  let entry = Image.symbol_addr img func in
+  List.iteri
+    (fun i a ->
+       match List.nth_opt arg_regs i with
+       | Some r -> Machine.Cpu.set cpu r a
+       | None -> invalid_arg "Runner: more than 6 arguments")
+    args;
+  let sp = Int64.sub Image.stack_top 64L in
+  Machine.Cpu.set cpu RSP sp;
+  (* push return address = exit stub *)
+  let sp = Int64.sub sp 8L in
+  Machine.Memory.write_u64 mem sp Image.exit_stub_addr;
+  Machine.Cpu.set cpu RSP sp;
+  cpu.Machine.Cpu.rip <- entry;
+  Machine.Exec.make cpu
+
+let call ?(fuel = 50_000_000) ?mem img ~func ~args =
+  let t = setup ?mem img ~func ~args in
+  let status = Machine.Exec.run ~fuel t in
+  let cpu = t.Machine.Exec.cpu in
+  { status; rax = Machine.Cpu.get cpu RAX; steps = cpu.Machine.Cpu.steps; cpu }
+
+(* Call and insist on a clean return; fails with the exit status otherwise. *)
+let call_exn ?fuel ?mem img ~func ~args =
+  let r = call ?fuel ?mem img ~func ~args in
+  match r.status with
+  | Machine.Exec.Halted -> r
+  | st ->
+    failwith
+      (Format.asprintf "Runner.call %s: %a" func Machine.Exec.pp_exit st)

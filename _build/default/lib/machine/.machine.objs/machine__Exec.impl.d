@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Cpu Format Hashtbl Int64 Memory Printf Semantics X86

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Buffer Bytes Char Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/machine/semantics.ml: Int64 X86

@@ -1,0 +1,52 @@
+(* CPU state for the x64-lite machine. *)
+
+open X86.Isa
+
+type t = {
+  regs : int64 array;           (* indexed by Isa.reg_index *)
+  mutable rip : int64;
+  mutable cf : bool;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable o_f : bool;
+  mutable pf : bool;
+  mem : Memory.t;
+  mutable halted : bool;
+  mutable steps : int;          (* instructions retired *)
+}
+
+let create mem = {
+  regs = Array.make 16 0L;
+  rip = 0L;
+  cf = false; zf = false; sf = false; o_f = false; pf = false;
+  mem;
+  halted = false;
+  steps = 0;
+}
+
+let copy t = {
+  regs = Array.copy t.regs;
+  rip = t.rip;
+  cf = t.cf; zf = t.zf; sf = t.sf; o_f = t.o_f; pf = t.pf;
+  mem = Memory.copy t.mem;
+  halted = t.halted;
+  steps = t.steps;
+}
+
+let get t r = t.regs.(reg_index r)
+let set t r v = t.regs.(reg_index r) <- v
+
+let flags t : Semantics.flags =
+  { cf = t.cf; zf = t.zf; sf = t.sf; o_f = t.o_f; pf = t.pf }
+
+let set_flags t (f : Semantics.flags) =
+  t.cf <- f.cf; t.zf <- f.zf; t.sf <- f.sf; t.o_f <- f.o_f; t.pf <- f.pf
+
+let pp fmt t =
+  let r n = get t n in
+  Format.fprintf fmt
+    "rip=%Lx rax=%Lx rbx=%Lx rcx=%Lx rdx=%Lx rsi=%Lx rdi=%Lx rbp=%Lx rsp=%Lx@\n\
+     r8=%Lx r9=%Lx r10=%Lx r11=%Lx r12=%Lx r13=%Lx r14=%Lx r15=%Lx cf=%b zf=%b sf=%b of=%b"
+    t.rip (r RAX) (r RBX) (r RCX) (r RDX) (r RSI) (r RDI) (r RBP) (r RSP)
+    (r R8) (r R9) (r R10) (r R11) (r R12) (r R13) (r R14) (r R15)
+    t.cf t.zf t.sf t.o_f

@@ -1,0 +1,110 @@
+(* Sparse paged byte-addressable memory.
+
+   Pages are allocated on first write (or on explicit [map]).  Reading an
+   unmapped byte raises {!Fault}: wild chain executions (e.g. the intentional
+   RSP corruption of predicate P2 under blind branch flipping) must terminate
+   the enclosing exploration rather than silently read zeros. *)
+
+exception Fault of int64 * string
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int64, bytes) Hashtbl.t;
+  mutable mapped_ranges : (int64 * int64) list;  (* inclusive start, exclusive end *)
+}
+
+let create () = { pages = Hashtbl.create 64; mapped_ranges = [] }
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) t.pages;
+  { pages; mapped_ranges = t.mapped_ranges }
+
+let page_of addr = Int64.shift_right_logical addr page_bits
+let offset_of addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
+
+let get_page_opt t addr = Hashtbl.find_opt t.pages (page_of addr)
+
+let get_page_for_write t addr =
+  let p = page_of addr in
+  match Hashtbl.find_opt t.pages p with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages p b;
+    b
+
+(* Pre-map [len] bytes starting at [addr] as zero-filled readable memory. *)
+let map t addr len =
+  if len > 0 then begin
+    let first = page_of addr in
+    let last = page_of (Int64.add addr (Int64.of_int (len - 1))) in
+    let p = ref first in
+    while Int64.compare !p last <= 0 do
+      (match Hashtbl.find_opt t.pages !p with
+       | Some _ -> ()
+       | None -> Hashtbl.replace t.pages !p (Bytes.make page_size '\000'));
+      p := Int64.add !p 1L
+    done;
+    t.mapped_ranges <- (addr, Int64.add addr (Int64.of_int len)) :: t.mapped_ranges
+  end
+
+let is_mapped t addr = get_page_opt t addr <> None
+
+let read_u8 t addr =
+  match get_page_opt t addr with
+  | Some b -> Char.code (Bytes.get b (offset_of addr))
+  | None -> raise (Fault (addr, "read of unmapped address"))
+
+let read_u8_opt t addr =
+  match get_page_opt t addr with
+  | Some b -> Some (Char.code (Bytes.get b (offset_of addr)))
+  | None -> None
+
+let write_u8 t addr v =
+  let b = get_page_for_write t addr in
+  Bytes.set b (offset_of addr) (Char.chr (v land 0xff))
+
+(* Little-endian load of [n] bytes (1, 2, 4 or 8). *)
+let read t addr n =
+  let r = ref 0L in
+  for i = n - 1 downto 0 do
+    let byte = read_u8 t (Int64.add addr (Int64.of_int i)) in
+    r := Int64.logor (Int64.shift_left !r 8) (Int64.of_int byte)
+  done;
+  !r
+
+(* Little-endian store of the low [n] bytes of [v]. *)
+let write t addr n v =
+  for i = 0 to n - 1 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+    write_u8 t (Int64.add addr (Int64.of_int i)) byte
+  done
+
+let read_u64 t addr = read t addr 8
+let write_u64 t addr v = write t addr 8 v
+
+(* Copy a byte string into memory at [addr], mapping pages as needed. *)
+let store_bytes t addr (b : bytes) =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.get b i))
+  done
+
+(* Read up to [n] contiguous mapped bytes starting at [addr]; stops early at
+   the first unmapped byte.  Used for instruction fetch windows. *)
+let read_bytes_avail t addr n =
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then ()
+    else
+      match read_u8_opt t (Int64.add addr (Int64.of_int i)) with
+      | Some v -> Buffer.add_char buf (Char.chr v); go (i + 1)
+      | None -> ()
+  in
+  go 0;
+  Buffer.to_bytes buf
+
+let read_string t addr len =
+  Bytes.to_string (read_bytes_avail t addr len)

@@ -1,0 +1,128 @@
+(* Width arithmetic and flag formulas shared by the concrete stepper.
+
+   All formulas are bitwise so that the symbolic engines (lib/symex) can
+   mirror them term-for-term; differential tests in test/ check the two
+   against each other on random operands. *)
+
+open X86.Isa
+
+let mask = function
+  | W8 -> 0xFFL
+  | W16 -> 0xFFFFL
+  | W32 -> 0xFFFFFFFFL
+  | W64 -> -1L
+
+let truncate w v = Int64.logand v (mask w)
+
+let sign_bit w v =
+  Int64.logand (Int64.shift_right_logical v (width_bits w - 1)) 1L = 1L
+
+(* Sign-extend a [w]-wide value to 64 bits. *)
+let sign_extend w v =
+  match w with
+  | W64 -> v
+  | _ ->
+    let bits = width_bits w in
+    let shifted = Int64.shift_left v (64 - bits) in
+    Int64.shift_right shifted (64 - bits)
+
+let parity v =
+  (* PF: even parity of the low byte. *)
+  let b = Int64.to_int (Int64.logand v 0xFFL) in
+  let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
+  pop 0 b land 1 = 0
+
+type flags = { cf : bool; zf : bool; sf : bool; o_f : bool; pf : bool }
+
+let flags_zsp w r = (truncate w r = 0L, sign_bit w r, parity r)
+
+(* Carry-out of r = a + b (+carry), all masked to width w: standard
+   bitwise formula, independent of how r was computed. *)
+let carry_out w a b r =
+  let m = Int64.logor (Int64.logand a b)
+            (Int64.logand (Int64.logor a b) (Int64.lognot r)) in
+  sign_bit w m
+
+(* Borrow-out of r = a - b (-borrow). *)
+let borrow_out w a b r =
+  let m = Int64.logor (Int64.logand (Int64.lognot a) b)
+            (Int64.logand (Int64.logor (Int64.lognot a) b) r) in
+  sign_bit w m
+
+let overflow_add w a b r =
+  sign_bit w (Int64.logand (Int64.logxor a r) (Int64.logxor b r))
+
+let overflow_sub w a b r =
+  sign_bit w (Int64.logand (Int64.logxor a b) (Int64.logxor a r))
+
+(* Unsigned and signed high halves of a 64x64 multiply. *)
+let mulhi_u a b =
+  let lo32 v = Int64.logand v 0xFFFFFFFFL in
+  let hi32 v = Int64.shift_right_logical v 32 in
+  let al = lo32 a and ah = hi32 a and bl = lo32 b and bh = hi32 b in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  let mid = Int64.add (Int64.add (hi32 ll) (lo32 lh)) (lo32 hl) in
+  Int64.add (Int64.add hh (hi32 mid)) (Int64.add (hi32 lh) (hi32 hl))
+
+let mulhi_s a b =
+  (* signed high = unsigned high - (a<0 ? b : 0) - (b<0 ? a : 0) *)
+  let h = mulhi_u a b in
+  let h = if Int64.compare a 0L < 0 then Int64.sub h b else h in
+  if Int64.compare b 0L < 0 then Int64.sub h a else h
+
+(* 128-by-64 unsigned division of hi:lo by d.  Returns (quotient, remainder).
+   Raises Division_by_zero when d = 0 and Failure on quotient overflow, which
+   the stepper converts into a machine fault (#DE). *)
+let divmod_u128 hi lo d =
+  if d = 0L then raise Division_by_zero;
+  if Int64.unsigned_compare hi d >= 0 then failwith "divide overflow";
+  (* bit-by-bit long division *)
+  let q = ref 0L and r = ref hi in
+  for i = 63 downto 0 do
+    let bit = Int64.logand (Int64.shift_right_logical lo i) 1L in
+    let r' = Int64.logor (Int64.shift_left !r 1) bit in
+    (* detect shift-out of r's top bit: r >= 2^63 before the shift *)
+    let shifted_out = Int64.compare !r 0L < 0 in
+    if shifted_out || Int64.unsigned_compare r' d >= 0 then begin
+      r := Int64.sub r' d;
+      q := Int64.logor !q (Int64.shift_left 1L i)
+    end else
+      r := r'
+  done;
+  (!q, !r)
+
+let neg128 hi lo =
+  let lo' = Int64.neg lo in
+  let hi' = Int64.lognot hi in
+  let hi' = if lo' = 0L then Int64.add hi' 1L else hi' in
+  (hi', lo')
+
+(* Signed 128-by-64 division with x86 idiv semantics. *)
+let divmod_s128 hi lo d =
+  if d = 0L then raise Division_by_zero;
+  let num_neg = Int64.compare hi 0L < 0 in
+  let d_neg = Int64.compare d 0L < 0 in
+  let hi, lo = if num_neg then neg128 hi lo else (hi, lo) in
+  let dm = if d_neg then Int64.neg d else d in
+  let q, r = divmod_u128 hi lo dm in
+  let q = if num_neg <> d_neg then Int64.neg q else q in
+  let r = if num_neg then Int64.neg r else r in
+  (* overflow check: signed quotient must fit 64 bits *)
+  if num_neg <> d_neg then begin
+    if Int64.compare q 0L > 0 then failwith "divide overflow"
+  end else if Int64.compare q 0L < 0 then failwith "divide overflow";
+  (q, r)
+
+(* Evaluate a condition code against a flag record. *)
+let cc_holds (f : flags) = function
+  | O -> f.o_f | NO -> not f.o_f
+  | B -> f.cf | AE -> not f.cf
+  | E -> f.zf | NE -> not f.zf
+  | BE -> f.cf || f.zf | A -> not (f.cf || f.zf)
+  | S -> f.sf | NS -> not f.sf
+  | P -> f.pf | NP -> not f.pf
+  | L -> f.sf <> f.o_f | GE -> f.sf = f.o_f
+  | LE -> f.zf || f.sf <> f.o_f | G -> not f.zf && f.sf = f.o_f

@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Int64 X86

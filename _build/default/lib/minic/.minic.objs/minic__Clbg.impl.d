@@ -1,0 +1,1 @@
+lib/minic/clbg.ml: Ast

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Asm Ast Bytes Hashtbl Image Int64 List Printf X86

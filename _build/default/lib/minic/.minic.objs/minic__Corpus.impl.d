@@ -1,0 +1,1 @@
+lib/minic/corpus.ml: Asm Ast Codegen Image List X86

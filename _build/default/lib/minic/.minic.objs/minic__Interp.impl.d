@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Ast Bytes Hashtbl Int64 List Machine Printf String X86

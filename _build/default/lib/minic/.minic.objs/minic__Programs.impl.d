@@ -1,0 +1,1 @@
+lib/minic/programs.ml: Array Ast Bytes Int64 String

@@ -1,0 +1,1 @@
+lib/minic/randomfuns.ml: Ast Int64 Interp List Printf Util

@@ -1,0 +1,111 @@
+(* Mini-C: the source language for programs we compile and then obfuscate.
+
+   It is deliberately C-shaped (the paper obfuscates gcc output): 64-bit
+   integer scalars with explicit narrow loads/stores and casts, local arrays,
+   globals, loops, switch (compiled to jump tables), and function calls.
+   Programs are built with the EDSL combinators at the bottom of this file;
+   there is no parser because every workload in the evaluation is generated
+   programmatically (RandomFuns, clbg analogs, base64, corpus). *)
+
+type width = X86.Isa.width
+
+type binop =
+  | Add | Sub | Mul | Divs | Divu | Rems | Remu
+  | Band | Bor | Bxor | Shl | Shr | Sar
+  | Eq | Ne | Lts | Les | Gts | Ges | Ltu | Leu | Gtu | Geu
+  | Land | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Const of int64
+  | Var of string
+  | Load of width * bool * expr        (* width, signed, address *)
+  | Addr_local of string               (* address of a local array *)
+  | Addr_global of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | Cast of width * bool * expr        (* truncate to width, then extend *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of width * expr * expr       (* width, address, value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt * expr * stmt * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Return of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+type func = {
+  fname : string;
+  params : string list;                (* 64-bit scalars, at most 6 *)
+  locals : string list;                (* 64-bit scalars *)
+  arrays : (string * int) list;        (* local buffers: name, size bytes *)
+  body : stmt list;
+}
+
+type global =
+  | G_bytes of string * string         (* initialized data *)
+  | G_zero of string * int
+  | G_quads of string * int64 list
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+(* ---- EDSL -------------------------------------------------------------- *)
+
+let c i = Const (Int64.of_int i)
+let c64 i = Const i
+let v n = Var n
+let band a b = Bin (Band, a, b)
+let bor a b = Bin (Bor, a, b)
+let bxor a b = Bin (Bxor, a, b)
+let shl a b = Bin (Shl, a, b)
+let shr a b = Bin (Shr, a, b)
+let sar a b = Bin (Sar, a, b)
+let neg a = Un (Neg, a)
+
+(* Symbolic operators shadow the stdlib ones; open locally where a program is
+   being described, never at file scope. *)
+module Infix = struct
+  let ( + ) a b = Bin (Add, a, b)
+  let ( - ) a b = Bin (Sub, a, b)
+  let ( * ) a b = Bin (Mul, a, b)
+  let ( / ) a b = Bin (Divs, a, b)
+  let ( % ) a b = Bin (Rems, a, b)
+  let ( /^ ) a b = Bin (Divu, a, b)
+  let ( %^ ) a b = Bin (Remu, a, b)
+  let ( == ) a b = Bin (Eq, a, b)
+  let ( != ) a b = Bin (Ne, a, b)
+  let ( < ) a b = Bin (Lts, a, b)
+  let ( <= ) a b = Bin (Les, a, b)
+  let ( > ) a b = Bin (Gts, a, b)
+  let ( >= ) a b = Bin (Ges, a, b)
+  let ( <^ ) a b = Bin (Ltu, a, b)
+  let ( >=^ ) a b = Bin (Geu, a, b)
+  let ( && ) a b = Bin (Land, a, b)
+  let ( || ) a b = Bin (Lor, a, b)
+end
+let bnot a = Un (Bnot, a)
+let lnot_ a = Un (Lnot, a)
+let byte e = Cast (X86.Isa.W8, false, e)          (* (unsigned char) e *)
+let sbyte e = Cast (X86.Isa.W8, true, e)
+let word32 e = Cast (X86.Isa.W32, false, e)
+let load8 a = Load (X86.Isa.W8, false, a)
+let load64 a = Load (X86.Isa.W64, false, a)
+let store8 a v = Store (X86.Isa.W8, a, v)
+let store64 a v = Store (X86.Isa.W64, a, v)
+let set n e = Assign (n, e)
+let call f args = Call (f, args)
+
+let func ?(params = []) ?(locals = []) ?(arrays = []) fname body =
+  { fname; params; locals; arrays; body }
+
+let program ?(globals = []) funcs = { globals; funcs }

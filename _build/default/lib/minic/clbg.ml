@@ -1,0 +1,318 @@
+(* The Computer Language Benchmarks Game analogs (§VII-C2, Figure 5 and
+   Table III).
+
+   Ten benchmarks mirroring the structure of the clbg/shootout programs the
+   paper measures.  Floating-point kernels (mandelbrot, n-body, sp-norm) use
+   16.16 fixed-point arithmetic: ROP-encoding overhead depends on
+   instruction mix and control shape, not on FP (DESIGN.md).  Each benchmark
+   exposes a [bench] function taking a size parameter and returning a
+   checksum so correctness is checkable across obfuscation configurations. *)
+
+open Ast
+
+let fx = 16  (* fixed-point fractional bits *)
+
+(* --- b-trees: allocation-heavy tree build/check (uses a bump allocator,
+   reproducing the malloc/free call pattern that makes it the worst case for
+   pivoting, §VII-C2) *)
+let btrees =
+  let alloc =
+    (* node = 24 bytes: left, right, item *)
+    func ~params:[ "item" ] ~locals:[ "p" ] "bt_alloc"
+      [ set "p" (load64 (Addr_global "heap_ptr"));
+        store64 (Addr_global "heap_ptr") (Bin (Add, v "p", c 24));
+        store64 (v "p") (c 0);
+        store64 (Bin (Add, v "p", c 8)) (c 0);
+        store64 (Bin (Add, v "p", c 16)) (v "item");
+        Return (v "p") ]
+  in
+  let build =
+    func ~params:[ "item"; "depth" ] ~locals:[ "n" ] "bt_build"
+      [ set "n" (call "bt_alloc" [ v "item" ]);
+        If (Bin (Gts, v "depth", c 0),
+            [ store64 (v "n")
+                (call "bt_build"
+                   [ Bin (Sub, Bin (Mul, v "item", c 2), c 1);
+                     Bin (Sub, v "depth", c 1) ]);
+              store64 (Bin (Add, v "n", c 8))
+                (call "bt_build"
+                   [ Bin (Mul, v "item", c 2); Bin (Sub, v "depth", c 1) ]) ],
+            []);
+        Return (v "n") ]
+  in
+  let check =
+    func ~params:[ "n" ] "bt_check"
+      [ If (Bin (Eq, load64 (v "n"), c 0),
+            [ Return (load64 (Bin (Add, v "n", c 16))) ],
+            [ Return
+                (Bin (Add, load64 (Bin (Add, v "n", c 16)),
+                      Bin (Sub,
+                           call "bt_check" [ load64 (v "n") ],
+                           call "bt_check" [ load64 (Bin (Add, v "n", c 8)) ]))) ]) ]
+  in
+  let bench =
+    func ~params:[ "n" ] ~locals:[ "d"; "sum"; "t" ] "bench"
+      [ set "sum" (c 0);
+        For (set "d" (c 1), Bin (Les, v "d", v "n"),
+             set "d" (Bin (Add, v "d", c 1)),
+             [ store64 (Addr_global "heap_ptr") (Addr_global "heap");
+               set "t" (call "bt_build" [ c 1; v "d" ]);
+               set "sum" (Bin (Add, v "sum", call "bt_check" [ v "t" ])) ]);
+        Return (v "sum") ]
+  in
+  program
+    ~globals:[ G_zero ("heap", 65536); G_quads ("heap_ptr", [ 0L ]) ]
+    [ alloc; build; check; bench ]
+
+(* --- fannkuch: permutation flipping over a small array *)
+let fannkuch =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "j"; "k"; "tmp"; "flips"; "sum"; "iter" ]
+        ~arrays:[ ("perm", 64) ] "bench"
+        [ set "sum" (c 0);
+          For (set "iter" (c 0), Bin (Lts, v "iter", v "n"),
+               set "iter" (Bin (Add, v "iter", c 1)),
+               [ (* perm = rotate(identity, iter) *)
+                 For (set "i" (c 0), Bin (Lts, v "i", c 7),
+                      set "i" (Bin (Add, v "i", c 1)),
+                      [ store8 (Bin (Add, Addr_local "perm", v "i"))
+                          (Bin (Rems, Bin (Add, v "i", v "iter"), c 7)) ]);
+                 set "flips" (c 0);
+                 set "k" (load8 (Addr_local "perm"));
+                 While (Bin (Ne, v "k", c 0),
+                        [ (* reverse perm[0..k] *)
+                          set "i" (c 0);
+                          set "j" (v "k");
+                          While (Bin (Lts, v "i", v "j"),
+                                 [ set "tmp" (load8 (Bin (Add, Addr_local "perm", v "i")));
+                                   store8 (Bin (Add, Addr_local "perm", v "i"))
+                                     (load8 (Bin (Add, Addr_local "perm", v "j")));
+                                   store8 (Bin (Add, Addr_local "perm", v "j")) (v "tmp");
+                                   set "i" (Bin (Add, v "i", c 1));
+                                   set "j" (Bin (Sub, v "j", c 1)) ]);
+                          set "flips" (Bin (Add, v "flips", c 1));
+                          If (Bin (Gts, v "flips", c 50), [ Break ], []);
+                          set "k" (load8 (Addr_local "perm")) ]);
+                 set "sum" (Bin (Add, v "sum", v "flips")) ]);
+          Return (v "sum") ] ]
+
+(* --- fasta: LCG-driven sequence generation *)
+let fasta =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "seed"; "c"; "sum" ]
+        ~arrays:[ ("buf", 256) ] "bench"
+        [ set "seed" (c 42);
+          set "sum" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", Bin (Mul, v "n", c 16)),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "seed"
+                   (Bin (Remu, Bin (Add, Bin (Mul, v "seed", c 3877), c 29573),
+                         c 139968));
+                 set "c" (Bin (Add, c 65, Bin (Remu, v "seed", c 26)));
+                 store8 (Bin (Add, Addr_local "buf", band (v "i") (c 0xFF))) (v "c");
+                 set "sum" (Bin (Add, v "sum", v "c")) ]);
+          Return (v "sum") ] ]
+
+(* --- fasta-redux: table-driven variant *)
+let fasta_redux =
+  program
+    ~globals:[ G_bytes ("codes", "ACGTacgtNRYKM___") ]
+    [ func ~params:[ "n" ] ~locals:[ "i"; "seed"; "c"; "sum" ] "bench"
+        [ set "seed" (c 123);
+          set "sum" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", Bin (Mul, v "n", c 16)),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "seed"
+                   (Bin (Remu, Bin (Add, Bin (Mul, v "seed", c 3877), c 29573),
+                         c 139968));
+                 set "c"
+                   (load8 (Bin (Add, Addr_global "codes",
+                                band (v "seed") (c 15))));
+                 set "sum" (bxor (Bin (Mul, v "sum", c 31)) (v "c")) ]);
+          Return (v "sum") ] ]
+
+(* --- mandelbrot: 16.16 fixed-point escape iteration *)
+let mandelbrot =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "px"; "py"; "x"; "y"; "x2"; "y2"; "it"; "cx"; "cy"; "sum" ]
+        "bench"
+        [ set "sum" (c 0);
+          For (set "py" (c 0), Bin (Lts, v "py", v "n"),
+               set "py" (Bin (Add, v "py", c 1)),
+               [ For (set "px" (c 0), Bin (Lts, v "px", v "n"),
+                      set "px" (Bin (Add, v "px", c 1)),
+                      [ set "cx"
+                          (Bin (Sub, Bin (Divs, Bin (Mul, shl (v "px") (c fx), c 3), v "n"),
+                                shl (c 2) (c fx)));
+                        set "cy"
+                          (Bin (Sub, Bin (Divs, Bin (Mul, shl (v "py") (c fx), c 2), v "n"),
+                                shl (c 1) (c fx)));
+                        set "x" (c 0); set "y" (c 0); set "it" (c 0);
+                        While (Bin (Lts, v "it", c 20),
+                               [ set "x2" (sar (Bin (Mul, v "x", v "x")) (c fx));
+                                 set "y2" (sar (Bin (Mul, v "y", v "y")) (c fx));
+                                 If (Bin (Gts, Bin (Add, v "x2", v "y2"),
+                                          shl (c 4) (c fx)),
+                                     [ Break ], []);
+                                 set "y"
+                                   (Bin (Add,
+                                         sar (Bin (Mul, shl (v "x") (c 1), v "y")) (c fx),
+                                         v "cy"));
+                                 set "x" (Bin (Add, Bin (Sub, v "x2", v "y2"), v "cx"));
+                                 set "it" (Bin (Add, v "it", c 1)) ]);
+                        set "sum" (Bin (Add, v "sum", v "it")) ]) ]);
+          Return (v "sum") ] ]
+
+(* --- n-body: fixed-point 2-body step loop *)
+let nbody =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "x1"; "y1"; "x2"; "y2"; "vx1"; "vy1"; "vx2"; "vy2"; "dx"; "dy"; "d2"; "f" ]
+        "bench"
+        [ set "x1" (shl (c 1) (c fx)); set "y1" (c 0);
+          set "x2" (neg (shl (c 1) (c fx))); set "y2" (shl (c 1) (c fx));
+          set "vx1" (c 0); set "vy1" (c 100); set "vx2" (c 0); set "vy2" (c (-100));
+          For (set "i" (c 0), Bin (Lts, v "i", Bin (Mul, v "n", c 10)),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "dx" (Bin (Sub, v "x2", v "x1"));
+                 set "dy" (Bin (Sub, v "y2", v "y1"));
+                 set "d2"
+                   (Bin (Add,
+                         sar (Bin (Mul, v "dx", v "dx")) (c fx),
+                         Bin (Add,
+                              sar (Bin (Mul, v "dy", v "dy")) (c fx),
+                              c 1)));
+                 set "f" (Bin (Divs, shl (c 1) (c (2 * fx)), v "d2"));
+                 set "vx1" (Bin (Add, v "vx1", sar (Bin (Mul, v "dx", v "f")) (c (fx + 6))));
+                 set "vy1" (Bin (Add, v "vy1", sar (Bin (Mul, v "dy", v "f")) (c (fx + 6))));
+                 set "vx2" (Bin (Sub, v "vx2", sar (Bin (Mul, v "dx", v "f")) (c (fx + 6))));
+                 set "vy2" (Bin (Sub, v "vy2", sar (Bin (Mul, v "dy", v "f")) (c (fx + 6))));
+                 set "x1" (Bin (Add, v "x1", sar (v "vx1") (c 8)));
+                 set "y1" (Bin (Add, v "y1", sar (v "vy1") (c 8)));
+                 set "x2" (Bin (Add, v "x2", sar (v "vx2") (c 8)));
+                 set "y2" (Bin (Add, v "y2", sar (v "vy2") (c 8))) ]);
+          Return (bxor (Bin (Add, v "x1", v "y2")) (Bin (Add, v "x2", v "y1"))) ] ]
+
+(* --- pidigits: iterative spigot-flavoured integer arithmetic *)
+let pidigits =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "q"; "r"; "t"; "k"; "digit"; "sum" ] "bench"
+        [ set "q" (c 1); set "r" (c 0); set "t" (c 1); set "k" (c 1);
+          set "sum" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "q" (band (Bin (Mul, v "q", v "k")) (c 0xFFFFFF));
+                 set "r" (band (Bin (Add, Bin (Mul, v "r", v "k"), v "q")) (c 0xFFFFFF));
+                 set "t" (band (Bin (Mul, v "t", Bin (Add, v "k", c 1))) (c 0xFFFFFF));
+                 set "digit"
+                   (Bin (Divu, Bin (Add, Bin (Mul, v "q", c 3), v "r"),
+                         Bin (Add, v "t", c 1)));
+                 set "sum" (Bin (Add, Bin (Mul, v "sum", c 10), band (v "digit") (c 9)));
+                 set "k" (Bin (Add, v "k", c 1)) ]);
+          Return (v "sum") ] ]
+
+(* --- regex-redux: naive pattern counting over a generated buffer *)
+let regex_redux =
+  program
+    [ func ~params:[ "hay"; "hlen"; "a"; "b" ] ~locals:[ "i"; "cnt" ] "count2"
+        [ set "cnt" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", Bin (Sub, v "hlen", c 1)),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ If (Bin (Land,
+                          Bin (Eq, load8 (Bin (Add, v "hay", v "i")), v "a"),
+                          Bin (Eq, load8 (Bin (Add, v "hay", Bin (Add, v "i", c 1))), v "b")),
+                     [ set "cnt" (Bin (Add, v "cnt", c 1)) ], []) ]);
+          Return (v "cnt") ];
+      func ~params:[ "n" ] ~locals:[ "i"; "seed"; "total" ] ~arrays:[ ("buf", 128) ] "bench"
+        [ set "seed" (c 7);
+          For (set "i" (c 0), Bin (Lts, v "i", c 128),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "seed" (band (Bin (Add, Bin (Mul, v "seed", c 1103515245), c 12345))
+                               (c 0x7FFFFFFF));
+                 store8 (Bin (Add, Addr_local "buf", v "i"))
+                   (Bin (Add, c 97, band (v "seed") (c 3))) ]);
+          set "total" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "total"
+                   (Bin (Add, v "total",
+                         Bin (Add,
+                              call "count2" [ Addr_local "buf"; c 128; c 97; c 98 ],
+                              call "count2" [ Addr_local "buf"; c 128; c 99; c 97 ]))) ]);
+          Return (v "total") ] ]
+
+(* --- rev-comp: reverse complement with a lookup table *)
+let revcomp =
+  program
+    ~globals:
+      [ G_bytes
+          ("comp",
+           (* complement table for A..Z at offsets 0..25 *)
+           "TVGHEFCDIJMLKNOPQYSAABWXRZ") ]
+    [ func ~params:[ "n" ] ~locals:[ "i"; "j"; "seed"; "t"; "sum" ]
+        ~arrays:[ ("buf", 128) ] "bench"
+        [ set "seed" (c 99);
+          For (set "i" (c 0), Bin (Lts, v "i", c 128),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "seed" (band (Bin (Add, Bin (Mul, v "seed", c 75), c 74)) (c 0xFFFF));
+                 store8 (Bin (Add, Addr_local "buf", v "i"))
+                   (Bin (Add, c 65, Bin (Remu, v "seed", c 26))) ]);
+          set "sum" (c 0);
+          For (set "t" (c 0), Bin (Lts, v "t", v "n"),
+               set "t" (Bin (Add, v "t", c 1)),
+               [ set "i" (c 0); set "j" (c 127);
+                 While (Bin (Lts, v "i", v "j"),
+                        [ set "sum"
+                            (Bin (Add, v "sum",
+                                  load8
+                                    (Bin (Add, Addr_global "comp",
+                                          Bin (Sub,
+                                               load8 (Bin (Add, Addr_local "buf", v "i")),
+                                               c 65)))));
+                          set "i" (Bin (Add, v "i", c 1));
+                          set "j" (Bin (Sub, v "j", c 1)) ]) ]);
+          Return (v "sum") ] ]
+
+(* --- sp-norm: tight loop calling a short-lived subroutine (the pivoting
+   worst case called out in §VII-C2) *)
+let spnorm =
+  program
+    [ func ~params:[ "i"; "j" ] "eval_a"
+        [ Return
+            (Bin (Divs, shl (c 1) (c fx),
+                  Bin (Add,
+                       Bin (Add,
+                            Bin (Divs,
+                                 Bin (Mul, Bin (Add, v "i", v "j"),
+                                      Bin (Add, Bin (Add, v "i", v "j"), c 1)),
+                                 c 2),
+                            v "i"),
+                       c 1))) ];
+      func ~params:[ "n" ] ~locals:[ "i"; "j"; "acc" ] "bench"
+        [ set "acc" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ For (set "j" (c 0), Bin (Lts, v "j", v "n"),
+                      set "j" (Bin (Add, v "j", c 1)),
+                      [ set "acc" (Bin (Add, v "acc", call "eval_a" [ v "i"; v "j" ])) ]) ]);
+          Return (v "acc") ] ]
+
+(* All ten benchmarks with the function(s) the rewriter should obfuscate and
+   a default size parameter for measurements. *)
+let all : (string * program * string list * int64) list =
+  [ ("b-trees", btrees, [ "bench"; "bt_build"; "bt_check"; "bt_alloc" ], 6L);
+    ("fannkuch", fannkuch, [ "bench" ], 20L);
+    ("fasta", fasta, [ "bench" ], 16L);
+    ("fasta-redux", fasta_redux, [ "bench" ], 16L);
+    ("mandelbrot", mandelbrot, [ "bench" ], 12L);
+    ("n-body", nbody, [ "bench" ], 16L);
+    ("pidigits", pidigits, [ "bench" ], 60L);
+    ("regex-redux", regex_redux, [ "bench"; "count2" ], 4L);
+    ("rev-comp", revcomp, [ "bench" ], 8L);
+    ("sp-norm", spnorm, [ "bench"; "eval_a" ], 10L) ]
+
+(* Smaller arguments used when measuring the (very slow) nested-VM baseline:
+   the per-instruction slowdown ratio is size-independent. *)
+let vm_args : (string * int64) list =
+  [ ("b-trees", 3L); ("fannkuch", 4L); ("fasta", 2L); ("fasta-redux", 2L);
+    ("mandelbrot", 3L); ("n-body", 2L); ("pidigits", 10L);
+    ("regex-redux", 1L); ("rev-comp", 1L); ("sp-norm", 3L) ]

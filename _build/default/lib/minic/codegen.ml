@@ -1,0 +1,336 @@
+(* Compiler from mini-C to x64-lite.
+
+   The generated code is intentionally "compiler-shaped": rbp frames, frame
+   slots for every variable, RAX-centric expression evaluation with stack
+   temporaries, setcc/movzx for comparisons, jump tables for dense switches
+   (the pattern Ghidra-style CFG reconstruction in lib/analysis recognizes),
+   and leave/ret epilogues.  This is the input shape the ROP rewriter
+   consumes, mirroring the gcc -O1 output the paper rewrites. *)
+
+open X86.Isa
+module A = Asm
+
+exception Compile_error of string
+
+type env = {
+  slots : (string, int) Hashtbl.t;     (* var -> rbp-relative offset (>0) *)
+  arrays : (string, int) Hashtbl.t;    (* array -> rbp-relative offset *)
+  frame_size : int;
+  mutable next_label : int;
+  fname : string;
+  mutable out : A.item list;           (* reversed *)
+  mutable tables : A.item list;        (* reversed; emitted after the body *)
+  mutable loop_stack : (string * string) list;  (* break, continue labels *)
+}
+
+let emit env i = env.out <- i :: env.out
+
+let fresh env prefix =
+  let n = env.next_label in
+  env.next_label <- n + 1;
+  Printf.sprintf ".L%s_%s%d" env.fname prefix n
+
+let slot env name =
+  match Hashtbl.find_opt env.slots name with
+  | Some off -> off
+  | None -> raise (Compile_error (Printf.sprintf "%s: unknown variable %s" env.fname name))
+
+let var_mem env name = mem_b RBP (- slot env name)
+
+let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
+
+(* Binary operator lowering; left operand in RAX, right in RCX, result in
+   RAX. *)
+let emit_binop env op =
+  let cmp cc =
+    emit env (A.Ins (Alu (Cmp, W64, Reg RAX, Reg RCX)));
+    emit env (A.Ins (Setcc (cc, Reg RAX)));
+    emit env (A.Ins (Movzx (W64, W8, RAX, Reg RAX)))
+  in
+  match op with
+  | Ast.Add -> emit env (A.Ins (Alu (Add, W64, Reg RAX, Reg RCX)))
+  | Ast.Sub -> emit env (A.Ins (Alu (Sub, W64, Reg RAX, Reg RCX)))
+  | Ast.Mul -> emit env (A.Ins (Imul2 (W64, RAX, Reg RCX)))
+  | Ast.Divs | Ast.Rems ->
+    emit env (A.Ins (Mov (W64, Reg RDX, Reg RAX)));
+    emit env (A.Ins (Shift (Sar, W64, Reg RDX, S_imm 63)));
+    emit env (A.Ins (MulDiv (Idiv, Reg RCX)));
+    if op = Ast.Rems then emit env (A.Ins (Mov (W64, Reg RAX, Reg RDX)))
+  | Ast.Divu | Ast.Remu ->
+    emit env (A.Ins (Mov (W64, Reg RDX, Imm 0L)));
+    emit env (A.Ins (MulDiv (Div, Reg RCX)));
+    if op = Ast.Remu then emit env (A.Ins (Mov (W64, Reg RAX, Reg RDX)))
+  | Ast.Band -> emit env (A.Ins (Alu (And, W64, Reg RAX, Reg RCX)))
+  | Ast.Bor -> emit env (A.Ins (Alu (Or, W64, Reg RAX, Reg RCX)))
+  | Ast.Bxor -> emit env (A.Ins (Alu (Xor, W64, Reg RAX, Reg RCX)))
+  | Ast.Shl -> emit env (A.Ins (Shift (Shl, W64, Reg RAX, S_cl)))
+  | Ast.Shr -> emit env (A.Ins (Shift (Shr, W64, Reg RAX, S_cl)))
+  | Ast.Sar -> emit env (A.Ins (Shift (Sar, W64, Reg RAX, S_cl)))
+  | Ast.Eq -> cmp E
+  | Ast.Ne -> cmp NE
+  | Ast.Lts -> cmp L
+  | Ast.Les -> cmp LE
+  | Ast.Gts -> cmp G
+  | Ast.Ges -> cmp GE
+  | Ast.Ltu -> cmp B
+  | Ast.Leu -> cmp BE
+  | Ast.Gtu -> cmp A
+  | Ast.Geu -> cmp AE
+  | Ast.Land | Ast.Lor -> assert false  (* handled in emit_expr *)
+
+let rec emit_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Const v -> emit env (A.Ins (Mov (W64, Reg RAX, Imm v)))
+  | Ast.Var n -> emit env (A.Ins (Mov (W64, Reg RAX, Mem (var_mem env n))))
+  | Ast.Addr_local n ->
+    (match Hashtbl.find_opt env.arrays n with
+     | Some off -> emit env (A.Ins (Lea (RAX, mem_b RBP (-off))))
+     | None ->
+       raise (Compile_error (Printf.sprintf "%s: unknown array %s" env.fname n)))
+  | Ast.Addr_global n -> emit env (A.Lea_s (RAX, n))
+  | Ast.Load (w, signed, a) ->
+    emit_expr env a;
+    (match w, signed with
+     | W64, _ -> emit env (A.Ins (Mov (W64, Reg RAX, Mem (mem_b RAX 0))))
+     | w, false -> emit env (A.Ins (Movzx (W64, w, RAX, Mem (mem_b RAX 0))))
+     | w, true -> emit env (A.Ins (Movsx (W64, w, RAX, Mem (mem_b RAX 0)))))
+  | Ast.Bin (Ast.Land, a, b) ->
+    let lfalse = fresh env "andf" and lend = fresh env "ande" in
+    emit_expr env a;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (E, lfalse));
+    emit_expr env b;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (E, lfalse));
+    emit env (A.Ins (Mov (W64, Reg RAX, Imm 1L)));
+    emit env (A.Jmp_l lend);
+    emit env (A.Label lfalse);
+    emit env (A.Ins (Mov (W64, Reg RAX, Imm 0L)));
+    emit env (A.Label lend)
+  | Ast.Bin (Ast.Lor, a, b) ->
+    let ltrue = fresh env "ort" and lend = fresh env "ore" in
+    emit_expr env a;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (NE, ltrue));
+    emit_expr env b;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (NE, ltrue));
+    emit env (A.Ins (Mov (W64, Reg RAX, Imm 0L)));
+    emit env (A.Jmp_l lend);
+    emit env (A.Label ltrue);
+    emit env (A.Ins (Mov (W64, Reg RAX, Imm 1L)));
+    emit env (A.Label lend)
+  | Ast.Bin (op, a, b) ->
+    emit_expr env a;
+    emit env (A.Ins (Push (Reg RAX)));
+    emit_expr env b;
+    emit env (A.Ins (Mov (W64, Reg RCX, Reg RAX)));
+    emit env (A.Ins (Pop (Reg RAX)));
+    emit_binop env op
+  | Ast.Un (Ast.Neg, a) ->
+    emit_expr env a;
+    emit env (A.Ins (Unary (Neg, W64, Reg RAX)))
+  | Ast.Un (Ast.Bnot, a) ->
+    emit_expr env a;
+    emit env (A.Ins (Unary (Not, W64, Reg RAX)))
+  | Ast.Un (Ast.Lnot, a) ->
+    emit_expr env a;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Ins (Setcc (E, Reg RAX)));
+    emit env (A.Ins (Movzx (W64, W8, RAX, Reg RAX)))
+  | Ast.Call (f, args) ->
+    if List.length args > 6 then
+      raise (Compile_error (Printf.sprintf "%s: call to %s with >6 args" env.fname f));
+    List.iter
+      (fun a ->
+         emit_expr env a;
+         emit env (A.Ins (Push (Reg RAX))))
+      args;
+    (* pop into argument registers, last arg first *)
+    let n = List.length args in
+    for i = n - 1 downto 0 do
+      emit env (A.Ins (Pop (Reg (List.nth arg_regs i))))
+    done;
+    emit env (A.Call_s f)
+  | Ast.Cast (W64, _, a) -> emit_expr env a
+  | Ast.Cast (w, false, a) ->
+    emit_expr env a;
+    emit env (A.Ins (Movzx (W64, w, RAX, Reg RAX)))
+  | Ast.Cast (w, true, a) ->
+    emit_expr env a;
+    emit env (A.Ins (Movsx (W64, w, RAX, Reg RAX)))
+
+let rec emit_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (n, e) ->
+    emit_expr env e;
+    emit env (A.Ins (Mov (W64, Mem (var_mem env n), Reg RAX)))
+  | Ast.Store (w, a, value) ->
+    emit_expr env a;
+    emit env (A.Ins (Push (Reg RAX)));
+    emit_expr env value;
+    emit env (A.Ins (Mov (W64, Reg RCX, Reg RAX)));
+    emit env (A.Ins (Pop (Reg RAX)));
+    emit env (A.Ins (Mov (w, Mem (mem_b RAX 0), Reg RCX)))
+  | Ast.If (cond, then_, else_) ->
+    let lelse = fresh env "else" and lend = fresh env "fi" in
+    emit_expr env cond;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (E, lelse));
+    List.iter (emit_stmt env) then_;
+    emit env (A.Jmp_l lend);
+    emit env (A.Label lelse);
+    List.iter (emit_stmt env) else_;
+    emit env (A.Label lend)
+  | Ast.While (cond, body) ->
+    let lhead = fresh env "wh" and lend = fresh env "we" in
+    emit env (A.Label lhead);
+    emit_expr env cond;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (E, lend));
+    env.loop_stack <- (lend, lhead) :: env.loop_stack;
+    List.iter (emit_stmt env) body;
+    env.loop_stack <- List.tl env.loop_stack;
+    emit env (A.Jmp_l lhead);
+    emit env (A.Label lend)
+  | Ast.Do_while (body, cond) ->
+    let lhead = fresh env "dw" and lcont = fresh env "dc" and lend = fresh env "de" in
+    emit env (A.Label lhead);
+    env.loop_stack <- (lend, lcont) :: env.loop_stack;
+    List.iter (emit_stmt env) body;
+    env.loop_stack <- List.tl env.loop_stack;
+    emit env (A.Label lcont);
+    emit_expr env cond;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (NE, lhead));
+    emit env (A.Label lend)
+  | Ast.For (init, cond, step, body) ->
+    let lhead = fresh env "fh" and lcont = fresh env "fc" and lend = fresh env "fe" in
+    emit_stmt env init;
+    emit env (A.Label lhead);
+    emit_expr env cond;
+    emit env (A.Ins (Alu (Test, W64, Reg RAX, Reg RAX)));
+    emit env (A.Jcc_l (E, lend));
+    env.loop_stack <- (lend, lcont) :: env.loop_stack;
+    List.iter (emit_stmt env) body;
+    env.loop_stack <- List.tl env.loop_stack;
+    emit env (A.Label lcont);
+    emit_stmt env step;
+    emit env (A.Jmp_l lhead);
+    emit env (A.Label lend)
+  | Ast.Switch (scrut, cases, default) ->
+    emit_expr env scrut;
+    let lend = fresh env "se" and ldef = fresh env "sd" in
+    let case_labels = List.map (fun (k, _) -> (k, fresh env "sc")) cases in
+    let ks = List.map fst cases in
+    let kmin = List.fold_left min max_int ks
+    and kmax = List.fold_left max min_int ks in
+    let dense =
+      List.length cases >= 4 && kmax - kmin < 2 * List.length cases + 8
+    in
+    if dense then begin
+      (* jump table: the pattern recognized by Analysis.Jumptables *)
+      let ltab = fresh env "jt" in
+      if kmin <> 0 then emit env (A.Ins (Alu (Sub, W64, Reg RAX, Imm (Int64.of_int kmin))));
+      emit env (A.Ins (Alu (Cmp, W64, Reg RAX, Imm (Int64.of_int (kmax - kmin)))));
+      emit env (A.Jcc_l (A, ldef));
+      emit env (A.Lea_l (RCX, ltab));
+      emit env (A.Ins (Mov (W64, Reg RAX, Mem { base = Some RCX; index = Some (RAX, 8); disp = 0L })));
+      emit env (A.Ins (Jmp (J_op (Reg RAX))));
+      (* table rows *)
+      let rows = ref [] in
+      for k = kmax downto kmin do
+        let l = try List.assoc k case_labels with Not_found -> ldef in
+        rows := A.Quad_l l :: !rows
+      done;
+      env.tables <- List.rev_append (A.Label ltab :: !rows) env.tables
+    end else begin
+      List.iter
+        (fun (k, l) ->
+           emit env (A.Ins (Alu (Cmp, W64, Reg RAX, Imm (Int64.of_int k))));
+           emit env (A.Jcc_l (E, l)))
+        case_labels;
+      emit env (A.Jmp_l ldef)
+    end;
+    env.loop_stack <- (lend, "") :: env.loop_stack;
+    List.iter
+      (fun (k, body) ->
+         emit env (A.Label (List.assoc k case_labels));
+         List.iter (emit_stmt env) body;
+         emit env (A.Jmp_l lend))
+      cases;
+    emit env (A.Label ldef);
+    List.iter (emit_stmt env) default;
+    env.loop_stack <- List.tl env.loop_stack;
+    emit env (A.Label lend)
+  | Ast.Return e ->
+    emit_expr env e;
+    emit env (A.Ins Leave);
+    emit env (A.Ins Ret)
+  | Ast.Expr e -> emit_expr env e
+  | Ast.Break ->
+    (match env.loop_stack with
+     | (lend, _) :: _ -> emit env (A.Jmp_l lend)
+     | [] -> raise (Compile_error (env.fname ^ ": break outside loop")))
+  | Ast.Continue ->
+    (match env.loop_stack with
+     | (_, "") :: rest ->
+       (* continue skips switch scopes *)
+       (match rest with
+        | (_, lcont) :: _ -> emit env (A.Jmp_l lcont)
+        | [] -> raise (Compile_error (env.fname ^ ": continue outside loop")))
+     | (_, lcont) :: _ -> emit env (A.Jmp_l lcont)
+     | [] -> raise (Compile_error (env.fname ^ ": continue outside loop")))
+
+let align8 n = (n + 7) land lnot 7
+
+let compile_func (f : Ast.func) : A.item list =
+  let slots = Hashtbl.create 16 in
+  let arrays = Hashtbl.create 4 in
+  let off = ref 0 in
+  List.iter
+    (fun p ->
+       off := !off + 8;
+       Hashtbl.replace slots p !off)
+    (f.params @ f.locals);
+  List.iter
+    (fun (name, size) ->
+       off := align8 (!off + size);
+       Hashtbl.replace arrays name !off)
+    f.arrays;
+  let frame_size = align8 !off in
+  let env =
+    { slots; arrays; frame_size; next_label = 0; fname = f.fname;
+      out = []; tables = []; loop_stack = [] }
+  in
+  (* prologue *)
+  emit env (A.Ins (Push (Reg RBP)));
+  emit env (A.Ins (Mov (W64, Reg RBP, Reg RSP)));
+  if frame_size > 0 then
+    emit env (A.Ins (Alu (Sub, W64, Reg RSP, Imm (Int64.of_int frame_size))));
+  (* spill parameters *)
+  List.iteri
+    (fun i p ->
+       if i >= 6 then raise (Compile_error (f.fname ^ ": more than 6 parameters"));
+       emit env (A.Ins (Mov (W64, Mem (var_mem env p), Reg (List.nth arg_regs i)))))
+    f.params;
+  List.iter (emit_stmt env) f.body;
+  (* implicit return 0 *)
+  emit env (A.Ins (Mov (W64, Reg RAX, Imm 0L)));
+  emit env (A.Ins Leave);
+  emit env (A.Ins Ret);
+  List.rev_append env.out (List.rev env.tables)
+
+let compile_global (g : Ast.global) : string * A.data_item list =
+  match g with
+  | Ast.G_bytes (n, s) -> (n, [ A.D_bytes (Bytes.of_string s) ])
+  | Ast.G_zero (n, size) -> (n, [ A.D_zero size ])
+  | Ast.G_quads (n, qs) -> (n, List.map (fun q -> A.D_quad q) qs)
+
+(* Compile a whole program into a linked image. *)
+let compile (p : Ast.program) : Image.t =
+  let u : A.unit_ =
+    { A.u_functions = List.map (fun f -> (f.Ast.fname, compile_func f)) p.funcs;
+      A.u_data = List.map compile_global p.globals }
+  in
+  A.link u

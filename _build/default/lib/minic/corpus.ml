@@ -1,0 +1,275 @@
+(* A heterogeneous function corpus standing in for the coreutils code base of
+   the deployability study (§VII-C1): string routines, checksums, sorting,
+   searching, bit manipulation, parsing and table-driven code, plus a few
+   pathological hand-written assembly functions that exercise the rewriter's
+   documented failure modes (push rsp-style stack tricks, bodies smaller
+   than the pivoting stub). *)
+
+open Ast
+
+let u8 e = band e (c 0xFF)
+
+let funcs : func list =
+  [ func ~params:[ "s" ] ~locals:[ "n" ] "strlen_"
+      [ set "n" (c 0);
+        While (Bin (Ne, load8 (Bin (Add, v "s", v "n")), c 0),
+               [ set "n" (Bin (Add, v "n", c 1)) ]);
+        Return (v "n") ];
+    func ~params:[ "d"; "s" ] ~locals:[ "i"; "ch" ] "strcpy_"
+      [ set "i" (c 0);
+        set "ch" (load8 (v "s"));
+        While (Bin (Ne, v "ch", c 0),
+               [ store8 (Bin (Add, v "d", v "i")) (v "ch");
+                 set "i" (Bin (Add, v "i", c 1));
+                 set "ch" (load8 (Bin (Add, v "s", v "i"))) ]);
+        store8 (Bin (Add, v "d", v "i")) (c 0);
+        Return (v "i") ];
+    func ~params:[ "a"; "b" ] ~locals:[ "i"; "ca"; "cb" ] "strcmp_"
+      [ set "i" (c 0);
+        While (c 1,
+               [ set "ca" (load8 (Bin (Add, v "a", v "i")));
+                 set "cb" (load8 (Bin (Add, v "b", v "i")));
+                 If (Bin (Ne, v "ca", v "cb"),
+                     [ Return (Bin (Sub, v "ca", v "cb")) ], []);
+                 If (Bin (Eq, v "ca", c 0), [ Return (c 0) ], []);
+                 set "i" (Bin (Add, v "i", c 1)) ]);
+        Return (c 0) ];
+    func ~params:[ "p"; "val"; "n" ] ~locals:[ "i" ] "memset_"
+      [ For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ store8 (Bin (Add, v "p", v "i")) (v "val") ]);
+        Return (v "p") ];
+    func ~params:[ "a"; "b"; "n" ] ~locals:[ "i"; "d" ] "memcmp_"
+      [ For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "d" (Bin (Sub, load8 (Bin (Add, v "a", v "i")),
+                             load8 (Bin (Add, v "b", v "i"))));
+               If (Bin (Ne, v "d", c 0), [ Return (v "d") ], []) ]);
+        Return (c 0) ];
+    func ~params:[ "s" ] ~locals:[ "r"; "ch"; "i"; "sign" ] "atoi_"
+      [ set "r" (c 0); set "i" (c 0); set "sign" (c 1);
+        If (Bin (Eq, load8 (v "s"), c 45),
+            [ set "sign" (c (-1)); set "i" (c 1) ], []);
+        set "ch" (load8 (Bin (Add, v "s", v "i")));
+        While (Bin (Land, Bin (Ges, v "ch", c 48), Bin (Les, v "ch", c 57)),
+               [ set "r" (Bin (Add, Bin (Mul, v "r", c 10), Bin (Sub, v "ch", c 48)));
+                 set "i" (Bin (Add, v "i", c 1));
+                 set "ch" (load8 (Bin (Add, v "s", v "i"))) ]);
+        Return (Bin (Mul, v "sign", v "r")) ];
+    func ~params:[ "ch" ] "toupper_"
+      [ If (Bin (Land, Bin (Ges, v "ch", c 97), Bin (Les, v "ch", c 122)),
+            [ Return (Bin (Sub, v "ch", c 32)) ], [ Return (v "ch") ]) ];
+    func ~params:[ "ch" ] "isdigit_"
+      [ Return (Bin (Land, Bin (Ges, v "ch", c 48), Bin (Les, v "ch", c 57))) ];
+    func ~params:[ "p"; "n" ] ~locals:[ "h"; "i" ] "djb2_"
+      [ set "h" (c 5381);
+        For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "h" (Bin (Add, Bin (Mul, v "h", c 33),
+                             load8 (Bin (Add, v "p", v "i")))) ]);
+        Return (v "h") ];
+    func ~params:[ "p"; "n" ] ~locals:[ "h"; "i" ] "fnv_"
+      [ set "h" (c64 0xcbf29ce484222325L);
+        For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "h" (bxor (v "h") (load8 (Bin (Add, v "p", v "i"))));
+               set "h" (Bin (Mul, v "h", c64 0x100000001b3L)) ]);
+        Return (v "h") ];
+    func ~params:[ "p"; "n" ] ~locals:[ "a"; "b"; "i" ] "adler_"
+      [ set "a" (c 1); set "b" (c 0);
+        For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "a" (Bin (Remu, Bin (Add, v "a", load8 (Bin (Add, v "p", v "i"))), c 65521));
+               set "b" (Bin (Remu, Bin (Add, v "b", v "a"), c 65521)) ]);
+        Return (bor (shl (v "b") (c 16)) (v "a")) ];
+    func ~params:[ "p"; "n" ] ~locals:[ "i"; "j"; "t1"; "t2" ] "bubble_sort_"
+      [ For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ For (set "j" (c 0), Bin (Lts, v "j", Bin (Sub, v "n", c 1)),
+                    set "j" (Bin (Add, v "j", c 1)),
+                    [ set "t1" (load8 (Bin (Add, v "p", v "j")));
+                      set "t2" (load8 (Bin (Add, v "p", Bin (Add, v "j", c 1))));
+                      If (Bin (Gts, v "t1", v "t2"),
+                          [ store8 (Bin (Add, v "p", v "j")) (v "t2");
+                            store8 (Bin (Add, v "p", Bin (Add, v "j", c 1))) (v "t1") ],
+                          []) ]) ]);
+        Return (c 0) ];
+    func ~params:[ "p"; "n"; "key" ] ~locals:[ "lo"; "hi"; "mid"; "x" ] "bsearch_"
+      [ set "lo" (c 0); set "hi" (Bin (Sub, v "n", c 1));
+        While (Bin (Les, v "lo", v "hi"),
+               [ set "mid" (Bin (Divs, Bin (Add, v "lo", v "hi"), c 2));
+                 set "x" (load8 (Bin (Add, v "p", v "mid")));
+                 If (Bin (Eq, v "x", v "key"), [ Return (v "mid") ], []);
+                 If (Bin (Lts, v "x", v "key"),
+                     [ set "lo" (Bin (Add, v "mid", c 1)) ],
+                     [ set "hi" (Bin (Sub, v "mid", c 1)) ]) ]);
+        Return (c (-1)) ];
+    func ~params:[ "x" ] ~locals:[ "n" ] "popcount_"
+      [ set "n" (c 0);
+        While (Bin (Ne, v "x", c 0),
+               [ set "x" (band (v "x") (Bin (Sub, v "x", c 1)));
+                 set "n" (Bin (Add, v "n", c 1)) ]);
+        Return (v "n") ];
+    func ~params:[ "a"; "b" ] ~locals:[ "t" ] "gcd_"
+      [ While (Bin (Ne, v "b", c 0),
+               [ set "t" (Bin (Remu, v "a", v "b"));
+                 set "a" (v "b");
+                 set "b" (v "t") ]);
+        Return (v "a") ];
+    func ~params:[ "x" ] ~locals:[ "r"; "bit" ] "isqrt_"
+      [ set "r" (c 0); set "bit" (shl (c 1) (c 30));
+        While (Bin (Gtu, v "bit", v "x"), [ set "bit" (shr (v "bit") (c 2)) ]);
+        While (Bin (Ne, v "bit", c 0),
+               [ If (Bin (Geu, v "x", Bin (Add, v "r", v "bit")),
+                     [ set "x" (Bin (Sub, v "x", Bin (Add, v "r", v "bit")));
+                       set "r" (Bin (Add, shr (v "r") (c 1), v "bit")) ],
+                     [ set "r" (shr (v "r") (c 1)) ]);
+                 set "bit" (shr (v "bit") (c 2)) ]);
+        Return (v "r") ];
+    func ~params:[ "x" ] ~locals:[ "r"; "i" ] "revbits_"
+      [ set "r" (c 0);
+        For (set "i" (c 0), Bin (Lts, v "i", c 32), set "i" (Bin (Add, v "i", c 1)),
+             [ set "r" (bor (shl (v "r") (c 1)) (band (shr (v "x") (v "i")) (c 1))) ]);
+        Return (v "r") ];
+    func ~params:[ "ch" ] "hexval_"
+      [ Switch (v "ch",
+                [ (48, [ Return (c 0) ]); (49, [ Return (c 1) ]);
+                  (50, [ Return (c 2) ]); (51, [ Return (c 3) ]);
+                  (52, [ Return (c 4) ]); (53, [ Return (c 5) ]);
+                  (54, [ Return (c 6) ]); (55, [ Return (c 7) ]);
+                  (56, [ Return (c 8) ]); (57, [ Return (c 9) ]) ],
+                [ If (Bin (Land, Bin (Ges, v "ch", c 97), Bin (Les, v "ch", c 102)),
+                      [ Return (Bin (Add, Bin (Sub, v "ch", c 97), c 10)) ],
+                      [ Return (c (-1)) ]) ]) ];
+    func ~params:[ "kind" ] "mode_name_"
+      [ Switch (v "kind",
+                [ (0, [ Return (c 100) ]); (1, [ Return (c 108) ]);
+                  (2, [ Return (c 99) ]); (3, [ Return (c 98) ]);
+                  (4, [ Return (c 112) ]); (5, [ Return (c 115) ]) ],
+                [ Return (c 63) ]) ];
+    func ~params:[ "x"; "lo"; "hi" ] "clamp_"
+      [ If (Bin (Lts, v "x", v "lo"), [ Return (v "lo") ], []);
+        If (Bin (Gts, v "x", v "hi"), [ Return (v "hi") ], []);
+        Return (v "x") ];
+    func ~params:[ "n" ] ~locals:[ "a"; "b"; "i"; "t" ] "fib_iter_"
+      [ set "a" (c 0); set "b" (c 1);
+        For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "t" (Bin (Add, v "a", v "b")); set "a" (v "b"); set "b" (v "t") ]);
+        Return (v "a") ];
+    func ~params:[ "p"; "n" ] ~locals:[ "i"; "cnt"; "inword"; "ch" ] "wc_words_"
+      [ set "cnt" (c 0); set "inword" (c 0);
+        For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "ch" (load8 (Bin (Add, v "p", v "i")));
+               If (Bin (Lor, Bin (Eq, v "ch", c 32), Bin (Eq, v "ch", c 10)),
+                   [ set "inword" (c 0) ],
+                   [ If (Bin (Eq, v "inword", c 0),
+                         [ set "cnt" (Bin (Add, v "cnt", c 1));
+                           set "inword" (c 1) ],
+                         []) ]) ]);
+        Return (v "cnt") ];
+    func ~params:[ "x" ] ~locals:[ "d"; "cnt" ] "digits_"
+      [ set "cnt" (c 1); set "d" (v "x");
+        While (Bin (Geu, v "d", c 10),
+               [ set "d" (Bin (Divu, v "d", c 10));
+                 set "cnt" (Bin (Add, v "cnt", c 1)) ]);
+        Return (v "cnt") ];
+    func ~params:[ "year" ] "leap_"
+      [ Return
+          (Bin (Land,
+                Bin (Eq, Bin (Rems, v "year", c 4), c 0),
+                Bin (Lor,
+                     Bin (Ne, Bin (Rems, v "year", c 100), c 0),
+                     Bin (Eq, Bin (Rems, v "year", c 400), c 0)))) ];
+    func ~params:[ "a"; "b"; "m" ] ~locals:[ "r" ] "mulmod_"
+      [ set "r" (Bin (Remu, Bin (Mul, Bin (Remu, v "a", v "m"), Bin (Remu, v "b", v "m")), v "m"));
+        Return (v "r") ];
+    func ~params:[ "base"; "e"; "m" ] ~locals:[ "r" ] "powmod_"
+      [ set "r" (c 1);
+        While (Bin (Gtu, v "e", c 0),
+               [ If (band (v "e") (c 1),
+                     [ set "r" (call "mulmod_" [ v "r"; v "base"; v "m" ]) ], []);
+                 set "base" (call "mulmod_" [ v "base"; v "base"; v "m" ]);
+                 set "e" (shr (v "e") (c 1)) ]);
+        Return (v "r") ];
+    func ~params:[ "p"; "n"; "ch" ] ~locals:[ "i" ] "strchr_"
+      [ For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ If (Bin (Eq, load8 (Bin (Add, v "p", v "i")), v "ch"),
+                   [ Return (v "i") ], []) ]);
+        Return (c (-1)) ];
+    func ~params:[ "x" ] "abs_"
+      [ If (Bin (Lts, v "x", c 0), [ Return (neg (v "x")) ], [ Return (v "x") ]) ];
+    func ~params:[ "x"; "y" ] ~locals:[ "r" ] "hypot2_"
+      [ set "r" (Bin (Add, Bin (Mul, v "x", v "x"), Bin (Mul, v "y", v "y")));
+        Return (call "isqrt_" [ v "r" ]) ];
+    func ~params:[ "seed" ] ~locals:[ "s" ] "rand_next_"
+      [ set "s" (band (Bin (Add, Bin (Mul, v "seed", c 1103515245), c 12345)) (c 0x7FFFFFFF));
+        Return (v "s") ];
+    func ~params:[ "p"; "n" ] ~locals:[ "i"; "c0"; "c1" ] "rot13_"
+      [ For (set "i" (c 0), Bin (Lts, v "i", v "n"), set "i" (Bin (Add, v "i", c 1)),
+             [ set "c0" (load8 (Bin (Add, v "p", v "i")));
+               set "c1" (v "c0");
+               If (Bin (Land, Bin (Ges, v "c0", c 65), Bin (Les, v "c0", c 90)),
+                   [ set "c1" (Bin (Add, c 65, Bin (Rems, Bin (Add, Bin (Sub, v "c0", c 65), c 13), c 26))) ],
+                   []);
+               store8 (Bin (Add, v "p", v "i")) (u8 (v "c1")) ]);
+        Return (c 0) ] ]
+
+(* --- pathological raw-assembly functions (rewrite-failure seeds) -------------- *)
+
+open X86.Isa
+
+(* uses push rsp: unsupported by the translation step (like the paper's 19
+   coreutils failures) *)
+let pad =
+  List.concat_map
+    (fun r -> [ Asm.Ins (Mov (W64, Reg r, Imm 3L)); Asm.Ins (Alu (Add, W64, Reg RAX, Reg r)) ])
+    [ RCX; RDX; RSI; R8; R9 ]
+
+let asm_push_rsp : Asm.item list =
+  pad
+  @ [ Asm.Ins (Push (Reg RSP));
+      Asm.Ins (Pop (Reg RAX));
+      Asm.Ins Ret ]
+
+(* pops into memory: also unsupported *)
+let asm_pop_mem : Asm.item list =
+  pad
+  @ [ Asm.Ins (Push (Reg RDI));
+      Asm.Ins (Pop (Mem (mem_abs 0x800100L)));
+      Asm.Ins Ret ]
+
+(* too small to hold the pivoting stub *)
+let asm_tiny : Asm.item list =
+  [ Asm.Ins (Mov (W64, Reg RAX, Reg RDI)); Asm.Ins Ret ]
+
+(* register-pressure monster: keeps every register live across a long
+   dependent computation *)
+let asm_pressure : Asm.item list =
+  let regs = [ RAX; RBX; RCX; RDX; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ] in
+  List.map (fun r -> Asm.Ins (Mov (W64, Reg r, Imm 1L))) regs
+  @ List.concat_map
+      (fun _ ->
+         List.map (fun r -> Asm.Ins (Alu (Add, W64, Reg RAX, Reg r)))
+           (List.tl regs))
+      [ (); () ]
+  @ [ Asm.Ins Ret ]
+
+let raw_functions =
+  [ ("asm_push_rsp", asm_push_rsp);
+    ("asm_pop_mem", asm_pop_mem);
+    ("asm_tiny", asm_tiny);
+    ("asm_pressure", asm_pressure) ]
+
+(* --- assembled corpus ---------------------------------------------------------- *)
+
+let prog : program =
+  program ~globals:[ G_zero ("scratchbuf", 256) ] funcs
+
+let minic_names = List.map (fun f -> f.fname) funcs
+
+let all_names = minic_names @ List.map fst raw_functions
+
+(* Compile the corpus (mini-C functions plus the raw assembly ones) into one
+   image. *)
+let compile () : Image.t =
+  let u : Asm.unit_ =
+    { Asm.u_functions =
+        List.map (fun f -> (f.fname, Codegen.compile_func f)) prog.funcs
+        @ raw_functions;
+      Asm.u_data = List.map Codegen.compile_global prog.globals }
+  in
+  Asm.link u

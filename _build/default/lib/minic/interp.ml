@@ -1,0 +1,199 @@
+(* Reference interpreter for mini-C.
+
+   Serves as the semantic oracle: the property tests check that compiling a
+   program and running it on the emulator produces exactly the values this
+   interpreter computes.  Memory (globals, local arrays) is a real
+   Machine.Memory so in-array pointer arithmetic behaves identically. *)
+
+open Ast
+module S = Machine.Semantics
+
+exception Runtime_error of string
+
+type state = {
+  prog : program;
+  mem : Machine.Memory.t;
+  globals : (string, int64) Hashtbl.t;   (* symbol -> address *)
+  mutable bump : int64;                  (* allocator for local arrays *)
+  mutable fuel : int;
+}
+
+exception Return_exc of int64
+exception Break_exc
+exception Continue_exc
+
+let create (prog : program) =
+  let mem = Machine.Memory.create () in
+  let globals = Hashtbl.create 8 in
+  let addr = ref 0x800000L in
+  List.iter
+    (fun g ->
+       let name, size =
+         match g with
+         | G_bytes (n, s) ->
+           Machine.Memory.store_bytes mem !addr (Bytes.of_string s);
+           (n, String.length s)
+         | G_zero (n, size) ->
+           Machine.Memory.map mem !addr size;
+           (n, size)
+         | G_quads (n, qs) ->
+           List.iteri
+             (fun i q ->
+                Machine.Memory.write_u64 mem (Int64.add !addr (Int64.of_int (8 * i))) q)
+             qs;
+           (n, 8 * List.length qs)
+       in
+       Hashtbl.replace globals name !addr;
+       addr := Int64.add !addr (Int64.of_int ((size + 15) land lnot 15)))
+    prog.globals;
+  { prog; mem; globals; bump = 0x2000000L; fuel = 10_000_000 }
+
+let find_func st name =
+  match List.find_opt (fun f -> f.fname = name) st.prog.funcs with
+  | Some f -> f
+  | None -> raise (Runtime_error ("undefined function " ^ name))
+
+let bool_to_i64 b = if b then 1L else 0L
+
+let eval_binop op a b =
+  let shift_count b = Int64.to_int (Int64.logand b 63L) in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Divs ->
+    if b = 0L then raise (Runtime_error "division by zero") else Int64.div a b
+  | Divu ->
+    if b = 0L then raise (Runtime_error "division by zero")
+    else Int64.unsigned_div a b
+  | Rems ->
+    if b = 0L then raise (Runtime_error "division by zero") else Int64.rem a b
+  | Remu ->
+    if b = 0L then raise (Runtime_error "division by zero")
+    else Int64.unsigned_rem a b
+  | Band -> Int64.logand a b
+  | Bor -> Int64.logor a b
+  | Bxor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (shift_count b)
+  | Shr -> Int64.shift_right_logical a (shift_count b)
+  | Sar -> Int64.shift_right a (shift_count b)
+  | Eq -> bool_to_i64 (a = b)
+  | Ne -> bool_to_i64 (a <> b)
+  | Lts -> bool_to_i64 (Int64.compare a b < 0)
+  | Les -> bool_to_i64 (Int64.compare a b <= 0)
+  | Gts -> bool_to_i64 (Int64.compare a b > 0)
+  | Ges -> bool_to_i64 (Int64.compare a b >= 0)
+  | Ltu -> bool_to_i64 (Int64.unsigned_compare a b < 0)
+  | Leu -> bool_to_i64 (Int64.unsigned_compare a b <= 0)
+  | Gtu -> bool_to_i64 (Int64.unsigned_compare a b > 0)
+  | Geu -> bool_to_i64 (Int64.unsigned_compare a b >= 0)
+  | Land | Lor -> assert false
+
+let rec eval st vars (e : expr) =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise (Runtime_error "interpreter out of fuel");
+  match e with
+  | Const v -> v
+  | Var n ->
+    (match Hashtbl.find_opt vars n with
+     | Some v -> v
+     | None -> raise (Runtime_error ("unbound variable " ^ n)))
+  | Load (w, signed, a) ->
+    let addr = eval st vars a in
+    let v = Machine.Memory.read st.mem addr (X86.Isa.width_bytes w) in
+    if signed then S.sign_extend w v else v
+  | Addr_local n ->
+    (match Hashtbl.find_opt vars ("&" ^ n) with
+     | Some v -> v
+     | None -> raise (Runtime_error ("unbound array " ^ n)))
+  | Addr_global n ->
+    (match Hashtbl.find_opt st.globals n with
+     | Some v -> v
+     | None -> raise (Runtime_error ("unbound global " ^ n)))
+  | Bin (Land, a, b) ->
+    if eval st vars a <> 0L then bool_to_i64 (eval st vars b <> 0L) else 0L
+  | Bin (Lor, a, b) ->
+    if eval st vars a <> 0L then 1L else bool_to_i64 (eval st vars b <> 0L)
+  | Bin (op, a, b) ->
+    let va = eval st vars a in
+    let vb = eval st vars b in
+    eval_binop op va vb
+  | Un (Neg, a) -> Int64.neg (eval st vars a)
+  | Un (Bnot, a) -> Int64.lognot (eval st vars a)
+  | Un (Lnot, a) -> bool_to_i64 (eval st vars a = 0L)
+  | Call (f, args) ->
+    let vals = List.map (eval st vars) args in
+    call st f vals
+  | Cast (w, signed, a) ->
+    let v = S.truncate w (eval st vars a) in
+    if signed then S.sign_extend w v else v
+
+and exec st vars (s : stmt) =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise (Runtime_error "interpreter out of fuel");
+  match s with
+  | Assign (n, e) -> Hashtbl.replace vars n (eval st vars e)
+  | Store (w, a, v) ->
+    let addr = eval st vars a in
+    let value = eval st vars v in
+    Machine.Memory.write st.mem addr (X86.Isa.width_bytes w) value
+  | If (c, t, e) ->
+    if eval st vars c <> 0L then exec_list st vars t else exec_list st vars e
+  | While (c, body) ->
+    (try
+       while eval st vars c <> 0L do
+         try exec_list st vars body with Continue_exc -> ()
+       done
+     with Break_exc -> ())
+  | Do_while (body, c) ->
+    (try
+       let continue = ref true in
+       while !continue do
+         (try exec_list st vars body with Continue_exc -> ());
+         continue := eval st vars c <> 0L
+       done
+     with Break_exc -> ())
+  | For (init, c, step, body) ->
+    exec st vars init;
+    (try
+       while eval st vars c <> 0L do
+         (try exec_list st vars body with Continue_exc -> ());
+         exec st vars step
+       done
+     with Break_exc -> ())
+  | Switch (scrut, cases, default) ->
+    let v = eval st vars scrut in
+    (try
+       match List.find_opt (fun (k, _) -> Int64.of_int k = v) cases with
+       | Some (_, body) -> exec_list st vars body
+       | None -> exec_list st vars default
+     with Break_exc -> ())
+  | Return e -> raise (Return_exc (eval st vars e))
+  | Expr e -> ignore (eval st vars e)
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+
+and exec_list st vars body = List.iter (exec st vars) body
+
+and call st fname args =
+  let f = find_func st fname in
+  if List.length args <> List.length f.params then
+    raise (Runtime_error (Printf.sprintf "%s: arity mismatch" fname));
+  let vars = Hashtbl.create 16 in
+  List.iter2 (fun p a -> Hashtbl.replace vars p a) f.params args;
+  List.iter (fun l -> Hashtbl.replace vars l 0L) f.locals;
+  List.iter
+    (fun (name, size) ->
+       Machine.Memory.map st.mem st.bump size;
+       Hashtbl.replace vars ("&" ^ name) st.bump;
+       st.bump <- Int64.add st.bump (Int64.of_int ((size + 15) land lnot 15)))
+    f.arrays;
+  match exec_list st vars f.body with
+  | () -> 0L
+  | exception Return_exc v -> v
+
+(* Run [fname] on [args] in a fresh state; returns the 64-bit result. *)
+let run ?fuel prog fname args =
+  let st = create prog in
+  (match fuel with Some f -> st.fuel <- f | None -> ());
+  call st fname args

@@ -1,0 +1,81 @@
+(* The base64 reference-implementation analog for the §VII-C3 case study.
+
+   [b64_check] spreads its integer argument into a 6-byte buffer, encodes it
+   with table lookups (the input-dependent pointers that defeat concretizing
+   memory models, §VII-C3), and compares the 8 output characters against the
+   encoding of a fixed 6-byte secret. *)
+
+open Ast
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+(* reference OCaml encoder used to embed the expected ciphertext *)
+let encode_ref (bytes : int array) =
+  assert (Array.length bytes = 6);
+  let out = Bytes.create 8 in
+  let put i v = Bytes.set out i b64_alphabet.[v land 63] in
+  let b k = bytes.(k) land 0xff in
+  put 0 (b 0 lsr 2);
+  put 1 (((b 0 land 3) lsl 4) lor (b 1 lsr 4));
+  put 2 (((b 1 land 15) lsl 2) lor (b 2 lsr 6));
+  put 3 (b 2 land 63);
+  put 4 (b 3 lsr 2);
+  put 5 (((b 3 land 3) lsl 4) lor (b 4 lsr 4));
+  put 6 (((b 4 land 15) lsl 2) lor (b 5 lsr 6));
+  put 7 (b 5 land 63);
+  Bytes.to_string out
+
+let secret_bytes = [| 0x52; 0x4f; 0x50; 0x21; 0x21; 0x7b |]
+
+let secret_arg =
+  let r = ref 0L in
+  for i = 5 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 8) (Int64.of_int secret_bytes.(i))
+  done;
+  !r
+
+(* encode(src, dst): 6 bytes -> 8 base64 characters *)
+let encode_func =
+  func ~params:[ "src"; "dst" ] ~locals:[ "g"; "b0"; "b1"; "b2"; "o" ] "b64_encode"
+    [ For (set "g" (c 0), Bin (Lts, v "g", c 2), set "g" (Bin (Add, v "g", c 1)),
+           [ set "b0" (load8 (Bin (Add, v "src", Bin (Mul, v "g", c 3))));
+             set "b1" (load8 (Bin (Add, v "src", Bin (Add, Bin (Mul, v "g", c 3), c 1))));
+             set "b2" (load8 (Bin (Add, v "src", Bin (Add, Bin (Mul, v "g", c 3), c 2))));
+             set "o" (Bin (Mul, v "g", c 4));
+             store8 (Bin (Add, v "dst", v "o"))
+               (load8 (Bin (Add, Addr_global "b64tab", shr (v "b0") (c 2))));
+             store8 (Bin (Add, v "dst", Bin (Add, v "o", c 1)))
+               (load8 (Bin (Add, Addr_global "b64tab",
+                            bor (shl (band (v "b0") (c 3)) (c 4))
+                              (shr (v "b1") (c 4)))));
+             store8 (Bin (Add, v "dst", Bin (Add, v "o", c 2)))
+               (load8 (Bin (Add, Addr_global "b64tab",
+                            bor (shl (band (v "b1") (c 15)) (c 2))
+                              (shr (v "b2") (c 6)))));
+             store8 (Bin (Add, v "dst", Bin (Add, v "o", c 3)))
+               (load8 (Bin (Add, Addr_global "b64tab", band (v "b2") (c 63)))) ]);
+      Return (c 0) ]
+
+let check_func =
+  func ~params:[ "x" ] ~locals:[ "i"; "ok" ]
+    ~arrays:[ ("src", 8); ("dst", 8) ] "b64_check"
+    [ For (set "i" (c 0), Bin (Lts, v "i", c 6), set "i" (Bin (Add, v "i", c 1)),
+           [ store8 (Bin (Add, Addr_local "src", v "i"))
+               (band (shr (v "x") (Bin (Mul, v "i", c 8))) (c 0xFF)) ]);
+      Expr (call "b64_encode" [ Addr_local "src"; Addr_local "dst" ]);
+      set "ok" (c 1);
+      For (set "i" (c 0), Bin (Lts, v "i", c 8), set "i" (Bin (Add, v "i", c 1)),
+           [ If (Bin (Ne,
+                      load8 (Bin (Add, Addr_local "dst", v "i")),
+                      load8 (Bin (Add, Addr_global "b64expected", v "i"))),
+                 [ set "ok" (c 0) ], []) ]);
+      Return (v "ok") ]
+
+(* The case-study program: b64_check returns 1 iff x encodes to the embedded
+   ciphertext, i.e. iff x = secret_arg (6 bytes). *)
+let base64_program () =
+  let expected = encode_ref secret_bytes in
+  program
+    ~globals:[ G_bytes ("b64tab", b64_alphabet); G_bytes ("b64expected", expected) ]
+    [ encode_func; check_func ]

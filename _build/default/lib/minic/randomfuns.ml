@@ -1,0 +1,222 @@
+(* Generator of random hash-like functions, mirroring Tigress RandomFuns.
+
+   Produces the 72 evaluation targets of the paper's §VII-B: 6 control
+   structures (Table IV) x input sizes {1,2,4,8} bytes x 3 seeds.  Each
+   function mixes its input into a set of local state variables through a
+   fixed control skeleton of straight-line blocks, ifs and bounded loops.
+
+   With [point_test] the function returns 1 iff hash(input) equals
+   hash(secret) for a generation-time random secret (the G1 secret-finding
+   goal); otherwise it returns the hash itself.  With [coverage_probes] every
+   CFG split/join writes a distinct cell of the global [__cov] array (the G2
+   code-coverage goal), like RandomFunsTrace=2. *)
+
+open Ast
+
+type control =
+  | C_bb of int                  (* straight-line block of n statements *)
+  | C_if of control * control
+  | C_for of control
+
+(* The six RandomFunsControlStructures rows of Table IV. *)
+let table_iv : (string * control) list =
+  [ "(if (bb 4) (bb 4))", C_if (C_bb 4, C_bb 4);
+    "(for (if (bb 4) (bb 4)))", C_for (C_if (C_bb 4, C_bb 4));
+    "(for (for (bb 4)))", C_for (C_for (C_bb 4));
+    "(for (for (if (bb 4) (bb 4))))", C_for (C_for (C_if (C_bb 4, C_bb 4)));
+    "(for (if (if (bb 4) (bb 4)) (if (bb 4) (bb 4))))",
+    C_for (C_if (C_if (C_bb 4, C_bb 4), C_if (C_bb 4, C_bb 4)));
+    "(if (if (if (bb 4) (bb 4)) (if (bb 4) (bb 4))) (if (bb 4) (bb 4)))",
+    C_if (C_if (C_if (C_bb 4, C_bb 4), C_if (C_bb 4, C_bb 4)), C_if (C_bb 4, C_bb 4)) ]
+
+type params = {
+  seed : int;
+  input_size : int;              (* bytes: 1, 2, 4 or 8 *)
+  control : control;
+  control_name : string;
+  loop_size : int;
+  state_vars : int;
+  point_test : bool;
+  coverage_probes : bool;
+}
+
+let default_params ?(seed = 1) ?(input_size = 4) ?(loop_size = 15)
+    ?(state_vars = 3) ?(point_test = true) ?(coverage_probes = false)
+    ?(control_index = 1) () =
+  let name, control = List.nth table_iv control_index in
+  { seed; input_size; control; control_name = name; loop_size; state_vars;
+    point_test; coverage_probes }
+
+type t = {
+  params : params;
+  prog : program;                (* function "target", plus probe globals *)
+  secret : int64 option;         (* an input accepted by the point test *)
+  n_probes : int;                (* coverage probe count *)
+  input_mask : int64;            (* valid input bits *)
+}
+
+(* --- expression generation ---------------------------------------------- *)
+
+let svar i = Printf.sprintf "s%d" i
+
+let gen_leaf rng n_state =
+  match Util.Rng.int rng 4 with
+  | 0 -> v "x"
+  | 1 | 2 -> v (svar (Util.Rng.int rng n_state))
+  | _ -> c (Util.Rng.range rng 1 255)
+
+let rec gen_expr rng n_state depth =
+  if depth = 0 then gen_leaf rng n_state
+  else
+    let a = gen_expr rng n_state (depth - 1) in
+    let b = gen_expr rng n_state (depth - 1) in
+    match Util.Rng.int rng 8 with
+    | 0 -> Bin (Add, a, b)
+    | 1 -> Bin (Sub, a, b)
+    | 2 -> Bin (Mul, a, b)
+    | 3 -> Bin (Bxor, a, b)
+    | 4 -> Bin (Band, a, b)
+    | 5 -> Bin (Bor, a, b)
+    | 6 -> Bin (Shl, a, c (Util.Rng.range rng 1 7))
+    | _ -> Bin (Shr, a, c (Util.Rng.range rng 1 7))
+
+(* One mutation statement of a straight-line block. *)
+let gen_mutation rng n_state =
+  let target = svar (Util.Rng.int rng n_state) in
+  let e = gen_expr rng n_state 2 in
+  let combined =
+    match Util.Rng.int rng 4 with
+    | 0 -> Bin (Add, v target, e)
+    | 1 -> Bin (Bxor, v target, e)
+    | 2 -> Bin (Mul, Bin (Bor, v target, c 1), Bin (Bor, e, c 1))
+    | _ -> Bin (Add, Bin (Mul, v target, c 31), e)
+  in
+  set target combined
+
+(* A branch condition over state and input, byte-masked so both sides of the
+   branch are actually reachable for many inputs. *)
+let gen_cond rng n_state =
+  let a = band (gen_expr rng n_state 1) (c 0xFF) in
+  let b = band (gen_expr rng n_state 1) (c 0xFF) in
+  match Util.Rng.int rng 4 with
+  | 0 -> Bin (Lts, a, b)
+  | 1 -> Bin (Eq, band a (c 7), band b (c 7))
+  | 2 -> Bin (Gtu, a, b)
+  | _ -> Bin (Ne, band a (c 3), band b (c 3))
+
+(* --- skeleton instantiation ---------------------------------------------- *)
+
+type genstate = {
+  rng : Util.Rng.t;
+  n_state : int;
+  mutable probe_count : int;
+  mutable loop_depth : int;
+  probes_enabled : bool;
+}
+
+let probe gs =
+  if gs.probes_enabled then begin
+    let k = gs.probe_count in
+    gs.probe_count <- gs.probe_count + 1;
+    [ store8 (Bin (Add, Addr_global "__cov", c k)) (c 1) ]
+  end else []
+
+let rec gen_control gs loop_size ctl : stmt list =
+  match ctl with
+  | C_bb n -> List.init n (fun _ -> gen_mutation gs.rng gs.n_state)
+  | C_if (t, e) ->
+    let cond = gen_cond gs.rng gs.n_state in
+    let pt = probe gs in
+    let then_ = probe gs @ gen_control gs loop_size t in
+    let else_ = probe gs @ gen_control gs loop_size e in
+    pt @ [ If (cond, then_, else_) ] @ probe gs
+  | C_for body ->
+    let i = Printf.sprintf "i%d" gs.loop_depth in
+    gs.loop_depth <- gs.loop_depth + 1;
+    let inner = gen_control gs loop_size body in
+    gs.loop_depth <- gs.loop_depth - 1;
+    probe gs
+    @ [ For (set i (c 0), Bin (Lts, v i, c loop_size),
+             set i (Bin (Add, v i, c 1)), inner) ]
+
+let max_loop_depth ctl =
+  let rec go = function
+    | C_bb _ -> 0
+    | C_if (a, b) -> max (go a) (go b)
+    | C_for b -> 1 + go b
+  in
+  go ctl
+
+(* --- top level ------------------------------------------------------------ *)
+
+let generate (p : params) : t =
+  let rng = Util.Rng.create (p.seed * 7919 + p.input_size * 131 + 17) in
+  let gs =
+    { rng; n_state = p.state_vars; probe_count = 0; loop_depth = 0;
+      probes_enabled = p.coverage_probes }
+  in
+  let input_mask =
+    if p.input_size >= 8 then -1L
+    else Int64.sub (Int64.shift_left 1L (8 * p.input_size)) 1L
+  in
+  (* initialize state from input and constants *)
+  let init =
+    set "x" (band (v "arg") (c64 input_mask))
+    :: List.init p.state_vars (fun i ->
+        set (svar i) (c (Util.Rng.range rng 1 1000)))
+  in
+  let body_core = gen_control gs p.loop_size p.control in
+  (* final mix: fold all state vars into s0 *)
+  let mix =
+    List.init (max 0 (p.state_vars - 1)) (fun i ->
+        set (svar 0)
+          (bxor (Bin (Mul, v (svar 0), c 37)) (v (svar (i + 1)))))
+  in
+  let loops = List.init (max_loop_depth p.control) (fun i -> Printf.sprintf "i%d" i) in
+  let locals =
+    "x" :: List.init p.state_vars svar @ loops
+  in
+  (* hash-only variant used to derive the secret's hash *)
+  let hash_body = init @ body_core @ mix @ [ Return (v (svar 0)) ] in
+  let hash_func = func ~params:[ "arg" ] ~locals "target" hash_body in
+  let globals =
+    if p.coverage_probes then [ G_zero ("__cov", max 1 gs.probe_count) ] else []
+  in
+  if not p.point_test then
+    { params = p;
+      prog = program ~globals [ hash_func ];
+      secret = None;
+      n_probes = gs.probe_count;
+      input_mask }
+  else begin
+    (* pick a secret input and precompute its hash with the interpreter *)
+    let secret = Int64.logand (Util.Rng.next64 rng) input_mask in
+    let hash_prog = program ~globals [ hash_func ] in
+    let secret_hash = Interp.run hash_prog "target" [ secret ] in
+    let body =
+      init @ body_core @ mix
+      @ [ If (Bin (Eq, v (svar 0), c64 secret_hash),
+              [ Return (c 1) ], [ Return (c 0) ]) ]
+    in
+    { params = p;
+      prog = program ~globals [ func ~params:[ "arg" ] ~locals "target" body ];
+      secret = Some secret;
+      n_probes = gs.probe_count;
+      input_mask }
+  end
+
+(* The paper's 72-function corpus: 6 control structures x {1,2,4,8} input
+   bytes x 3 seeds. *)
+let corpus ?(point_test = true) ?(coverage_probes = false) () : t list =
+  List.concat_map
+    (fun control_index ->
+       List.concat_map
+         (fun input_size ->
+            List.map
+              (fun seed ->
+                 generate
+                   (default_params ~seed ~input_size ~control_index
+                      ~point_test ~coverage_probes ()))
+              [ 1; 2; 3 ])
+         [ 1; 2; 4; 8 ])
+    [ 0; 1; 2; 3; 4; 5 ]

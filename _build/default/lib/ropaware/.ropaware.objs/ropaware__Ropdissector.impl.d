@@ -1,0 +1,1 @@
+lib/ropaware/ropdissector.ml: Array Bytes Hashtbl Image Int64 List Queue X86

@@ -1,0 +1,1 @@
+lib/ropaware/ropmemu.ml: Hashtbl Image Int64 List Machine Runner X86

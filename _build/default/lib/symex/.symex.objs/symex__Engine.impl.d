@@ -1,0 +1,1 @@
+lib/symex/engine.ml: Array Expr Hashtbl Image Int64 List Machine Queue Runner Solver Sym_state Unix Util X86

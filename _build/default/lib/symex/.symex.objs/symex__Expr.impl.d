@@ -1,0 +1,1 @@
+lib/symex/expr.ml: Array Format Hashtbl Int64 List Machine X86

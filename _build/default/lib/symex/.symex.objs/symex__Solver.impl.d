@@ -1,0 +1,1 @@
+lib/symex/solver.ml: Array Expr Int64 List Unix Util

@@ -1,0 +1,1 @@
+lib/symex/sym_state.ml: Array Expr Hashtbl Int64 List Machine Map Printf Solver X86

@@ -1,0 +1,411 @@
+(* Bitvector expressions over the program input.
+
+   All expressions denote 64-bit values; narrowing is explicit via Low.
+   Branch conditions are expressions valued 0/1.  Symbolic memory reads are
+   first-class ([Load]), closing over a functional memory snapshot: the
+   evaluation-based solver (see Solver) only ever needs to *evaluate*
+   expressions under a candidate input, so even theory-of-arrays reasoning
+   reduces to evaluation (§VII-C3's per-page memory model). *)
+
+open X86.Isa
+
+type binop =
+  | Add | Sub | Mul | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Shr | Sar
+  | Eq | Ult | Slt | Ule | Sle
+  | Mulhi_u | Mulhi_s
+
+type unop =
+  | Not
+  | Neg
+  | Low of width * bool      (* truncate to width then zero/sign extend *)
+  | Bool_not                 (* logical: 0 -> 1, nonzero -> 0 *)
+
+type t =
+  | Const of int64
+  | Input of int                    (* i-th input byte, 0..255 *)
+  | Bin of binop * t * t
+  | Un of unop * t
+  | Ite of t * t * t                (* cond<>0 ? then : else *)
+  | Load of mem * t * int           (* snapshot, address, size in bytes *)
+
+(* Functional memory snapshot: a write log over a concrete base.  Kept
+   abstract enough for evaluation; writes store (address, value, size). *)
+and mem = {
+  base : Machine.Memory.t;
+  writes : (t * t * int) list;      (* newest first *)
+}
+
+let zero = Const 0L
+let one = Const 1L
+
+(* --- constructors with local constant folding ----------------------------- *)
+
+module S = Machine.Semantics
+
+let is_const = function Const _ -> true | Input _ | Bin _ | Un _ | Ite _ | Load _ -> false
+
+let eval_bin op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Udiv -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Urem -> if b = 0L then a else Int64.unsigned_rem a b
+  | Sdiv -> if b = 0L || (a = Int64.min_int && b = -1L) then 0L else Int64.div a b
+  | Srem -> if b = 0L || (a = Int64.min_int && b = -1L) then 0L else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Shr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | Sar -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+  | Eq -> if a = b then 1L else 0L
+  | Ult -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Slt -> if Int64.compare a b < 0 then 1L else 0L
+  | Ule -> if Int64.unsigned_compare a b <= 0 then 1L else 0L
+  | Sle -> if Int64.compare a b <= 0 then 1L else 0L
+  | Mulhi_u -> S.mulhi_u a b
+  | Mulhi_s -> S.mulhi_s a b
+
+let eval_un op a =
+  match op with
+  | Not -> Int64.lognot a
+  | Neg -> Int64.neg a
+  | Low (w, signed) ->
+    let v = S.truncate w a in
+    if signed then S.sign_extend w v else v
+  | Bool_not -> if a = 0L then 1L else 0L
+
+let rec bin op a b =
+  match a, b, op with
+  | Const x, Const y, _ -> Const (eval_bin op x y)
+  | x, y, (And | Or) when x == y -> x
+  | e, Const 0L, (Add | Sub | Or | Xor | Shl | Shr | Sar) -> e
+  | Const 0L, e, (Add | Or | Xor) -> e
+  | _, Const 0L, (Mul | And) -> Const 0L
+  | Const 0L, _, (Mul | And) -> Const 0L
+  | e, Const 1L, Mul -> e
+  | Const 1L, e, Mul -> e
+  | Bin (Add, x, Const c1), Const c2, Add ->
+    bin Add x (Const (Int64.add c1 c2))
+  | Bin (And, x, Const c1), Const c2, And ->
+    bin And x (Const (Int64.logand c1 c2))
+  | _, _, _ -> Bin (op, a, b)
+
+(* comparison results are 0/1: narrowing is the identity on them *)
+let rec is_bool = function
+  | Bin ((Eq | Ult | Slt | Ule | Sle), _, _) | Un (Bool_not, _) -> true
+  | Const (0L | 1L) -> true
+  | Bin ((And | Or | Xor), a, b) -> is_bool a && is_bool b
+  | Ite (_, a, b) -> is_bool a && is_bool b
+  | Const _ | Input _ | Bin _ | Un _ | Load _ -> false
+
+let rec un op a =
+  match a, op with
+  | Const x, _ -> Const (eval_un op x)
+  | Un (Low (w1, false), _), Low (w2, false)
+    when width_bytes w1 <= width_bytes w2 -> a
+  (* byte-merge writes followed by a byte read: the old high bits vanish *)
+  | Bin (Or, Bin (And, _, Const m), e), Low (W8, false)
+    when Int64.logand m 0xFFL = 0L -> un (Low (W8, false)) e
+  | Bin (Or, e, Bin (And, _, Const m)), Low (W8, false)
+    when Int64.logand m 0xFFL = 0L -> un (Low (W8, false)) e
+  | Bin (And, e, Const 0xFFL), Low (W8, false) -> un (Low (W8, false)) e
+  | e, Low (_, false) when is_bool e -> e
+  | _, _ -> Un (op, a)
+
+let ite c t e =
+  match c with
+  | Const 0L -> e
+  | Const _ -> t
+  | Input _ | Bin _ | Un _ | Ite _ | Load _ -> if t == e then t else Ite (c, t, e)
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+(* Evaluate under [input : int -> int] (byte values). *)
+let rec eval ~input e =
+  match e with
+  | Const v -> v
+  | Input i -> Int64.of_int (input i land 0xff)
+  | Bin (op, a, b) -> eval_bin op (eval ~input a) (eval ~input b)
+  | Un (op, a) -> eval_un op (eval ~input a)
+  | Ite (c, t, f) -> if eval ~input c <> 0L then eval ~input t else eval ~input f
+  | Load (m, addr, size) ->
+    let a = eval ~input addr in
+    load_mem ~input m a size
+
+and load_mem ~input m addr size =
+  (* byte-wise: walk the write log newest-first *)
+  let byte i =
+    let ba = Int64.add addr (Int64.of_int i) in
+    let rec walk = function
+      | [] ->
+        (match Machine.Memory.read_u8_opt m.base ba with
+         | Some v -> Int64.of_int v
+         | None -> 0L)
+      | (waddr, wval, wsize) :: rest ->
+        let wa = eval ~input waddr in
+        let off = Int64.sub ba wa in
+        if Int64.compare off 0L >= 0 && Int64.compare off (Int64.of_int wsize) < 0
+        then
+          Int64.logand
+            (Int64.shift_right_logical (eval ~input wval)
+               (8 * Int64.to_int off))
+            0xFFL
+        else walk rest
+    in
+    walk m.writes
+  in
+  let r = ref 0L in
+  for i = size - 1 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 8) (byte i)
+  done;
+  !r
+
+(* Memoized evaluator: expression graphs built by loops share subterms
+   heavily (DAGs); evaluation without memoization is exponential.  The cache
+   is keyed on physical identity and valid for one input model. *)
+module Phys = struct
+  type nonrec t = t
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Phys_tbl = Hashtbl.Make (Phys)
+
+let evaluator ~input =
+  let cache = Phys_tbl.create 256 in
+  let rec ev e =
+    match e with
+    | Const v -> v
+    | Input i -> Int64.of_int (input i land 0xff)
+    | Bin _ | Un _ | Ite _ | Load _ ->
+      (match Phys_tbl.find_opt cache e with
+       | Some v -> v
+       | None ->
+         let v =
+           match e with
+           | Const _ | Input _ -> assert false
+           | Bin (op, a, b) -> eval_bin op (ev a) (ev b)
+           | Un (op, a) -> eval_un op (ev a)
+           | Ite (c, t, f) -> if ev c <> 0L then ev t else ev f
+           | Load (m, addr, size) -> load_cached ev m (ev addr) size
+         in
+         Phys_tbl.replace cache e v;
+         v)
+  and load_cached ev m addr size =
+    let byte i =
+      let ba = Int64.add addr (Int64.of_int i) in
+      let rec walk = function
+        | [] ->
+          (match Machine.Memory.read_u8_opt m.base ba with
+           | Some v -> Int64.of_int v
+           | None -> 0L)
+        | (waddr, wval, wsize) :: rest ->
+          let wa = ev waddr in
+          let off = Int64.sub ba wa in
+          if Int64.compare off 0L >= 0
+             && Int64.compare off (Int64.of_int wsize) < 0
+          then
+            Int64.logand
+              (Int64.shift_right_logical (ev wval) (8 * Int64.to_int off))
+              0xFFL
+          else walk rest
+      in
+      walk m.writes
+    in
+    let r = ref 0L in
+    for i = size - 1 downto 0 do
+      r := Int64.logor (Int64.shift_left !r 8) (byte i)
+    done;
+    !r
+  in
+  ev
+
+(* --- compiled form ----------------------------------------------------------- *)
+
+(* For solver workloads the same expression DAG is evaluated under thousands
+   of candidate models.  [compile] flattens the DAG once into an array
+   program in topological order; [run] then evaluates a model with a single
+   allocation-free sweep. *)
+
+type cnode =
+  | C_const of int64
+  | C_input of int
+  | C_bin of binop * int * int
+  | C_un of unop * int
+  | C_ite of int * int * int
+  | C_load of Machine.Memory.t * int * int * (int * int * int) list
+      (* base, addr idx, size, write log as (addr idx, value idx, size) *)
+
+type compiled = {
+  nodes : cnode array;
+  roots : int array;              (* one per source expression *)
+  values : int64 array;           (* scratch, reused across runs *)
+}
+
+let compile (exprs : t list) : compiled =
+  let tbl = Phys_tbl.create 1024 in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let add n =
+    nodes := n :: !nodes;
+    let i = !count in
+    incr count;
+    i
+  in
+  let rec go e =
+    match Phys_tbl.find_opt tbl e with
+    | Some i -> i
+    | None ->
+      let i =
+        match e with
+        | Const v -> add (C_const v)
+        | Input i -> add (C_input i)
+        | Bin (op, a, b) ->
+          let ia = go a in
+          let ib = go b in
+          add (C_bin (op, ia, ib))
+        | Un (op, a) ->
+          let ia = go a in
+          add (C_un (op, ia))
+        | Ite (c, t, f) ->
+          let ic = go c in
+          let it = go t in
+          let if_ = go f in
+          add (C_ite (ic, it, if_))
+        | Load (m, addr, size) ->
+          let ia = go addr in
+          let log =
+            List.map
+              (fun (wa, wv, ws) ->
+                 let iwa = go wa in
+                 let iwv = go wv in
+                 (iwa, iwv, ws))
+              m.writes
+          in
+          add (C_load (m.base, ia, size, log))
+      in
+      Phys_tbl.replace tbl e i;
+      i
+  in
+  let roots = Array.of_list (List.map go exprs) in
+  let nodes = Array.of_list (List.rev !nodes) in
+  { nodes; roots; values = Array.make (Array.length nodes) 0L }
+
+(* Evaluate all roots under [input]; returns the scratch array indexed by
+   node id (read roots via [c.roots]). *)
+let run (c : compiled) ~input =
+  let v = c.values in
+  for i = 0 to Array.length c.nodes - 1 do
+    v.(i) <-
+      (match c.nodes.(i) with
+       | C_const x -> x
+       | C_input k -> Int64.of_int (input k land 0xff)
+       | C_bin (op, a, b) -> eval_bin op v.(a) v.(b)
+       | C_un (op, a) -> eval_un op v.(a)
+       | C_ite (cc, t, f) -> if v.(cc) <> 0L then v.(t) else v.(f)
+       | C_load (base, ia, size, log) ->
+         let addr = v.(ia) in
+         let byte bi =
+           let ba = Int64.add addr (Int64.of_int bi) in
+           let rec walk = function
+             | [] ->
+               (match Machine.Memory.read_u8_opt base ba with
+                | Some x -> Int64.of_int x
+                | None -> 0L)
+             | (iwa, iwv, ws) :: rest ->
+               let off = Int64.sub ba v.(iwa) in
+               if Int64.compare off 0L >= 0
+                  && Int64.compare off (Int64.of_int ws) < 0
+               then
+                 Int64.logand
+                   (Int64.shift_right_logical v.(iwv) (8 * Int64.to_int off))
+                   0xFFL
+               else walk rest
+           in
+           walk log
+         in
+         let r = ref 0L in
+         for k = size - 1 downto 0 do
+           r := Int64.logor (Int64.shift_left !r 8) (byte k)
+         done;
+         !r)
+  done;
+  v
+
+(* --- inspection ------------------------------------------------------------ *)
+
+(* DAG-aware: visited set on physical identity, or traversal is
+   exponential. *)
+let input_bytes acc e =
+  let visited = Phys_tbl.create 64 in
+  let bytes = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace bytes b ()) acc;
+  let rec go e =
+    if not (Phys_tbl.mem visited e) then begin
+      Phys_tbl.replace visited e ();
+      match e with
+      | Const _ -> ()
+      | Input i -> Hashtbl.replace bytes i ()
+      | Bin (_, a, b) -> go a; go b
+      | Un (_, a) -> go a
+      | Ite (c, t, f) -> go c; go t; go f
+      | Load (m, a, _) ->
+        go a;
+        List.iter (fun (wa, wv, _) -> go wa; go wv) m.writes
+    end
+  in
+  go e;
+  Hashtbl.fold (fun b () acc -> b :: acc) bytes []
+
+exception Found_input
+
+let depends_on_input e =
+  let visited = Phys_tbl.create 64 in
+  let rec go e =
+    if not (Phys_tbl.mem visited e) then begin
+      Phys_tbl.replace visited e ();
+      match e with
+      | Const _ -> ()
+      | Input _ -> raise Found_input
+      | Bin (_, a, b) -> go a; go b
+      | Un (_, a) -> go a
+      | Ite (c, t, f) -> go c; go t; go f
+      | Load (m, a, _) ->
+        go a;
+        List.iter (fun (wa, wv, _) -> go wa; go wv) m.writes
+    end
+  in
+  match go e with () -> false | exception Found_input -> true
+
+let rec size e =
+  match e with
+  | Const _ | Input _ -> 1
+  | Bin (_, a, b) -> 1 + size a + size b
+  | Un (_, a) -> 1 + size a
+  | Ite (c, t, f) -> 1 + size c + size t + size f
+  | Load (_, a, _) -> 1 + size a
+
+let rec pp fmt e =
+  match e with
+  | Const v -> Format.fprintf fmt "0x%Lx" v
+  | Input i -> Format.fprintf fmt "in[%d]" i
+  | Bin (op, a, b) ->
+    let s = match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Udiv -> "/u" | Urem -> "%u"
+      | Sdiv -> "/s" | Srem -> "%s" | And -> "&" | Or -> "|" | Xor -> "^"
+      | Shl -> "<<" | Shr -> ">>u" | Sar -> ">>s" | Eq -> "==" | Ult -> "<u"
+      | Slt -> "<s" | Ule -> "<=u" | Sle -> "<=s"
+      | Mulhi_u -> "*hu" | Mulhi_s -> "*hs"
+    in
+    Format.fprintf fmt "(%a %s %a)" pp a s pp b
+  | Un (Not, a) -> Format.fprintf fmt "~%a" pp a
+  | Un (Neg, a) -> Format.fprintf fmt "-%a" pp a
+  | Un (Low (w, s), a) ->
+    Format.fprintf fmt "%s%d(%a)" (if s then "sext" else "zext") (width_bits w) pp a
+  | Un (Bool_not, a) -> Format.fprintf fmt "!%a" pp a
+  | Ite (c, t, f) -> Format.fprintf fmt "(%a ? %a : %a)" pp c pp t pp f
+  | Load (_, a, n) -> Format.fprintf fmt "mem%d[%a]" n pp a

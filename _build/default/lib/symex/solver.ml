@@ -1,0 +1,281 @@
+(* Constraint solver over input bytes.
+
+   Evaluation-based: a candidate model is a byte assignment to the Input
+   variables; constraints are checked by evaluating their expressions.  The
+   pipeline is (1) exhaustive enumeration for tiny input spaces, (2)
+   multi-restart stochastic local search guided by a structural distance
+   function (SAGE-style fitness).  This is deliberately not an industrial
+   SMT solver: paper inputs are 1-8 bytes and the obfuscations under study
+   attack path explosion and aliasing, not solver algebra (DESIGN.md). *)
+
+type constr = {
+  cond : Expr.t;        (* boolean-valued expression *)
+  want : bool;          (* require cond <> 0 (true) or cond = 0 (false) *)
+}
+
+type model = int array  (* one byte per input index *)
+
+type stats = {
+  mutable evals : int;  (* expression-set evaluations spent *)
+}
+
+let make_stats () = { evals = 0 }
+
+exception Deadline
+
+(* Deadline support: checked every few evaluations. *)
+let check_deadline =
+  let counter = ref 0 in
+  fun deadline ->
+    incr counter;
+    if !counter land 63 = 0 && deadline > 0.0
+       && Unix.gettimeofday () > deadline
+    then raise Deadline
+
+let input_of_model (m : model) i = if i < Array.length m then m.(i) else 0
+
+(* --- compiled queries --------------------------------------------------------
+
+   A query compiles all constraint conditions (plus comparison operands, for
+   the distance function) into one flat Expr program evaluated per candidate
+   model without allocation. *)
+
+type item_kind =
+  | K_flat
+  | K_eq of int * int          (* node ids of the compared operands *)
+  | K_cmp of int * int
+
+type query = {
+  comp : Expr.compiled;
+  items : (int * bool * item_kind) array;   (* cond node id, want, kind *)
+}
+
+(* Strip boolean negations so the distance function sees the comparison
+   underneath: !(e) wanted true == e wanted false, and the stepper encodes
+   "not" over 0/1 values as xor 1. *)
+let rec normalize cond want =
+  match cond with
+  | Expr.Un (Expr.Bool_not, e) -> normalize e (not want)
+  | Expr.Bin (Expr.Xor, e, Expr.Const 1L) -> normalize e (not want)
+  | Expr.Bin (Expr.Xor, Expr.Const 1L, e) -> normalize e (not want)
+  | Expr.Bin (Expr.Eq, e, Expr.Const 0L) -> normalize e (not want)
+  | Expr.Bin (Expr.Eq, Expr.Const 0L, e) -> normalize e (not want)
+  | _ -> (cond, want)
+
+let compile_query cs =
+  let cs =
+    List.map
+      (fun c ->
+         let cond, want = normalize c.cond c.want in
+         { cond; want })
+      cs
+  in
+  let conds = List.map (fun c -> c.cond) cs in
+  let extras =
+    List.concat_map
+      (fun c ->
+         match c.cond with
+         | Expr.Bin ((Expr.Eq | Expr.Ult | Expr.Ule | Expr.Slt | Expr.Sle), a, b) ->
+           [ a; b ]
+         | _ -> [])
+      cs
+  in
+  let comp = Expr.compile (conds @ extras) in
+  let n = List.length cs in
+  let extra_pos = ref n in
+  let items =
+    Array.of_list
+      (List.mapi
+         (fun i c ->
+            let kind =
+              match c.cond, c.want with
+              | Expr.Bin (Expr.Eq, _, _), true ->
+                let ia = comp.Expr.roots.(!extra_pos) in
+                let ib = comp.Expr.roots.(!extra_pos + 1) in
+                extra_pos := !extra_pos + 2;
+                K_eq (ia, ib)
+              | Expr.Bin ((Expr.Ult | Expr.Ule | Expr.Slt | Expr.Sle), _, _), _ ->
+                let ia = comp.Expr.roots.(!extra_pos) in
+                let ib = comp.Expr.roots.(!extra_pos + 1) in
+                extra_pos := !extra_pos + 2;
+                K_cmp (ia, ib)
+              | Expr.Bin (Expr.Eq, _, _), false ->
+                extra_pos := !extra_pos + 2;
+                K_flat
+              | _ -> K_flat
+            in
+            (comp.Expr.roots.(i), c.want, kind))
+         cs)
+  in
+  { comp; items }
+
+let popcount (v : int64) =
+  let rec go acc v = if v = 0L then acc
+    else go (acc + 1) (Int64.logand v (Int64.sub v 1L)) in
+  go 0 v
+
+let log2_dist a b =
+  let d = Int64.abs (Int64.sub a b) in
+  let rec bits acc v = if v = 0L then acc else bits (acc + 1) (Int64.shift_right_logical v 1) in
+  bits 0 d
+
+(* evaluate the query under [m]; returns (all satisfied, penalty) *)
+let eval_query q (m : model) =
+  let v = Expr.run q.comp ~input:(input_of_model m) in
+  let pen = ref 0 in
+  Array.iter
+    (fun (ci, want, kind) ->
+       let sat = (v.(ci) <> 0L) = want in
+       if not sat then
+         pen := !pen
+                + (match kind with
+                   | K_eq (ia, ib) ->
+                     max 1
+                       (min (popcount (Int64.logxor v.(ia) v.(ib)))
+                          (log2_dist v.(ia) v.(ib)))
+                   | K_cmp (ia, ib) -> max 1 (log2_dist v.(ia) v.(ib))
+                   | K_flat -> 40))
+    q.items;
+  (!pen = 0, !pen)
+
+let check (m : model) cs =
+  let ev = Expr.evaluator ~input:(input_of_model m) in
+  List.for_all (fun c -> (ev c.cond <> 0L) = c.want) cs
+
+(* --- search ----------------------------------------------------------------- *)
+
+(* Input indices the constraints actually mention. *)
+let relevant_bytes cs =
+  List.sort_uniq compare
+    (List.concat_map (fun c -> Expr.input_bytes [] c.cond) cs)
+
+let exhaustive ~stats ~deadline ~n_inputs ~max_evals q =
+  let m = Array.make (max n_inputs 1) 0 in
+  let total = min (1 lsl (8 * n_inputs)) max_evals in
+  let rec go i =
+    if i >= total then None
+    else begin
+      check_deadline deadline;
+      for k = 0 to n_inputs - 1 do
+        m.(k) <- (i lsr (8 * k)) land 0xff
+      done;
+      stats.evals <- stats.evals + 1;
+      if fst (eval_query q m) then Some (Array.copy m) else go (i + 1)
+    end
+  in
+  go 0
+
+let local_search ~stats ~deadline ~rng ~n_inputs ~max_evals ~bytes ?seed q =
+  let bytes = if bytes = [] then [ 0 ] else bytes in
+  let m = Array.make (max n_inputs 1) 0 in
+  (match seed with
+   | Some s -> Array.blit s 0 m 0 (min (Array.length s) (Array.length m))
+   | None -> ());
+  let best = ref max_int in
+  let result = ref None in
+  let eval_penalty () =
+    stats.evals <- stats.evals + 1;
+    let sat, p = eval_query q m in
+    if sat && !result = None then result := Some (Array.copy m);
+    p
+  in
+  let restart () =
+    Array.iteri (fun i _ -> m.(i) <- Util.Rng.int rng 256) m;
+    best := eval_penalty ()
+  in
+  best := eval_penalty ();
+  let budget = ref max_evals in
+  let stagnation = ref 0 in
+  while !result = None && !budget > 0 do
+    decr budget;
+    check_deadline deadline;
+    let b = List.nth bytes (Util.Rng.int rng (List.length bytes)) in
+    if b < Array.length m then begin
+      let old = m.(b) in
+      (match Util.Rng.int rng 4 with
+       | 0 -> m.(b) <- Util.Rng.int rng 256
+       | 1 -> m.(b) <- old lxor (1 lsl Util.Rng.int rng 8)
+       | 2 -> m.(b) <- (old + 1) land 0xff
+       | _ -> m.(b) <- (old - 1) land 0xff);
+      let p = eval_penalty () in
+      if p < !best then begin
+        best := p;
+        stagnation := 0
+      end else begin
+        m.(b) <- old;
+        incr stagnation;
+        if !stagnation > 400 then begin
+          restart ();
+          stagnation := 0
+        end
+      end
+    end
+  done;
+  !result
+
+(* Solve for a model of [cs] over [n_inputs] input bytes within
+   [max_evals] expression evaluations. *)
+(* Queries beyond this many constraints are refused outright, standing in
+   for an SMT solver timing out on an oversized query (P1 concretization
+   chains produce tens of thousands of path constraints, §V-E). *)
+let max_constraints = 4000
+
+let solve ?(rng = Util.Rng.create 42) ?stats ?(deadline = 0.0) ?seed ~n_inputs
+    ~max_evals cs =
+  let stats = match stats with Some s -> s | None -> make_stats () in
+  try
+    if deadline > 0.0 && Unix.gettimeofday () > deadline then raise Deadline;
+    if List.compare_length_with cs max_constraints > 0 then raise Deadline;
+    let q = compile_query cs in
+    (* fast paths: the zero model, then the caller-provided seed (for branch
+       negation the generating path's witness satisfies the whole prefix) *)
+    let zero = Array.make (max n_inputs 1) 0 in
+    stats.evals <- stats.evals + 1;
+    if fst (eval_query q zero) then Some zero
+    else
+      let seed_hit =
+        match seed with
+        | Some s ->
+          stats.evals <- stats.evals + 1;
+          if fst (eval_query q s) then Some (Array.copy s) else None
+        | None -> None
+      in
+      match seed_hit with
+      | Some _ as r -> r
+      | None ->
+        let bytes = relevant_bytes cs in
+        let ls_budget = if n_inputs <= 2 then max_evals / 4 else max_evals in
+        (match
+           local_search ~stats ~deadline ~rng ~n_inputs ~max_evals:ls_budget
+             ~bytes ?seed q
+         with
+         | Some _ as r -> r
+         | None ->
+           if n_inputs <= 2 then
+             exhaustive ~stats ~deadline ~n_inputs ~max_evals q
+           else None)
+  with Deadline -> None
+
+(* Enumerate up to [limit] distinct values of [e] consistent with [cs]
+   (value-set sampling for indirect control transfers). *)
+let enumerate ?(rng = Util.Rng.create 43) ?stats ?(deadline = 0.0) ~n_inputs
+    ~max_evals ~limit cs e =
+  let stats = match stats with Some s -> s | None -> make_stats () in
+  let found = ref [] in
+  let rec go excluded k =
+    if k = 0 then ()
+    else
+      let cs' =
+        List.map (fun v -> { cond = Expr.bin Expr.Eq e (Expr.Const v); want = false })
+          excluded
+        @ cs
+      in
+      match solve ~rng ~stats ~deadline ~n_inputs ~max_evals cs' with
+      | None -> ()
+      | Some m ->
+        let v = (Expr.evaluator ~input:(input_of_model m)) e in
+        found := (v, m) :: !found;
+        go (v :: excluded) (k - 1)
+  in
+  go [] limit;
+  List.rev !found

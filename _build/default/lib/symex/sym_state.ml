@@ -1,0 +1,560 @@
+(* Symbolic machine state and single-step transfer function: the x64-lite
+   semantics of Machine.Exec mirrored over Expr values.
+
+   Control flow stays concrete in RIP; branch and indirect-target decisions
+   are surfaced as outcomes for the driving engine (SE forks, DSE follows the
+   concrete witness).  Memory is a concrete base image plus a functional
+   write log; symbolic addresses either produce first-class Load expressions
+   (per-page theory-of-arrays flavour) or get concretized, depending on the
+   engine's memory model (§VII-C3). *)
+
+open X86.Isa
+module E = Expr
+
+module I64Map = Map.Make (Int64)
+
+type smem = {
+  base : Machine.Memory.t;
+  cmap : (E.t * int * int) I64Map.t;    (* addr -> value, size, seq *)
+  sym_writes : (E.t * E.t * int) list;  (* newest first; once non-empty, all
+                                           writes go here to keep ordering *)
+  seq : int;
+}
+
+type t = {
+  mutable regs : E.t array;             (* 16 *)
+  mutable f_cf : E.t;
+  mutable f_zf : E.t;
+  mutable f_sf : E.t;
+  mutable f_of : E.t;
+  mutable f_pf : E.t;
+  mutable mem : smem;
+  mutable rip : int64;
+  mutable constraints : Solver.constr list;   (* newest first *)
+  mutable steps : int;
+  (* symbolic addresses pinned by the memory model, newest first; the
+     engines drain these and treat them as forkable decisions (this is the
+     "pressure on the memory model" P1 induces, §V-E) *)
+  mutable concretizations : (E.t * int64) list;
+}
+
+type outcome =
+  | O_ok
+  | O_branch of E.t * int64 * int64     (* cond, taken rip, fall-through rip *)
+  | O_indirect of E.t                   (* symbolic control-transfer target *)
+  | O_halt
+  | O_fault of string
+
+exception Sym_fault of string
+
+(* Memory-model policy: [toa] keeps symbolic loads symbolic; otherwise
+   [concretize] pins the address (returns None when infeasible). *)
+type mem_model = {
+  toa : bool;
+  concretize : t -> E.t -> int64 option;
+  on_write : E.t -> int -> unit;     (* observation hook (coverage probes) *)
+}
+
+let create mem rip =
+  { regs = Array.make 16 (E.Const 0L);
+    f_cf = E.zero; f_zf = E.zero; f_sf = E.zero; f_of = E.zero; f_pf = E.zero;
+    mem = { base = mem; cmap = I64Map.empty; sym_writes = []; seq = 0 };
+    rip;
+    constraints = [];
+    steps = 0;
+    concretizations = [] }
+
+let copy t =
+  { regs = Array.copy t.regs;
+    f_cf = t.f_cf; f_zf = t.f_zf; f_sf = t.f_sf; f_of = t.f_of; f_pf = t.f_pf;
+    mem = t.mem;
+    rip = t.rip;
+    constraints = t.constraints;
+    steps = t.steps;
+    concretizations = t.concretizations }
+
+let get t r = t.regs.(reg_index r)
+let set t r v = t.regs.(reg_index r) <- v
+
+let constrain t cond want = t.constraints <- { Solver.cond; want } :: t.constraints
+
+(* --- expression helpers ----------------------------------------------------- *)
+
+let cbits w = Int64.of_int (width_bits w - 1)
+
+let trunc w e = if w = W64 then e else E.un (E.Low (w, false)) e
+let sext w e = if w = W64 then e else E.un (E.Low (w, true)) e
+
+let sign_bit w e =
+  E.bin E.And (E.bin E.Shr e (E.Const (cbits w))) E.one
+
+let bnot01 e = E.bin E.Xor e E.one          (* negate a 0/1 expression *)
+let bor01 a b = E.bin E.Or a b
+let band01 a b = E.bin E.And a b
+let bxor01 a b = E.bin E.Xor a b
+
+let is_zero w e = E.bin E.Eq (trunc w e) E.zero
+
+let parity_expr e =
+  (* even parity of the low byte, producing 0/1 *)
+  let b = E.bin E.And e (E.Const 0xFFL) in
+  let p = E.bin E.Xor b (E.bin E.Shr b (E.Const 4L)) in
+  let p = E.bin E.Xor p (E.bin E.Shr p (E.Const 2L)) in
+  let p = E.bin E.Xor p (E.bin E.Shr p (E.Const 1L)) in
+  bnot01 (E.bin E.And p E.one)
+
+let carry_out_e w a b r =
+  let open E in
+  let m =
+    bin Or (bin And a b) (bin And (bin Or a b) (un Not r))
+  in
+  sign_bit w m
+
+let borrow_out_e w a b r =
+  let open E in
+  let m =
+    bin Or (bin And (un Not a) b) (bin And (bin Or (un Not a) b) r)
+  in
+  sign_bit w m
+
+let overflow_add_e w a b r =
+  sign_bit w (E.bin E.And (E.bin E.Xor a r) (E.bin E.Xor b r))
+
+let overflow_sub_e w a b r =
+  sign_bit w (E.bin E.And (E.bin E.Xor a b) (E.bin E.Xor a r))
+
+let set_zsp t w r =
+  t.f_zf <- is_zero w r;
+  t.f_sf <- sign_bit w r;
+  t.f_pf <- parity_expr r
+
+let cc_expr t = function
+  | O -> t.f_of | NO -> bnot01 t.f_of
+  | B -> t.f_cf | AE -> bnot01 t.f_cf
+  | E -> t.f_zf | NE -> bnot01 t.f_zf
+  | BE -> bor01 t.f_cf t.f_zf | A -> bnot01 (bor01 t.f_cf t.f_zf)
+  | S -> t.f_sf | NS -> bnot01 t.f_sf
+  | P -> t.f_pf | NP -> bnot01 t.f_pf
+  | L -> bxor01 t.f_sf t.f_of | GE -> bnot01 (bxor01 t.f_sf t.f_of)
+  | LE -> bor01 t.f_zf (bxor01 t.f_sf t.f_of)
+  | G -> bnot01 (bor01 t.f_zf (bxor01 t.f_sf t.f_of))
+
+(* --- memory ------------------------------------------------------------------ *)
+
+let full_write_log m =
+  m.sym_writes
+  @ (I64Map.bindings m.cmap
+     |> List.map (fun (a, (v, n, seq)) -> (seq, (E.Const a, v, n)))
+     |> List.sort (fun (s1, _) (s2, _) -> compare s2 s1)
+     |> List.map snd)
+
+let to_expr_mem m : E.mem = { E.base = m.base; writes = full_write_log m }
+
+(* byte expression at concrete address [a] from the concrete-address map or
+   the base image; None when unmapped *)
+let cmap_byte m a =
+  let best = ref None in
+  for k = 0 to 7 do
+    let start = Int64.sub a (Int64.of_int k) in
+    match I64Map.find_opt start m.cmap with
+    | Some (v, n, seq) when k < n ->
+      (match !best with
+       | Some (_, bseq) when bseq >= seq -> ()
+       | _ ->
+         let byte =
+           E.bin E.And
+             (E.bin E.Shr v (E.Const (Int64.of_int (8 * k))))
+             (E.Const 0xFFL)
+         in
+         best := Some (byte, seq))
+    | Some _ | None -> ()
+  done;
+  match !best with
+  | Some (e, _) -> Some e
+  | None ->
+    (match Machine.Memory.read_u8_opt m.base a with
+     | Some v -> Some (E.Const (Int64.of_int v))
+     | None -> None)
+
+(* does any symbolic-addressed write possibly cover [a .. a+n)? *)
+let sym_write_may_cover m =
+  m.sym_writes <> []
+
+let read_concrete t a n =
+  let m = t.mem in
+  if sym_write_may_cover m then
+    (* sound fallback: keep the read symbolic over the full log *)
+    E.Load (to_expr_mem m, E.Const a, n)
+  else begin
+    (* exact-match fast path *)
+    match I64Map.find_opt a m.cmap with
+    | Some (v, n', _) when n' = n -> v
+    | Some _ | None ->
+      let r = ref (E.Const 0L) in
+      (try
+         for i = n - 1 downto 0 do
+           match cmap_byte m (Int64.add a (Int64.of_int i)) with
+           | Some b -> r := E.bin E.Or (E.bin E.Shl !r (E.Const 8L)) b
+           | None -> raise (Sym_fault (Printf.sprintf "read of unmapped 0x%Lx" a))
+         done;
+         !r
+       with Sym_fault _ as e -> raise e)
+  end
+
+(* S2E-style store-back: when a register holding exactly the concretized
+   expression exists, pin it to the constant; keeps state expressions small
+   and mirrors how concretizing executors behave. *)
+let store_back t addr_e a =
+  for i = 0 to 15 do
+    if t.regs.(i) == addr_e then t.regs.(i) <- E.Const a
+  done
+
+let mread ~model t addr_e n =
+  match addr_e with
+  | E.Const a -> read_concrete t a n
+  | _ ->
+    if model.toa then E.Load (to_expr_mem t.mem, addr_e, n)
+    else
+      (match model.concretize t addr_e with
+       | Some a ->
+         constrain t (E.bin E.Eq addr_e (E.Const a)) true;
+         t.concretizations <- (addr_e, a) :: t.concretizations;
+         store_back t addr_e a;
+         read_concrete t a n
+       | None -> raise (Sym_fault "unresolvable symbolic address"))
+
+let mwrite ~model t addr_e n v =
+  model.on_write addr_e n;
+  let m = t.mem in
+  match addr_e with
+  | E.Const a when m.sym_writes = [] ->
+    t.mem <- { m with cmap = I64Map.add a (v, n, m.seq) m.cmap; seq = m.seq + 1 }
+  | E.Const _ ->
+    t.mem <- { m with sym_writes = (addr_e, v, n) :: m.sym_writes; seq = m.seq + 1 }
+  | _ ->
+    if model.toa then
+      t.mem <- { m with sym_writes = (addr_e, v, n) :: m.sym_writes; seq = m.seq + 1 }
+    else
+      (match model.concretize t addr_e with
+       | Some a ->
+         constrain t (E.bin E.Eq addr_e (E.Const a)) true;
+         t.concretizations <- (addr_e, a) :: t.concretizations;
+         store_back t addr_e a;
+         t.mem <-
+           { m with
+             cmap = I64Map.add a (v, n, m.seq) m.cmap;
+             sym_writes =
+               (if m.sym_writes = [] then [] else (E.Const a, v, n) :: m.sym_writes);
+             seq = m.seq + 1 }
+       | None -> raise (Sym_fault "unresolvable symbolic address"))
+
+(* --- operands ----------------------------------------------------------------- *)
+
+let ea t (m : mem) =
+  let b = match m.base with Some r -> get t r | None -> E.Const 0L in
+  let i =
+    match m.index with
+    | Some (r, sc) -> E.bin E.Mul (get t r) (E.Const (Int64.of_int sc))
+    | None -> E.Const 0L
+  in
+  E.bin E.Add (E.bin E.Add b i) (E.Const m.disp)
+
+let read_operand ~model t w = function
+  | Reg r -> trunc w (get t r)
+  | Imm v -> E.Const (Machine.Semantics.truncate w v)
+  | Mem m -> mread ~model t (ea t m) (width_bytes w)
+
+let write_reg t w r v =
+  match w with
+  | W64 -> set t r v
+  | W32 -> set t r (E.bin E.And v (E.Const 0xFFFFFFFFL))
+  | W16 ->
+    set t r
+      (E.bin E.Or
+         (E.bin E.And (get t r) (E.Const (-65536L)))
+         (E.bin E.And v (E.Const 0xFFFFL)))
+  | W8 ->
+    set t r
+      (E.bin E.Or
+         (E.bin E.And (get t r) (E.Const (-256L)))
+         (E.bin E.And v (E.Const 0xFFL)))
+
+let write_operand ~model t w op v =
+  match op with
+  | Reg r -> write_reg t w r v
+  | Mem m -> mwrite ~model t (ea t m) (width_bytes w) v
+  | Imm _ -> raise (Sym_fault "write to immediate")
+
+(* --- instruction transfer ------------------------------------------------------ *)
+
+let flags_add t w a b r =
+  t.f_cf <- carry_out_e w a b r;
+  t.f_of <- overflow_add_e w a b r;
+  set_zsp t w r
+
+let flags_sub t w a b r =
+  t.f_cf <- borrow_out_e w a b r;
+  t.f_of <- overflow_sub_e w a b r;
+  set_zsp t w r
+
+let flags_logic t w r =
+  t.f_cf <- E.zero;
+  t.f_of <- E.zero;
+  set_zsp t w r
+
+let push64 ~model t v =
+  let sp = E.bin E.Sub (get t RSP) (E.Const 8L) in
+  set t RSP sp;
+  mwrite ~model t sp 8 v
+
+let pop64 ~model t =
+  let sp = get t RSP in
+  let v = mread ~model t sp 8 in
+  (* re-read RSP: concretization may have pinned it (store_back) *)
+  set t RSP (E.bin E.Add (get t RSP) (E.Const 8L));
+  v
+
+let exec_alu ~model t o w d s =
+  let a = read_operand ~model t w d in
+  let b = read_operand ~model t w s in
+  let wr r = write_operand ~model t w d r in
+  match o with
+  | Add ->
+    let r = trunc w (E.bin E.Add a b) in
+    flags_add t w a b r; wr r
+  | Adc ->
+    let r = trunc w (E.bin E.Add (E.bin E.Add a b) t.f_cf) in
+    flags_add t w a b r; wr r
+  | Sub ->
+    let r = trunc w (E.bin E.Sub a b) in
+    flags_sub t w a b r; wr r
+  | Sbb ->
+    let r = trunc w (E.bin E.Sub (E.bin E.Sub a b) t.f_cf) in
+    flags_sub t w a b r; wr r
+  | Cmp ->
+    let r = trunc w (E.bin E.Sub a b) in
+    flags_sub t w a b r
+  | And -> let r = E.bin E.And a b in flags_logic t w r; wr r
+  | Or -> let r = E.bin E.Or a b in flags_logic t w r; wr r
+  | Xor -> let r = E.bin E.Xor a b in flags_logic t w r; wr r
+  | Test -> let r = E.bin E.And a b in flags_logic t w r
+
+let exec_shift ~model t o w d count =
+  let a = read_operand ~model t w d in
+  let n_e =
+    match count with
+    | S_imm n ->
+      E.Const (Int64.of_int (n land (if w = W64 then 63 else 31)))
+    | S_cl ->
+      E.bin E.And (get t RCX)
+        (E.Const (Int64.of_int (if w = W64 then 63 else 31)))
+  in
+  let bits = Int64.of_int (width_bits w) in
+  (* flag semantics approximated for symbolic counts: computed as if the
+     masked count were non-zero (matches the concrete machine whenever the
+     count is non-zero, which the generated code guarantees) *)
+  let r =
+    match o with
+    | Shl -> trunc w (E.bin E.Shl a n_e)
+    | Shr -> E.bin E.Shr (trunc w a) n_e
+    | Sar -> trunc w (E.bin E.Sar (sext w a) n_e)
+    | Rol ->
+      trunc w
+        (E.bin E.Or (E.bin E.Shl a n_e)
+           (E.bin E.Shr (trunc w a) (E.bin E.Sub (E.Const bits) n_e)))
+    | Ror ->
+      trunc w
+        (E.bin E.Or (E.bin E.Shr (trunc w a) n_e)
+           (E.bin E.Shl a (E.bin E.Sub (E.Const bits) n_e)))
+  in
+  (match o with
+   | Shl ->
+     t.f_cf <-
+       E.bin E.And
+         (E.bin E.Shr a (E.bin E.Sub (E.Const bits) n_e)) E.one;
+     t.f_of <- bxor01 (sign_bit w r) t.f_cf;
+     set_zsp t w r
+   | Shr ->
+     t.f_cf <-
+       E.bin E.And (E.bin E.Shr (trunc w a) (E.bin E.Sub n_e E.one)) E.one;
+     t.f_of <- sign_bit w a;
+     set_zsp t w r
+   | Sar ->
+     t.f_cf <-
+       E.bin E.And (E.bin E.Sar (sext w a) (E.bin E.Sub n_e E.one)) E.one;
+     t.f_of <- E.zero;
+     set_zsp t w r
+   | Rol -> t.f_cf <- E.bin E.And r E.one
+   | Ror -> t.f_cf <- sign_bit w r);
+  (* a zero count must leave the destination and flags untouched; handled
+     here only for the destination via ite *)
+  let r = E.ite (E.bin E.Eq n_e E.zero) (trunc w a) r in
+  write_operand ~model t w d r
+
+let exec_muldiv ~model t o src =
+  let v = read_operand ~model t W64 src in
+  let rax = get t RAX in
+  match o with
+  | Mul ->
+    let hi = E.bin E.Mulhi_u rax v in
+    set t RAX (E.bin E.Mul rax v);
+    set t RDX hi;
+    let c = bnot01 (E.bin E.Eq hi E.zero) in
+    t.f_cf <- c; t.f_of <- c
+  | Imul1 ->
+    let lo = E.bin E.Mul rax v in
+    let hi = E.bin E.Mulhi_s rax v in
+    set t RAX lo;
+    set t RDX hi;
+    let c = bnot01 (E.bin E.Eq hi (E.bin E.Sar lo (E.Const 63L))) in
+    t.f_cf <- c; t.f_of <- c
+  | Div ->
+    (* assumes the rdx=0 idiom (see DESIGN.md); a symbolic zero divisor
+       evaluates to quotient 0 rather than faulting *)
+    set t RDX (E.bin E.Urem rax v);
+    set t RAX (E.bin E.Udiv rax v)
+  | Idiv ->
+    set t RDX (E.bin E.Srem rax v);
+    set t RAX (E.bin E.Sdiv rax v)
+
+let lahf_expr t =
+  let open E in
+  let b =
+    bin Or (bin Shl t.f_sf (Const 7L))
+      (bin Or (bin Shl t.f_zf (Const 6L))
+         (bin Or (bin Shl t.f_pf (Const 2L))
+            (bin Or (Const 2L) t.f_cf)))
+  in
+  b
+
+(* Execute the instruction at t.rip (already fetched as [i] with length
+   [len]); returns the control-flow outcome. *)
+let exec_instr ~model t i len =
+  let next = Int64.add t.rip (Int64.of_int len) in
+  t.rip <- next;
+  t.steps <- t.steps + 1;
+  match i with
+  | Nop -> O_ok
+  | Hlt -> O_halt
+  | Lahf ->
+    set t RAX
+      (E.bin E.Or
+         (E.bin E.And (get t RAX) (E.Const (Int64.lognot 0xFF00L)))
+         (E.bin E.Shl (lahf_expr t) (E.Const 8L)));
+    O_ok
+  | Sahf ->
+    let b = E.bin E.Shr (get t RAX) (E.Const 8L) in
+    t.f_sf <- E.bin E.And (E.bin E.Shr b (E.Const 7L)) E.one;
+    t.f_zf <- E.bin E.And (E.bin E.Shr b (E.Const 6L)) E.one;
+    t.f_pf <- E.bin E.And (E.bin E.Shr b (E.Const 2L)) E.one;
+    t.f_cf <- E.bin E.And b E.one;
+    O_ok
+  | Mov (w, d, s) ->
+    write_operand ~model t w d (read_operand ~model t w s);
+    O_ok
+  | Movzx (dw, sw, r, s) ->
+    write_reg t dw r (read_operand ~model t sw s);
+    O_ok
+  | Movsx (dw, sw, r, s) ->
+    write_reg t dw r (trunc dw (sext sw (read_operand ~model t sw s)));
+    O_ok
+  | Lea (r, m) -> set t r (ea t m); O_ok
+  | Push a -> push64 ~model t (read_operand ~model t W64 a); O_ok
+  | Pop d ->
+    let v = pop64 ~model t in
+    write_operand ~model t W64 d v;
+    O_ok
+  | Alu (o, w, d, s) -> exec_alu ~model t o w d s; O_ok
+  | Unary (o, w, d) ->
+    let a = read_operand ~model t w d in
+    (match o with
+     | Neg ->
+       let r = trunc w (E.un E.Neg a) in
+       flags_sub t w E.zero a r;
+       write_operand ~model t w d r
+     | Not -> write_operand ~model t w d (trunc w (E.un E.Not a))
+     | Inc ->
+       let r = trunc w (E.bin E.Add a E.one) in
+       t.f_of <- overflow_add_e w a E.one r;
+       set_zsp t w r;
+       write_operand ~model t w d r
+     | Dec ->
+       let r = trunc w (E.bin E.Sub a E.one) in
+       t.f_of <- overflow_sub_e w a E.one r;
+       set_zsp t w r;
+       write_operand ~model t w d r);
+    O_ok
+  | Imul2 (w, r, s) ->
+    let a = trunc w (get t r) in
+    let b = read_operand ~model t w s in
+    let full = E.bin E.Mul (sext w a) (sext w b) in
+    let r64 = trunc w full in
+    let c = bnot01 (E.bin E.Eq (sext w r64) full) in
+    t.f_cf <- c; t.f_of <- c;
+    set_zsp t w r64;
+    write_reg t w r r64;
+    O_ok
+  | MulDiv (o, s) -> exec_muldiv ~model t o s; O_ok
+  | Shift (o, w, d, c) -> exec_shift ~model t o w d c; O_ok
+  | Cmov (cc, r, s) ->
+    let v = read_operand ~model t W64 s in
+    set t r (E.ite (cc_expr t cc) v (get t r));
+    O_ok
+  | Setcc (cc, d) -> write_operand ~model t W8 d (cc_expr t cc); O_ok
+  | Jmp (J_rel d) -> t.rip <- Int64.add next (Int64.of_int d); O_ok
+  | Jmp (J_op a) ->
+    (match read_operand ~model t W64 a with
+     | E.Const v -> t.rip <- v; O_ok
+     | e -> O_indirect e)
+  | Jcc (cc, d) ->
+    let taken = Int64.add next (Int64.of_int d) in
+    (match cc_expr t cc with
+     | E.Const 0L -> O_ok
+     | E.Const _ -> t.rip <- taken; O_ok
+     | cond -> O_branch (cond, taken, next))
+  | Call (J_rel d) ->
+    push64 ~model t (E.Const next);
+    t.rip <- Int64.add next (Int64.of_int d);
+    O_ok
+  | Call (J_op a) ->
+    let target = read_operand ~model t W64 a in
+    push64 ~model t (E.Const next);
+    (match target with
+     | E.Const v -> t.rip <- v; O_ok
+     | e -> O_indirect e)
+  | Ret ->
+    (match pop64 ~model t with
+     | E.Const v -> t.rip <- v; O_ok
+     | e -> O_indirect e)
+  | Leave ->
+    set t RSP (get t RBP);
+    let v = pop64 ~model t in
+    set t RBP v;
+    O_ok
+  | Xchg (w, a, b) ->
+    let va = read_operand ~model t w a in
+    let vb = read_operand ~model t w b in
+    write_operand ~model t w a vb;
+    write_operand ~model t w b va;
+    O_ok
+
+(* Fetch + decode at t.rip from the base image, with a shared cache. *)
+let step ~model ~decode_cache t =
+  let rip = t.rip in
+  let fetched =
+    match Hashtbl.find_opt decode_cache rip with
+    | Some r -> r
+    | None ->
+      let window =
+        Machine.Memory.read_bytes_avail t.mem.base rip X86.Encode.max_instr_len
+      in
+      let r = X86.Decode.decode window 0 in
+      Hashtbl.replace decode_cache rip r;
+      r
+  in
+  match fetched with
+  | None -> O_fault (Printf.sprintf "invalid instruction at 0x%Lx" rip)
+  | Some (i, len) ->
+    (match exec_instr ~model t i len with
+     | o -> o
+     | exception Sym_fault m -> O_fault m)

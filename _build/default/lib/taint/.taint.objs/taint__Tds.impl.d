@@ -1,0 +1,1 @@
+lib/taint/tds.ml: Array Hashtbl List Tracer X86

@@ -1,0 +1,1 @@
+lib/taint/tracer.ml: Hashtbl Image Int64 List Machine Symex X86

@@ -1,0 +1,226 @@
+(* Tainted trace recorder.
+
+   Runs one concrete path (concolically, under a fixed input) and records,
+   per executed instruction: the concrete read/written locations (registers,
+   flags, memory bytes) and whether any source value is input-tainted.
+   This is the input format of the TDS simplifier. *)
+
+open X86.Isa
+module E = Symex.Expr
+module SS = Symex.Sym_state
+
+type loc =
+  | L_reg of reg
+  | L_flags
+  | L_mem of int64            (* byte address *)
+
+type entry = {
+  e_rip : int64;
+  e_instr : instr;
+  e_reads : loc list;
+  e_writes : loc list;
+  e_tainted : bool;           (* some source depends on the input *)
+  e_branch_tainted : bool;    (* control decision depends on the input *)
+}
+
+let is_control_instr (i : instr) =
+  match i with
+  | Jmp _ | Jcc _ | Ret | Call _ | Hlt -> true
+  | Mov _ | Movzx _ | Movsx _ | Lea _ | Push _ | Pop _ | Alu _ | Unary _
+  | Imul2 _ | MulDiv _ | Shift _ | Cmov _ | Setcc _ | Leave | Xchg _ | Nop
+  | Lahf | Sahf -> false
+
+type trace = {
+  entries : entry list;       (* program order *)
+  result : E.t;               (* final RAX *)
+  halted : bool;
+}
+
+let mem_locs st ev (m : mem) n =
+  let base = match m.base with Some r -> ev (SS.get st r) | None -> 0L in
+  let idx =
+    match m.index with
+    | Some (r, sc) -> Int64.mul (ev (SS.get st r)) (Int64.of_int sc)
+    | None -> 0L
+  in
+  let a = Int64.add (Int64.add base idx) m.disp in
+  List.init n (fun i -> L_mem (Int64.add a (Int64.of_int i)))
+
+let operand_read_locs st ev w = function
+  | Reg r -> [ L_reg r ]
+  | Imm _ -> []
+  | Mem m ->
+    (match m.base with Some r -> [ L_reg r ] | None -> [])
+    @ (match m.index with Some (r, _) -> [ L_reg r ] | None -> [])
+    @ mem_locs st ev m (width_bytes w)
+
+let operand_write_locs st ev w = function
+  | Reg r -> [ L_reg r ]
+  | Imm _ -> []
+  | Mem m -> mem_locs st ev m (width_bytes w)
+
+(* locations read / written by [i] in state [st] (before execution) *)
+let locs_of st ev (i : instr) =
+  let rd w o = operand_read_locs st ev w o in
+  let wr w o = operand_write_locs st ev w o in
+  let addr_regs o =
+    match o with
+    | Mem m ->
+      (match m.base with Some r -> [ L_reg r ] | None -> [])
+      @ (match m.index with Some (r, _) -> [ L_reg r ] | None -> [])
+    | Reg _ | Imm _ -> []
+  in
+  match i with
+  | Nop | Hlt -> ([], [])
+  | Lahf -> ([ L_flags ], [ L_reg RAX ])
+  | Sahf -> ([ L_reg RAX ], [ L_flags ])
+  | Mov (w, d, s) -> (rd w s @ addr_regs d, wr w d)
+  | Movzx (dw, sw, r, s) | Movsx (dw, sw, r, s) ->
+    ignore dw; (rd sw s, [ L_reg r ])
+  | Lea (r, m) -> (operand_read_locs st ev W64 (Mem m) |> List.filter (function L_mem _ -> false | _ -> true), [ L_reg r ])
+  | Push s ->
+    let sp = ev (SS.get st RSP) in
+    (L_reg RSP :: rd W64 s,
+     L_reg RSP :: List.init 8 (fun k -> L_mem (Int64.add (Int64.sub sp 8L) (Int64.of_int k))))
+  | Pop d ->
+    let sp = ev (SS.get st RSP) in
+    (L_reg RSP :: List.init 8 (fun k -> L_mem (Int64.add sp (Int64.of_int k))),
+     L_reg RSP :: wr W64 d)
+  | Alu ((Cmp | Test), w, a, b) -> (rd w a @ rd w b, [ L_flags ])
+  | Alu ((Adc | Sbb), w, d, s) -> (L_flags :: rd w d @ rd w s, L_flags :: wr w d)
+  | Alu (_, w, d, s) -> (rd w d @ rd w s, L_flags :: wr w d)
+  | Unary (Not, w, d) -> (rd w d, wr w d)
+  | Unary (_, w, d) -> (rd w d, L_flags :: wr w d)
+  | Imul2 (w, r, s) -> (L_reg r :: rd w s, [ L_reg r; L_flags ])
+  | MulDiv (_, s) ->
+    (L_reg RAX :: L_reg RDX :: rd W64 s, [ L_reg RAX; L_reg RDX; L_flags ])
+  | Shift (_, w, d, c) ->
+    let cl = match c with S_cl -> [ L_reg RCX ] | S_imm _ -> [] in
+    (cl @ rd w d, L_flags :: wr w d)
+  | Cmov (_, r, s) -> (L_flags :: L_reg r :: rd W64 s, [ L_reg r ])
+  | Setcc (_, d) -> ([ L_flags ], wr W8 d)
+  | Jmp (J_rel _) -> ([], [])
+  | Jmp (J_op o) -> (rd W64 o, [])
+  | Jcc _ -> ([ L_flags ], [])
+  | Call (J_rel _) ->
+    let sp = ev (SS.get st RSP) in
+    ([ L_reg RSP ],
+     L_reg RSP :: List.init 8 (fun k -> L_mem (Int64.add (Int64.sub sp 8L) (Int64.of_int k))))
+  | Call (J_op o) ->
+    let sp = ev (SS.get st RSP) in
+    (L_reg RSP :: rd W64 o,
+     L_reg RSP :: List.init 8 (fun k -> L_mem (Int64.add (Int64.sub sp 8L) (Int64.of_int k))))
+  | Ret ->
+    let sp = ev (SS.get st RSP) in
+    (L_reg RSP :: List.init 8 (fun k -> L_mem (Int64.add sp (Int64.of_int k))),
+     [ L_reg RSP ])
+  | Leave ->
+    let bp = ev (SS.get st RBP) in
+    ([ L_reg RBP ] @ List.init 8 (fun k -> L_mem (Int64.add bp (Int64.of_int k))),
+     [ L_reg RSP; L_reg RBP ])
+  | Xchg (w, a, b) -> (rd w a @ rd w b, wr w a @ wr w b)
+
+(* is a source location's current value input-tainted? *)
+let loc_tainted st (l : loc) =
+  match l with
+  | L_reg r -> E.depends_on_input (SS.get st r)
+  | L_flags ->
+    E.depends_on_input st.SS.f_cf || E.depends_on_input st.SS.f_zf
+    || E.depends_on_input st.SS.f_sf || E.depends_on_input st.SS.f_of
+    || E.depends_on_input st.SS.f_pf
+  | L_mem _ -> false   (* refined below via a symbolic read *)
+
+(* Record the trace of [func] on concrete [input] bytes, with RDI symbolic so
+   taint is tracked exactly like the concolic engine does. *)
+let record ?(fuel = 2_000_000) (img : Image.t) ~func ~n_inputs ~(input : int array) =
+  let tgt = { Symex.Engine.img; func; n_inputs } in
+  let budget = { Symex.Engine.default_budget with path_fuel = fuel } in
+  let ctx =
+    Symex.Engine.make_ctx ~goal:Symex.Engine.G_coverage ~budget tgt
+  in
+  let st = Symex.Engine.initial_state ctx in
+  let w = ref input in
+  let model = Symex.Engine.model_for ctx w in
+  let ev = E.evaluator ~input:(Symex.Solver.input_of_model input) in
+  let entries = ref [] in
+  let halted = ref false in
+  let decode_cache = Hashtbl.create 512 in
+  let fetch rip =
+    let window = Machine.Memory.read_bytes_avail st.SS.mem.SS.base rip X86.Encode.max_instr_len in
+    X86.Decode.decode window 0
+  in
+  let rec go n =
+    if n <= 0 then ()
+    else
+      match fetch st.SS.rip with
+      | None -> ()
+      | Some (i, _len) ->
+        let rip = st.SS.rip in
+        let reads, writes = locs_of st ev i in
+        (* taint of memory reads: consult the symbolic memory *)
+        let tainted =
+          List.exists
+            (fun l ->
+               match l with
+               | L_mem a ->
+                 (match SS.read_concrete st a 1 with
+                  | e -> E.depends_on_input e
+                  | exception SS.Sym_fault _ -> false)
+               | L_reg _ | L_flags -> loc_tainted st l)
+            reads
+        in
+        st.SS.concretizations <- [];
+        (match Symex.Sym_state.step ~model ~decode_cache st with
+         | SS.O_ok ->
+           (* a control transfer through an input-tainted pointer is an
+              implicit control dependency the simplifier must keep; tainted
+              *data* addresses are per-trace constants and fold away *)
+           let bt =
+             is_control_instr i
+             && List.exists (fun (e, _) -> E.depends_on_input e)
+                  st.SS.concretizations
+           in
+           entries :=
+             { e_rip = rip; e_instr = i; e_reads = reads; e_writes = writes;
+               e_tainted = tainted || bt; e_branch_tainted = bt }
+             :: !entries;
+           go (n - 1)
+         | SS.O_halt ->
+           halted := true;
+           entries :=
+             { e_rip = rip; e_instr = i; e_reads = reads; e_writes = writes;
+               e_tainted = tainted; e_branch_tainted = false }
+             :: !entries
+         | SS.O_fault _ -> ()
+         | SS.O_branch (cond, taken, fall) ->
+           let v = ev cond <> 0L in
+           let bt = E.depends_on_input cond in
+           SS.constrain st cond v;
+           st.SS.rip <- (if v then taken else fall);
+           entries :=
+             { e_rip = rip; e_instr = i; e_reads = reads; e_writes = writes;
+               e_tainted = tainted || bt; e_branch_tainted = bt }
+             :: !entries;
+           go (n - 1)
+         | SS.O_indirect target ->
+           (* an indirect target is a per-trace constant: foldable dispatch,
+              except when the loaded value itself is input-derived through
+              the P1 array (fake control dependencies, §V-C) *)
+           let v = ev target in
+           let bt =
+             E.depends_on_input target
+             || List.exists (fun (e, _) -> E.depends_on_input e)
+                  st.SS.concretizations
+           in
+           SS.constrain st (E.bin E.Eq target (E.Const v)) true;
+           st.SS.rip <- v;
+           entries :=
+             { e_rip = rip; e_instr = i; e_reads = reads; e_writes = writes;
+               e_tainted = tainted || bt; e_branch_tainted = bt }
+             :: !entries;
+           go (n - 1))
+  in
+  go fuel;
+  { entries = List.rev !entries;
+    result = SS.get st X86.Isa.RAX;
+    halted = !halted }

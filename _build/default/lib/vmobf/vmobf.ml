@@ -1,0 +1,378 @@
+(* Virtualization obfuscation at the mini-C level — the Tigress stand-in used
+   as the paper's comparison baseline (Table I: nVM, nVM-IMP_x).
+
+   [virtualize] compiles a function's body to bytecode for a randomly
+   generated stack machine (opcode assignment and handler order depend on the
+   seed, reproducing the "scarce reuse of deobfuscation knowledge" property)
+   and replaces the body with an interpreter: fetch, dispatch via a dense
+   switch (compiled to a jump table), handlers, VPC update.
+
+   With [implicit_vpc] every VPC load is routed through an implicit flow: the
+   next VPC is rebuilt bit-by-bit with one conditional branch per bit, the
+   classic counting-style implicit-flow encoding that defeats taint tracking
+   and multiplies DSE states whenever the VPC becomes symbolic.  Layering is
+   nesting: the interpreter is itself mini-C, so it can be virtualized
+   again. *)
+
+open Minic.Ast
+
+(* --- desugaring: reduce to If/While/Assign/Store/Return/Expr -------------- *)
+
+let rec desugar_stmt (s : stmt) : stmt list =
+  match s with
+  | For (init, cond, step, body) ->
+    desugar_stmt init
+    @ [ While (cond, desugar_list body @ desugar_stmt step) ]
+  | Do_while (body, cond) ->
+    let body' = desugar_list body in
+    body' @ [ While (cond, body') ]
+  | Switch (scrut, cases, default) ->
+    (* if-chain; relies on the scrutinee expression being re-evaluable,
+       which holds for the pure expressions minic programs use *)
+    let rec chain = function
+      | [] -> desugar_list default
+      | (k, body) :: rest ->
+        [ If (Bin (Eq, scrut, c k), desugar_list body, chain rest) ]
+    in
+    chain cases
+  | If (e, t, f) -> [ If (e, desugar_list t, desugar_list f) ]
+  | While (e, body) -> [ While (e, desugar_list body) ]
+  | Assign _ | Store _ | Return _ | Expr _ | Break | Continue -> [ s ]
+
+and desugar_list body = List.concat_map desugar_stmt body
+
+(* --- bytecode -------------------------------------------------------------- *)
+
+type opkind =
+  | Op_push                       (* operand: constant *)
+  | Op_load of int                (* variable slot *)
+  | Op_store of int
+  | Op_addr_local of string       (* push address of a local array *)
+  | Op_addr_global of string
+  | Op_binop of binop
+  | Op_unop of unop
+  | Op_cast of width * bool
+  | Op_loadmem of width * bool
+  | Op_storemem of width
+  | Op_jmp                        (* operand: target vpc *)
+  | Op_jz                         (* operand: target vpc *)
+  | Op_ret
+  | Op_pop
+  | Op_call of string * int       (* callee, arity *)
+
+(* instructions are (opkind, operand option); the encoded stream is one quad
+   for the opcode plus one quad per operand *)
+type binstr = opkind * int64 option
+
+let op_size (_, operand) = match operand with Some _ -> 2 | None -> 1
+
+exception Virtualize_error of string
+
+type compile_ctx = {
+  var_index : (string, int) Hashtbl.t;
+  prog : program;                  (* for callee arities *)
+  mutable code : binstr list;      (* reversed *)
+  mutable labels : (int, int) Hashtbl.t;   (* label id -> vpc *)
+  mutable fixups : (int * int) list;       (* code index (of operand), label *)
+  mutable next_label : int;
+  mutable loop_stack : (int * int) list;   (* break, continue label ids *)
+}
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+let code_len ctx = List.fold_left (fun a i -> a + op_size i) 0 ctx.code
+
+let fresh_label ctx =
+  let l = ctx.next_label in
+  ctx.next_label <- l + 1;
+  l
+
+let place_label ctx l = Hashtbl.replace ctx.labels l (code_len ctx)
+
+(* emit a jump with a symbolic target *)
+let emit_jump ctx kind l =
+  emit ctx (kind, Some 0L);
+  (* operand position = current length - 1 *)
+  ctx.fixups <- (code_len ctx - 1, l) :: ctx.fixups
+
+let var_slot ctx name =
+  match Hashtbl.find_opt ctx.var_index name with
+  | Some i -> i
+  | None -> raise (Virtualize_error ("unknown variable " ^ name))
+
+let callee_arity ctx f =
+  match List.find_opt (fun fn -> fn.fname = f) ctx.prog.funcs with
+  | Some fn -> List.length fn.params
+  | None -> raise (Virtualize_error ("unknown callee " ^ f))
+
+let rec compile_expr ctx (e : expr) =
+  match e with
+  | Const v -> emit ctx (Op_push, Some v)
+  | Var n -> emit ctx (Op_load (var_slot ctx n), None)
+  | Load (w, signed, a) ->
+    compile_expr ctx a;
+    emit ctx (Op_loadmem (w, signed), None)
+  | Addr_local n -> emit ctx (Op_addr_local n, None)
+  | Addr_global n -> emit ctx (Op_addr_global n, None)
+  | Bin (Land, a, b) ->
+    (* strictness is fine for the generated corpus: both operands are pure;
+       encode as (a != 0) & (b != 0) *)
+    compile_expr ctx (Bin (Ne, a, c 0));
+    compile_expr ctx (Bin (Ne, b, c 0));
+    emit ctx (Op_binop Band, None)
+  | Bin (Lor, a, b) ->
+    compile_expr ctx (Bin (Ne, a, c 0));
+    compile_expr ctx (Bin (Ne, b, c 0));
+    emit ctx (Op_binop Bor, None)
+  | Bin (op, a, b) ->
+    compile_expr ctx a;
+    compile_expr ctx b;
+    emit ctx (Op_binop op, None)
+  | Un (op, a) ->
+    compile_expr ctx a;
+    emit ctx (Op_unop op, None)
+  | Call (f, args) ->
+    List.iter (compile_expr ctx) args;
+    emit ctx (Op_call (f, callee_arity ctx f), None)
+  | Cast (w, signed, a) ->
+    compile_expr ctx a;
+    emit ctx (Op_cast (w, signed), None)
+
+let rec compile_stmt ctx (s : stmt) =
+  match s with
+  | Assign (n, e) ->
+    compile_expr ctx e;
+    emit ctx (Op_store (var_slot ctx n), None)
+  | Store (w, a, v) ->
+    compile_expr ctx a;
+    compile_expr ctx v;
+    emit ctx (Op_storemem w, None)
+  | If (e, t, f) ->
+    let lelse = fresh_label ctx and lend = fresh_label ctx in
+    compile_expr ctx e;
+    emit_jump ctx Op_jz lelse;
+    List.iter (compile_stmt ctx) t;
+    emit_jump ctx Op_jmp lend;
+    place_label ctx lelse;
+    List.iter (compile_stmt ctx) f;
+    place_label ctx lend
+  | While (e, body) ->
+    let lhead = fresh_label ctx and lend = fresh_label ctx in
+    place_label ctx lhead;
+    compile_expr ctx e;
+    emit_jump ctx Op_jz lend;
+    ctx.loop_stack <- (lend, lhead) :: ctx.loop_stack;
+    List.iter (compile_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    emit_jump ctx Op_jmp lhead;
+    place_label ctx lend
+  | Return e ->
+    compile_expr ctx e;
+    emit ctx (Op_ret, None)
+  | Expr e ->
+    compile_expr ctx e;
+    emit ctx (Op_pop, None)
+  | Break ->
+    (match ctx.loop_stack with
+     | (lend, _) :: _ -> emit_jump ctx Op_jmp lend
+     | [] -> raise (Virtualize_error "break outside loop"))
+  | Continue ->
+    (match ctx.loop_stack with
+     | (_, lhead) :: _ -> emit_jump ctx Op_jmp lhead
+     | [] -> raise (Virtualize_error "continue outside loop"))
+  | For _ | Do_while _ | Switch _ ->
+    raise (Virtualize_error "statement should have been desugared")
+
+(* --- interpreter generation ------------------------------------------------ *)
+
+type t = {
+  prog : program;          (* with the function virtualized *)
+  n_opcodes : int;
+  code_len : int;
+}
+
+let stack_slots = 64
+
+(* distinct opkind shapes used by this function's bytecode *)
+let opkinds_of code =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (k, _) -> if not (Hashtbl.mem seen k) then Hashtbl.replace seen k ())
+    code;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let virtualize ?(implicit_vpc = false) ~seed (prog : program) fname : t =
+  let rng = Util.Rng.create (seed * 65599 + 11) in
+  let f =
+    match List.find_opt (fun fn -> fn.fname = fname) prog.funcs with
+    | Some f -> f
+    | None -> raise (Virtualize_error ("no such function " ^ fname))
+  in
+  let body = desugar_list f.body in
+  (* variable slots: params then locals *)
+  let var_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace var_index n i) (f.params @ f.locals);
+  let n_vars = Hashtbl.length var_index in
+  let ctx =
+    { var_index; prog; code = []; labels = Hashtbl.create 16; fixups = [];
+      next_label = 0; loop_stack = [] }
+  in
+  List.iter (compile_stmt ctx) body;
+  (* implicit return 0 *)
+  emit ctx (Op_push, Some 0L);
+  emit ctx (Op_ret, None);
+  let code = List.rev ctx.code in
+  (* opcode numbering: random permutation over the used opkinds *)
+  let kinds = opkinds_of code in
+  let kinds = Util.Rng.shuffle rng kinds in
+  let opcode_of_kind = Hashtbl.create 32 in
+  List.iteri (fun i k -> Hashtbl.replace opcode_of_kind k i) kinds;
+  let n_opcodes = List.length kinds in
+  (* encode to quads, resolving fixups *)
+  let quads = Array.make (code_len ctx) 0L in
+  let pos = ref 0 in
+  List.iter
+    (fun (k, operand) ->
+       quads.(!pos) <- Int64.of_int (Hashtbl.find opcode_of_kind k);
+       incr pos;
+       match operand with
+       | Some v ->
+         quads.(!pos) <- v;
+         incr pos
+       | None -> ())
+    code;
+  List.iter
+    (fun (operand_pos, label) ->
+       match Hashtbl.find_opt ctx.labels label with
+       | Some vpc -> quads.(operand_pos) <- Int64.of_int vpc
+       | None -> raise (Virtualize_error "unresolved bytecode label"))
+    ctx.fixups;
+  let uid = Util.Rng.int rng 100000 in
+  let code_sym = Printf.sprintf "__vmcode_%s_%d" fname uid in
+  let vstk = Printf.sprintf "__vstk%d" uid in
+  let vvars = Printf.sprintf "__vvars%d" uid in
+  (* --- emit the interpreter ------------------------------------------- *)
+  let vpc = "vpc" and sp = "sp" and op = "op" and t0 = "t0" and t1 = "t1"
+  and t2 = "t2" and nx = "nx" and bi = "bi" in
+  let code_at e = Load (X86.Isa.W64, false, Bin (Add, Addr_global code_sym, Bin (Mul, e, c 8))) in
+  let stk_at e = Load (X86.Isa.W64, false, Bin (Add, Addr_local vstk, Bin (Mul, e, c 8))) in
+  let stk_set e v = Store (X86.Isa.W64, Bin (Add, Addr_local vstk, Bin (Mul, e, c 8)), v) in
+  let var_at e = Load (X86.Isa.W64, false, Bin (Add, Addr_local vvars, Bin (Mul, e, c 8))) in
+  let var_set e v = Store (X86.Isa.W64, Bin (Add, Addr_local vvars, Bin (Mul, e, c 8)), v) in
+  let push e = [ stk_set (v sp) e; set sp (Bin (Add, v sp, c 1)) ] in
+  let pop_into x = [ set sp (Bin (Sub, v sp, c 1)); set x (stk_at (v sp)) ] in
+  (* VPC update: direct, or rebuilt bit-by-bit through conditional branches
+     (one implicit flow per bit) *)
+  let goto target_e =
+    if not implicit_vpc then [ set vpc target_e ]
+    else
+      [ set nx target_e;
+        set vpc (c 0);
+        set bi (c 0);
+        While (Bin (Lts, v bi, c 17),
+               [ If (Bin (Band, Bin (Shr, v nx, v bi), c 1),
+                     [ set vpc (Bin (Bor, v vpc, Bin (Shl, c 1, v bi))) ],
+                     []);
+                 set bi (Bin (Add, v bi, c 1)) ]) ]
+  in
+  let advance n = goto (Bin (Add, v vpc, c n)) in
+  let handler kind : stmt list =
+    match kind with
+    | Op_push -> push (code_at (Bin (Add, v vpc, c 1))) @ advance 2
+    | Op_load slot -> push (var_at (c slot)) @ advance 1
+    | Op_store slot -> pop_into t0 @ [ var_set (c slot) (v t0) ] @ advance 1
+    | Op_addr_local n -> push (Addr_local n) @ advance 1
+    | Op_addr_global n -> push (Addr_global n) @ advance 1
+    | Op_binop op ->
+      pop_into t1 @ pop_into t0
+      @ push (Bin (op, v t0, v t1))
+      @ advance 1
+    | Op_unop op -> pop_into t0 @ push (Un (op, v t0)) @ advance 1
+    | Op_cast (w, signed) -> pop_into t0 @ push (Cast (w, signed, v t0)) @ advance 1
+    | Op_loadmem (w, signed) ->
+      pop_into t0 @ push (Load (w, signed, v t0)) @ advance 1
+    | Op_storemem w ->
+      pop_into t1 @ pop_into t0
+      @ [ Store (w, v t0, v t1) ]
+      @ advance 1
+    | Op_jmp -> goto (code_at (Bin (Add, v vpc, c 1)))
+    | Op_jz ->
+      if implicit_vpc then
+        (* the next VPC is computed arithmetically from the (possibly
+           input-tainted) condition, then rebuilt bit-by-bit: the VPC itself
+           becomes symbolic under DSE and every bit is an implicit flow *)
+        pop_into t0
+        @ [ set t1 (Bin (Add, v vpc, c 2)) ]
+        @ goto
+            (Bin (Add, v t1,
+                  Bin (Mul,
+                       Bin (Sub, code_at (Bin (Add, v vpc, c 1)), v t1),
+                       Bin (Eq, v t0, c 0))))
+      else
+        pop_into t0
+        @ [ If (Bin (Eq, v t0, c 0),
+                goto (code_at (Bin (Add, v vpc, c 1))),
+                advance 2) ]
+    | Op_ret -> pop_into t0 @ [ Return (v t0) ]
+    | Op_pop -> pop_into t0 @ advance 1
+    | Op_call (f, arity) ->
+      (* pop args (last pushed = last arg) into temps, call, push result *)
+      let temps = [ t0; t1; t2; nx; bi ] in
+      if arity > List.length temps then
+        raise (Virtualize_error "callee arity too large to virtualize");
+      let used = List.filteri (fun i _ -> i < arity) temps in
+      List.concat_map pop_into (List.rev used)
+      @ push (Call (f, List.map (fun x -> v x) used))
+      @ advance 1
+  in
+  let cases =
+    List.mapi
+      (fun i k -> (i, handler k))
+      kinds
+  in
+  let init_vars =
+    List.mapi (fun i p -> var_set (c i) (v p)) f.params
+  in
+  let body =
+    init_vars
+    @ [ set vpc (c 0);
+        set sp (c 0);
+        While (c 1,
+               [ set op (code_at (v vpc));
+                 Switch (v op, cases, [ Return (c (-1)) ]) ]) ]
+  in
+  let new_f =
+    { fname;
+      params = f.params;
+      locals = [ vpc; sp; op; t0; t1; t2; nx; bi ];
+      arrays =
+        f.arrays
+        @ [ (vstk, 8 * stack_slots); (vvars, 8 * max 1 n_vars) ];
+      body }
+  in
+  let globals = prog.globals @ [ G_quads (code_sym, Array.to_list quads) ] in
+  let funcs =
+    List.map (fun fn -> if fn.fname = fname then new_f else fn) prog.funcs
+  in
+  { prog = { globals; funcs }; n_opcodes; code_len = Array.length quads }
+
+(* n layers of virtualization; [implicit] says which layers get implicit VPC
+   loads (Table I: first / last / all). *)
+type implicit_layers = Imp_none | Imp_first | Imp_last | Imp_all
+
+let layered ?(implicit = Imp_none) ~layers ~seed prog fname =
+  let rec go i prog =
+    if i > layers then prog
+    else begin
+      let implicit_vpc =
+        match implicit with
+        | Imp_none -> false
+        | Imp_all -> true
+        | Imp_first -> i = 1        (* innermost layer: applied first *)
+        | Imp_last -> i = layers    (* outermost layer: applied last *)
+      in
+      let t = virtualize ~implicit_vpc ~seed:(seed + 31 * i) prog fname in
+      go (i + 1) t.prog
+    end
+  in
+  go 1 prog

@@ -1,0 +1,1 @@
+lib/x86/decode.ml: Bytes Char Int32 Int64 Isa List

@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Bytes Char Int64 Isa List Printf

@@ -1,0 +1,1 @@
+lib/x86/isa.ml: Int64 List Printf

@@ -1,0 +1,1 @@
+lib/x86/pp.ml: Format Int64 Isa Printf String

@@ -1,0 +1,196 @@
+(* Byte decoder for x64-lite, the mirror of {!Encode}.
+
+   [decode buf off] returns [Some (instr, len)] or [None] when the bytes at
+   [off] do not form a valid instruction.  Decoding is deliberately total over
+   offsets: the gadget finder and ROPDissector-style speculative analyses
+   decode at arbitrary (including unaligned) offsets. *)
+
+open Isa
+
+type cursor = { buf : bytes; limit : int; mutable pos : int }
+
+exception Bad
+
+let u8 c =
+  if c.pos >= c.limit then raise Bad;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let i8 c =
+  let v = u8 c in
+  Int64.of_int (if v >= 128 then v - 256 else v)
+
+let i32 c =
+  let b0 = u8 c in
+  let b1 = u8 c in
+  let b2 = u8 c in
+  let b3 = u8 c in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  (* sign-extend 32 -> 64 *)
+  Int64.of_int32 (Int32.of_int v)
+
+let i64 c =
+  let r = ref 0L in
+  for i = 0 to 7 do
+    r := Int64.logor !r (Int64.shift_left (Int64.of_int (u8 c)) (8 * i))
+  done;
+  !r
+
+let scale_of_log2 = function
+  | 0 -> 1 | 1 -> 2 | 2 -> 4 | 3 -> 8 | _ -> raise Bad
+
+let reg_byte c = reg_of_index (u8 c land 0xF)
+
+let index_byte c =
+  let b = u8 c in
+  (reg_of_index (b land 0xF), scale_of_log2 ((b lsr 4) land 0x3))
+
+let operand c =
+  let m = u8 c in
+  match m lsr 4 with
+  | 0x0 -> Reg (reg_of_index (m land 0xF))
+  | 0x1 ->
+    let b = reg_of_index (m land 0xF) in
+    let d = i8 c in
+    Mem { base = Some b; index = None; disp = d }
+  | 0x2 ->
+    let b = reg_of_index (m land 0xF) in
+    let d = i32 c in
+    Mem { base = Some b; index = None; disp = d }
+  | 0x3 ->
+    let b = reg_of_index (m land 0xF) in
+    let ix = index_byte c in
+    let d = i32 c in
+    Mem { base = Some b; index = Some ix; disp = d }
+  | 0x4 when m = 0x40 -> Mem { base = None; index = None; disp = i32 c }
+  | 0x4 when m = 0x41 ->
+    let ix = index_byte c in
+    let d = i32 c in
+    Mem { base = None; index = Some ix; disp = d }
+  | 0x5 when m = 0x50 -> Imm (i8 c)
+  | 0x5 when m = 0x51 -> Imm (i32 c)
+  | 0x5 when m = 0x52 -> Imm (i64 c)
+  | _ -> raise Bad
+
+let mem_operand c =
+  match operand c with
+  | Mem m -> m
+  | Reg _ | Imm _ -> raise Bad
+
+(* Destination operands may not be immediates. *)
+let dst_operand c =
+  match operand c with
+  | Imm _ -> raise Bad
+  | (Reg _ | Mem _) as o -> o
+
+let shift_count c =
+  match u8 c with
+  | 0x00 -> S_cl
+  | 0x01 -> S_imm (u8 c)
+  | _ -> raise Bad
+
+(* Reject mem-to-mem data moves, as on real x86. *)
+let check_not_mem_mem a b =
+  match a, b with
+  | Mem _, Mem _ -> raise Bad
+  | (Reg _ | Imm _ | Mem _), (Reg _ | Imm _ | Mem _) -> ()
+
+let instr c =
+  let opc = u8 c in
+  match opc with
+  | 0x01 -> Nop
+  | 0x02 -> Ret
+  | 0x03 -> Leave
+  | 0x04 -> Hlt
+  | 0x05 -> Lahf
+  | 0x06 -> Sahf
+  | _ when opc >= 0x08 && opc <= 0x0B ->
+    let w = width_of_index (opc - 0x08) in
+    let d = dst_operand c in
+    let s = operand c in
+    check_not_mem_mem d s;
+    Mov (w, d, s)
+  | _ when opc >= 0x0C && opc <= 0x0F ->
+    let w = width_of_index (opc - 0x0C) in
+    let a = dst_operand c in
+    let b = dst_operand c in
+    check_not_mem_mem a b;
+    Xchg (w, a, b)
+  | _ when opc >= 0x10 && opc <= 0x2F ->
+    let o = alu_of_index ((opc - 0x10) / 4) in
+    let w = width_of_index ((opc - 0x10) mod 4) in
+    let d = dst_operand c in
+    let s = operand c in
+    check_not_mem_mem d s;
+    Alu (o, w, d, s)
+  | _ when opc >= 0x30 && opc <= 0x33 ->
+    let w = width_of_index (opc - 0x30) in
+    let a = dst_operand c in
+    let b = operand c in
+    check_not_mem_mem a b;
+    Alu (Test, w, a, b)
+  | _ when opc >= 0x34 && opc <= 0x43 ->
+    let o = un_of_index ((opc - 0x34) / 4) in
+    let w = width_of_index ((opc - 0x34) mod 4) in
+    Unary (o, w, dst_operand c)
+  | _ when opc >= 0x44 && opc <= 0x47 ->
+    let w = width_of_index (opc - 0x44) in
+    let r = reg_byte c in
+    Imul2 (w, r, operand c)
+  | _ when opc >= 0x48 && opc <= 0x5B ->
+    let o = shift_of_index ((opc - 0x48) / 4) in
+    let w = width_of_index ((opc - 0x48) mod 4) in
+    let a = dst_operand c in
+    Shift (o, w, a, shift_count c)
+  | _ when opc >= 0x5C && opc <= 0x5F ->
+    MulDiv (muldiv_of_index (opc - 0x5C), dst_operand c)
+  | 0x60 ->
+    let r = reg_byte c in
+    Lea (r, mem_operand c)
+  | 0x61 -> Push (operand c)
+  | 0x62 -> Pop (dst_operand c)
+  | 0x63 -> Jmp (J_rel (Int64.to_int (i32 c)))
+  | 0x64 -> Jmp (J_op (dst_operand c))
+  | 0x65 -> Call (J_rel (Int64.to_int (i32 c)))
+  | 0x66 -> Call (J_op (dst_operand c))
+  | _ when opc >= 0x68 && opc <= 0x77 ->
+    Jcc (cc_of_index (opc - 0x68), Int64.to_int (i32 c))
+  | _ when opc >= 0x78 && opc <= 0x87 ->
+    Setcc (cc_of_index (opc - 0x78), dst_operand c)
+  | _ when opc >= 0x88 && opc <= 0x97 ->
+    let cc = cc_of_index (opc - 0x88) in
+    let r = reg_byte c in
+    Cmov (cc, r, operand c)
+  | _ when opc >= 0x98 && opc <= 0x9D ->
+    let dw, sw = ext_combo_of_index (opc - 0x98) in
+    let r = reg_byte c in
+    Movzx (dw, sw, r, operand c)
+  | _ when opc >= 0x9E && opc <= 0xA3 ->
+    let dw, sw = ext_combo_of_index (opc - 0x9E) in
+    let r = reg_byte c in
+    Movsx (dw, sw, r, operand c)
+  | _ -> raise Bad
+
+(* Decode one instruction at [off] in [buf], up to [limit] (default: end of
+   buffer).  Returns the instruction and its encoded length. *)
+let decode ?limit buf off =
+  let limit = match limit with Some l -> l | None -> Bytes.length buf in
+  if off < 0 || off >= limit then None
+  else
+    let c = { buf; limit; pos = off } in
+    match instr c with
+    | i -> Some (i, c.pos - off)
+    | exception Bad -> None
+    | exception Invalid_argument _ -> None
+
+(* Linear sweep from [off]: decode until failure or terminator predicate. *)
+let decode_all buf =
+  let rec go off acc =
+    if off >= Bytes.length buf then List.rev acc
+    else
+      match decode buf off with
+      | Some (i, len) -> go (off + len) ((off, i, len) :: acc)
+      | None -> List.rev acc
+  in
+  go 0 []

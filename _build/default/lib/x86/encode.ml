@@ -1,0 +1,155 @@
+(* Byte encoder for x64-lite.
+
+   Layout: one opcode byte followed by self-describing operand bytes.  The
+   encoding is variable-length (1 to ~14 bytes) on purpose: unaligned decoding
+   of a byte stream yields a different-but-often-valid instruction sequence,
+   which is what the paper's gadget-confusion technique (§V-D) exploits.
+
+   Opcode map:
+     0x01 Nop   0x02 Ret   0x03 Leave   0x04 Hlt
+     0x08+w          Mov w dst src
+     0x0C+w          Xchg w a b
+     0x10+alu*4+w    Alu (Add Sub And Or Xor Adc Sbb Cmp) w dst src
+     0x30+w          Test w a b
+     0x34+un*4+w     Unary (Neg Not Inc Dec) w op
+     0x44+w          Imul2 w reg op
+     0x48+sh*4+w     Shift (Shl Shr Sar Rol Ror) w op count
+     0x5C+md         MulDiv (Mul Imul1 Div Idiv) op
+     0x60 Lea reg mem        0x61 Push op   0x62 Pop op
+     0x63 Jmp rel32  0x64 Jmp op  0x65 Call rel32  0x66 Call op
+     0x68+cc Jcc rel32   0x78+cc Setcc op   0x88+cc Cmov reg op
+     0x98+x Movzx combo reg op   0x9E+x Movsx combo reg op
+
+   Operand mode bytes:
+     0x00|r  Reg r                      0x10|r  [r + disp8]
+     0x20|r  [r + disp32]               0x30|r  [r + idx*scale + disp32]
+     0x40    [disp32]                   0x41    [idx*scale + disp32]
+     0x50 imm8   0x51 imm32   0x52 imm64
+   Shift counts: 0x00 CL, 0x01 imm8. *)
+
+open Isa
+
+exception Encoding_error of string
+
+let max_instr_len = 16
+
+let fits_i8 v = v >= -128L && v <= 127L
+let fits_i32 v = v >= -2147483648L && v <= 2147483647L
+
+let emit_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let emit_i8 buf (v : int64) = emit_u8 buf (Int64.to_int v land 0xff)
+
+let emit_i32 buf (v : int64) =
+  let v = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  emit_u8 buf v;
+  emit_u8 buf (v lsr 8);
+  emit_u8 buf (v lsr 16);
+  emit_u8 buf (v lsr 24)
+
+let emit_i64 buf (v : int64) =
+  for i = 0 to 7 do
+    emit_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let scale_log2 = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | s -> raise (Encoding_error (Printf.sprintf "bad scale %d" s))
+
+let emit_mem buf (m : mem) =
+  match m.base, m.index with
+  | Some b, None ->
+    if fits_i8 m.disp then begin
+      emit_u8 buf (0x10 lor reg_index b);
+      emit_i8 buf m.disp
+    end else if fits_i32 m.disp then begin
+      emit_u8 buf (0x20 lor reg_index b);
+      emit_i32 buf m.disp
+    end else raise (Encoding_error "mem disp out of 32-bit range")
+  | Some b, Some (ix, sc) ->
+    if not (fits_i32 m.disp) then raise (Encoding_error "mem disp out of 32-bit range");
+    emit_u8 buf (0x30 lor reg_index b);
+    emit_u8 buf (reg_index ix lor (scale_log2 sc lsl 4));
+    emit_i32 buf m.disp
+  | None, None ->
+    if not (fits_i32 m.disp) then raise (Encoding_error "abs disp out of 32-bit range");
+    emit_u8 buf 0x40;
+    emit_i32 buf m.disp
+  | None, Some (ix, sc) ->
+    if not (fits_i32 m.disp) then raise (Encoding_error "abs disp out of 32-bit range");
+    emit_u8 buf 0x41;
+    emit_u8 buf (reg_index ix lor (scale_log2 sc lsl 4));
+    emit_i32 buf m.disp
+
+(* [wide] forces the 8-byte immediate form; the ROP materializer uses it to
+   keep chain strides uniform when desired. *)
+let emit_operand ?(wide_imm = false) buf = function
+  | Reg r -> emit_u8 buf (reg_index r)
+  | Mem m -> emit_mem buf m
+  | Imm v ->
+    if wide_imm then begin
+      emit_u8 buf 0x52;
+      emit_i64 buf v
+    end else if fits_i8 v then begin
+      emit_u8 buf 0x50;
+      emit_i8 buf v
+    end else if fits_i32 v then begin
+      emit_u8 buf 0x51;
+      emit_i32 buf v
+    end else begin
+      emit_u8 buf 0x52;
+      emit_i64 buf v
+    end
+
+let emit_reg buf r = emit_u8 buf (reg_index r)
+
+let encode_into ?(wide_imm = false) buf instr =
+  let op = emit_operand ~wide_imm buf in
+  match instr with
+  | Nop -> emit_u8 buf 0x01
+  | Ret -> emit_u8 buf 0x02
+  | Leave -> emit_u8 buf 0x03
+  | Hlt -> emit_u8 buf 0x04
+  | Lahf -> emit_u8 buf 0x05
+  | Sahf -> emit_u8 buf 0x06
+  | Mov (w, d, s) -> emit_u8 buf (0x08 + width_index w); op d; op s
+  | Xchg (w, a, b) -> emit_u8 buf (0x0C + width_index w); op a; op b
+  | Alu (Test, w, a, b) -> emit_u8 buf (0x30 + width_index w); op a; op b
+  | Alu (o, w, d, s) ->
+    emit_u8 buf (0x10 + alu_index o * 4 + width_index w); op d; op s
+  | Unary (o, w, a) -> emit_u8 buf (0x34 + un_index o * 4 + width_index w); op a
+  | Imul2 (w, r, s) -> emit_u8 buf (0x44 + width_index w); emit_reg buf r; op s
+  | Shift (o, w, a, c) ->
+    emit_u8 buf (0x48 + shift_index o * 4 + width_index w);
+    op a;
+    (match c with
+     | S_cl -> emit_u8 buf 0x00
+     | S_imm n -> emit_u8 buf 0x01; emit_u8 buf n)
+  | MulDiv (o, a) -> emit_u8 buf (0x5C + muldiv_index o); op a
+  | Lea (r, m) -> emit_u8 buf 0x60; emit_reg buf r; emit_mem buf m
+  | Push a -> emit_u8 buf 0x61; op a
+  | Pop a -> emit_u8 buf 0x62; op a
+  | Jmp (J_rel d) -> emit_u8 buf 0x63; emit_i32 buf (Int64.of_int d)
+  | Jmp (J_op a) -> emit_u8 buf 0x64; op a
+  | Call (J_rel d) -> emit_u8 buf 0x65; emit_i32 buf (Int64.of_int d)
+  | Call (J_op a) -> emit_u8 buf 0x66; op a
+  | Jcc (c, d) -> emit_u8 buf (0x68 + cc_index c); emit_i32 buf (Int64.of_int d)
+  | Setcc (c, a) -> emit_u8 buf (0x78 + cc_index c); op a
+  | Cmov (c, r, s) -> emit_u8 buf (0x88 + cc_index c); emit_reg buf r; op s
+  | Movzx (dw, sw, r, s) ->
+    emit_u8 buf (0x98 + ext_combo_index (dw, sw)); emit_reg buf r; op s
+  | Movsx (dw, sw, r, s) ->
+    emit_u8 buf (0x9E + ext_combo_index (dw, sw)); emit_reg buf r; op s
+
+let encode ?wide_imm instr =
+  let buf = Buffer.create 8 in
+  encode_into ?wide_imm buf instr;
+  Buffer.to_bytes buf
+
+let length ?wide_imm instr = Bytes.length (encode ?wide_imm instr)
+
+(* Encode a whole sequence into one byte string. *)
+let encode_list ?wide_imm instrs =
+  let buf = Buffer.create 64 in
+  List.iter (encode_into ?wide_imm buf) instrs;
+  Buffer.to_bytes buf

@@ -1,0 +1,159 @@
+(* x64-lite instruction set.
+
+   A 16-GPR, 64-bit, little-endian ISA with x86-compatible flag semantics and
+   a variable-length byte encoding (see {!Encode}/{!Decode}).  It is the
+   substrate on which compiled functions, gadgets and ROP chains live; the
+   subset was chosen so that every construction of the paper (neg/adc flag
+   leaks, cmov-based branch offsets, xchg-rsp stack pivoting, jump tables)
+   is expressible with genuine x86 idioms. *)
+
+type reg =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+let reg_index = function
+  | RAX -> 0 | RCX -> 1 | RDX -> 2 | RBX -> 3
+  | RSP -> 4 | RBP -> 5 | RSI -> 6 | RDI -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let reg_of_index = function
+  | 0 -> RAX | 1 -> RCX | 2 -> RDX | 3 -> RBX
+  | 4 -> RSP | 5 -> RBP | 6 -> RSI | 7 -> RDI
+  | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11
+  | 12 -> R12 | 13 -> R13 | 14 -> R14 | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "reg_of_index %d" n)
+
+let all_regs =
+  [ RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI;
+    R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+type width = W8 | W16 | W32 | W64
+
+let width_index = function W8 -> 0 | W16 -> 1 | W32 -> 2 | W64 -> 3
+let width_of_index = function
+  | 0 -> W8 | 1 -> W16 | 2 -> W32 | 3 -> W64
+  | n -> invalid_arg (Printf.sprintf "width_of_index %d" n)
+
+let width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+let width_bits w = 8 * width_bytes w
+
+(* Memory operand: [base + index*scale + disp].  Scale is 1, 2, 4 or 8. *)
+type mem = {
+  base : reg option;
+  index : (reg * int) option;
+  disp : int64;
+}
+
+let mem ?base ?index disp = { base; index; disp }
+let mem_b base disp = { base = Some base; index = None; disp = Int64.of_int disp }
+let mem_abs disp = { base = None; index = None; disp }
+
+type operand =
+  | Reg of reg
+  | Imm of int64
+  | Mem of mem
+
+(* Condition codes with standard x86 numbering. *)
+type cc =
+  | O | NO | B | AE | E | NE | BE | A
+  | S | NS | P | NP | L | GE | LE | G
+
+let cc_index = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14 | G -> 15
+
+let cc_of_index = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "cc_of_index %d" n)
+
+let cc_negate = function
+  | O -> NO | NO -> O | B -> AE | AE -> B | E -> NE | NE -> E | BE -> A | A -> BE
+  | S -> NS | NS -> S | P -> NP | NP -> P | L -> GE | GE -> L | LE -> G | G -> LE
+
+type alu_op = Add | Sub | And | Or | Xor | Adc | Sbb | Cmp | Test
+
+let alu_index = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4 | Adc -> 5 | Sbb -> 6
+  | Cmp -> 7 | Test -> 8
+
+let alu_of_index = function
+  | 0 -> Add | 1 -> Sub | 2 -> And | 3 -> Or | 4 -> Xor | 5 -> Adc | 6 -> Sbb
+  | 7 -> Cmp | 8 -> Test
+  | n -> invalid_arg (Printf.sprintf "alu_of_index %d" n)
+
+type un_op = Neg | Not | Inc | Dec
+
+let un_index = function Neg -> 0 | Not -> 1 | Inc -> 2 | Dec -> 3
+let un_of_index = function
+  | 0 -> Neg | 1 -> Not | 2 -> Inc | 3 -> Dec
+  | n -> invalid_arg (Printf.sprintf "un_of_index %d" n)
+
+type shift_op = Shl | Shr | Sar | Rol | Ror
+
+let shift_index = function Shl -> 0 | Shr -> 1 | Sar -> 2 | Rol -> 3 | Ror -> 4
+let shift_of_index = function
+  | 0 -> Shl | 1 -> Shr | 2 -> Sar | 3 -> Rol | 4 -> Ror
+  | n -> invalid_arg (Printf.sprintf "shift_of_index %d" n)
+
+type shift_count = S_imm of int | S_cl
+
+(* Full-width multiply/divide on RDX:RAX, always 64-bit. *)
+type muldiv_op = Mul | Imul1 | Div | Idiv
+
+let muldiv_index = function Mul -> 0 | Imul1 -> 1 | Div -> 2 | Idiv -> 3
+let muldiv_of_index = function
+  | 0 -> Mul | 1 -> Imul1 | 2 -> Div | 3 -> Idiv
+  | n -> invalid_arg (Printf.sprintf "muldiv_of_index %d" n)
+
+type jump_target =
+  | J_rel of int          (* displacement from the end of the instruction *)
+  | J_op of operand       (* indirect through register or memory *)
+
+type instr =
+  | Mov of width * operand * operand      (* dst, src; no mem-to-mem *)
+  | Movzx of width * width * reg * operand  (* dst width, src width *)
+  | Movsx of width * width * reg * operand
+  | Lea of reg * mem
+  | Push of operand
+  | Pop of operand
+  | Alu of alu_op * width * operand * operand  (* dst, src *)
+  | Unary of un_op * width * operand
+  | Imul2 of width * reg * operand        (* dst := dst * src, truncated *)
+  | MulDiv of muldiv_op * operand         (* operates on RDX:RAX, W64 *)
+  | Shift of shift_op * width * operand * shift_count
+  | Cmov of cc * reg * operand            (* 64-bit conditional move *)
+  | Setcc of cc * operand                 (* byte destination *)
+  | Jmp of jump_target
+  | Jcc of cc * int
+  | Call of jump_target
+  | Ret
+  | Leave
+  | Xchg of width * operand * operand     (* at least one side is a register *)
+  | Nop
+  | Hlt
+  | Lahf                                  (* AH := flags (SF ZF 0 0 0 PF 1 CF) *)
+  | Sahf                                  (* flags := AH *)
+
+(* Zero/sign extension combos supported by Movzx/Movsx: (dst, src). *)
+let ext_combos = [ (W16, W8); (W32, W8); (W32, W16); (W64, W8); (W64, W16); (W64, W32) ]
+
+let ext_combo_index (dw, sw) =
+  let rec find i = function
+    | [] -> invalid_arg "ext_combo_index"
+    | c :: rest -> if c = (dw, sw) then i else find (i + 1) rest
+  in
+  find 0 ext_combos
+
+let ext_combo_of_index i =
+  match List.nth_opt ext_combos i with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "ext_combo_of_index %d" i)
+
+(* Does this instruction end a basic block? *)
+let is_terminator = function
+  | Jmp _ | Jcc _ | Ret | Hlt -> true
+  | Mov _ | Movzx _ | Movsx _ | Lea _ | Push _ | Pop _ | Alu _ | Unary _
+  | Imul2 _ | MulDiv _ | Shift _ | Cmov _ | Setcc _ | Call _ | Leave
+  | Xchg _ | Nop | Lahf | Sahf -> false

@@ -1,0 +1,83 @@
+(* Intel-syntax assembly printer for x64-lite. *)
+
+open Isa
+
+let reg_name = function
+  | RAX -> "rax" | RCX -> "rcx" | RDX -> "rdx" | RBX -> "rbx"
+  | RSP -> "rsp" | RBP -> "rbp" | RSI -> "rsi" | RDI -> "rdi"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+let width_name = function W8 -> "byte" | W16 -> "word" | W32 -> "dword" | W64 -> "qword"
+
+let cc_name = function
+  | O -> "o" | NO -> "no" | B -> "b" | AE -> "ae" | E -> "e" | NE -> "ne"
+  | BE -> "be" | A -> "a" | S -> "s" | NS -> "ns" | P -> "p" | NP -> "np"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g"
+
+let mem_str (m : mem) =
+  let parts = ref [] in
+  (match m.base with Some b -> parts := [ reg_name b ] | None -> ());
+  (match m.index with
+   | Some (r, 1) -> parts := !parts @ [ reg_name r ]
+   | Some (r, s) -> parts := !parts @ [ Printf.sprintf "%s*%d" (reg_name r) s ]
+   | None -> ());
+  let base = String.concat " + " !parts in
+  if m.disp = 0L && base <> "" then Printf.sprintf "[%s]" base
+  else if base = "" then Printf.sprintf "[0x%Lx]" m.disp
+  else if m.disp > 0L then Printf.sprintf "[%s + 0x%Lx]" base m.disp
+  else Printf.sprintf "[%s - 0x%Lx]" base (Int64.neg m.disp)
+
+let operand_str ?(w = W64) = function
+  | Reg r -> reg_name r
+  | Imm v -> if v >= 0L then Printf.sprintf "0x%Lx" v else Printf.sprintf "-0x%Lx" (Int64.neg v)
+  | Mem m -> Printf.sprintf "%s ptr %s" (width_name w) (mem_str m)
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Adc -> "adc" | Sbb -> "sbb" | Cmp -> "cmp" | Test -> "test"
+
+let un_name = function Neg -> "neg" | Not -> "not" | Inc -> "inc" | Dec -> "dec"
+
+let shift_name = function
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar" | Rol -> "rol" | Ror -> "ror"
+
+let muldiv_name = function Mul -> "mul" | Imul1 -> "imul" | Div -> "div" | Idiv -> "idiv"
+
+let target_str = function
+  | J_rel d -> Printf.sprintf "$%+d" d
+  | J_op o -> operand_str o
+
+let instr_str i =
+  let op2 name w a b =
+    Printf.sprintf "%s %s, %s" name (operand_str ~w a) (operand_str ~w b)
+  in
+  match i with
+  | Nop -> "nop"
+  | Ret -> "ret"
+  | Leave -> "leave"
+  | Hlt -> "hlt"
+  | Lahf -> "lahf"
+  | Sahf -> "sahf"
+  | Mov (w, d, s) -> op2 "mov" w d s
+  | Xchg (w, a, b) -> op2 "xchg" w a b
+  | Alu (o, w, d, s) -> op2 (alu_name o) w d s
+  | Unary (o, w, a) -> Printf.sprintf "%s %s" (un_name o) (operand_str ~w a)
+  | Imul2 (w, r, s) -> Printf.sprintf "imul %s, %s" (reg_name r) (operand_str ~w s)
+  | MulDiv (o, a) -> Printf.sprintf "%s %s" (muldiv_name o) (operand_str a)
+  | Shift (o, w, a, S_cl) -> Printf.sprintf "%s %s, cl" (shift_name o) (operand_str ~w a)
+  | Shift (o, w, a, S_imm n) -> Printf.sprintf "%s %s, %d" (shift_name o) (operand_str ~w a) n
+  | Cmov (c, r, s) -> Printf.sprintf "cmov%s %s, %s" (cc_name c) (reg_name r) (operand_str s)
+  | Setcc (c, a) -> Printf.sprintf "set%s %s" (cc_name c) (operand_str ~w:W8 a)
+  | Lea (r, m) -> Printf.sprintf "lea %s, %s" (reg_name r) (mem_str m)
+  | Push a -> Printf.sprintf "push %s" (operand_str a)
+  | Pop a -> Printf.sprintf "pop %s" (operand_str a)
+  | Jmp t -> Printf.sprintf "jmp %s" (target_str t)
+  | Jcc (c, d) -> Printf.sprintf "j%s $%+d" (cc_name c) d
+  | Call t -> Printf.sprintf "call %s" (target_str t)
+  | Movzx (_, sw, r, s) ->
+    Printf.sprintf "movzx %s, %s" (reg_name r) (operand_str ~w:sw s)
+  | Movsx (_, sw, r, s) ->
+    Printf.sprintf "movsx %s, %s" (reg_name r) (operand_str ~w:sw s)
+
+let pp_instr fmt i = Format.pp_print_string fmt (instr_str i)

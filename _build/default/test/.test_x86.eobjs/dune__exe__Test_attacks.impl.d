@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Hashtbl List Minic Printf Ropaware Ropc Taint

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Asm Bytes Char Finder Gadget Image Int64 List Machine Pool QCheck QCheck_alcotest Ropc Runner Util X86

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Hashtbl Int64 List Machine QCheck QCheck_alcotest X86

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Image Int64 Lazy List Machine Minic Printf QCheck QCheck_alcotest Runner X86

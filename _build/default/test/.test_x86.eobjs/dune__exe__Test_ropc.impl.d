@@ -1,0 +1,1 @@
+test/test_ropc.ml: Alcotest Int64 Lazy List Minic Option Printf QCheck QCheck_alcotest Ropc Runner String

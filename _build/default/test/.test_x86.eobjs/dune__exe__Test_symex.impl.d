@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Array Hashtbl Int64 Lazy List Minic Printf QCheck QCheck_alcotest Ropc Runner Symex X86

@@ -1,0 +1,1 @@
+test/test_vmobf.ml: Alcotest Int64 List Minic Option Printf Ropc Runner Vmobf

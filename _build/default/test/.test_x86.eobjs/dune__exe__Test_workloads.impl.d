@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Minic Printf Result Ropc Runner

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Bytes Int64 List QCheck QCheck_alcotest X86

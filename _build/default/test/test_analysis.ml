@@ -1,0 +1,121 @@
+(* Tests for CFG reconstruction and liveness on compiler output. *)
+
+open Minic.Ast
+
+let fact_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "r"; "i" ] "fact"
+        [ set "r" (c 1);
+          For (set "i" (c 1), Bin (Les, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "r" (Bin (Mul, v "r", v "i")) ]);
+          Return (v "r") ] ]
+
+let switch_prog =
+  program
+    [ func ~params:[ "n" ] "classify"
+        [ Switch (v "n",
+                  [ (0, [ Return (c 100) ]); (1, [ Return (c 101) ]);
+                    (2, [ Return (c 102) ]); (3, [ Return (c 103) ]);
+                    (4, [ Return (c 104) ]); (6, [ Return (c 106) ]) ],
+                  [ Return (c (-1)) ]) ] ]
+
+let test_cfg_fact () =
+  let img = Minic.Codegen.compile fact_prog in
+  let cfg = Analysis.Cfg.of_image img "fact" in
+  Alcotest.(check bool) "not failed" false cfg.Analysis.Cfg.failed;
+  Alcotest.(check bool) "several blocks" true (List.length cfg.Analysis.Cfg.order >= 3);
+  (* entry block exists and every successor is a known block *)
+  List.iter
+    (fun a ->
+       let b = Analysis.Cfg.block_exn cfg a in
+       List.iter
+         (fun s -> ignore (Analysis.Cfg.block_exn cfg s))
+         (Analysis.Cfg.successors b))
+    cfg.Analysis.Cfg.order;
+  (* exactly one ret block for this function *)
+  let rets =
+    List.filter
+      (fun a ->
+         match (Analysis.Cfg.block_exn cfg a).Analysis.Cfg.b_term with
+         | Analysis.Cfg.T_ret -> true
+         | _ -> false)
+      cfg.Analysis.Cfg.order
+  in
+  Alcotest.(check bool) "has ret block" true (List.length rets >= 1)
+
+let test_cfg_switch_table () =
+  let img = Minic.Codegen.compile switch_prog in
+  let cfg = Analysis.Cfg.of_image img "classify" in
+  Alcotest.(check bool) "not failed" false cfg.Analysis.Cfg.failed;
+  let tables =
+    List.filter_map
+      (fun a ->
+         match (Analysis.Cfg.block_exn cfg a).Analysis.Cfg.b_term with
+         | Analysis.Cfg.T_jmp_table { entries; _ } -> Some (List.length entries)
+         | _ -> None)
+      cfg.Analysis.Cfg.order
+  in
+  match tables with
+  | [ n ] ->
+    (* cases 0..6 -> 7 table entries *)
+    Alcotest.(check int) "table entries" 7 n
+  | _ -> Alcotest.failf "expected exactly one jump table, found %d" (List.length tables)
+
+let test_liveness_flags () =
+  let img = Minic.Codegen.compile fact_prog in
+  let cfg = Analysis.Cfg.of_image img "fact" in
+  let live = Analysis.Liveness.compute cfg in
+  (* find a cmp/test instruction whose block ends with jcc: flags must be
+     live after it *)
+  let found = ref false in
+  List.iter
+    (fun a ->
+       let b = Analysis.Cfg.block_exn cfg a in
+       match b.Analysis.Cfg.b_term with
+       | Analysis.Cfg.T_jcc _ ->
+         (match List.rev b.Analysis.Cfg.b_instrs with
+          | last :: _ ->
+            if Analysis.Reguse.clobbers_flags last.Analysis.Cfg.instr then begin
+              found := true;
+              Alcotest.(check bool) "flags live after test"
+                true (Analysis.Liveness.flags_live_after live last.Analysis.Cfg.addr)
+            end
+          | [] -> ())
+       | _ -> ())
+    cfg.Analysis.Cfg.order;
+  Alcotest.(check bool) "found a flag-setting instr before jcc" true !found
+
+let test_liveness_param () =
+  (* at entry, the parameter register RDI must be live *)
+  let img = Minic.Codegen.compile fact_prog in
+  let cfg = Analysis.Cfg.of_image img "fact" in
+  let live = Analysis.Liveness.compute cfg in
+  let entry_block = Analysis.Cfg.block_exn cfg cfg.Analysis.Cfg.entry in
+  match entry_block.Analysis.Cfg.b_instrs with
+  | first :: _ ->
+    let out = Analysis.Liveness.live_out_at live first.Analysis.Cfg.addr in
+    (* after 'push rbp', rdi (param n) still live *)
+    Alcotest.(check bool) "rdi live at entry" true
+      (Analysis.Regset.mem_reg out X86.Isa.RDI)
+  | [] -> Alcotest.fail "empty entry block"
+
+let test_cfg_randomfuns () =
+  (* CFG reconstruction succeeds on the whole corpus *)
+  let corpus = Minic.Randomfuns.corpus () in
+  List.iter
+    (fun (t : Minic.Randomfuns.t) ->
+       let img = Minic.Codegen.compile t.prog in
+       let cfg = Analysis.Cfg.of_image img "target" in
+       Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed)
+    corpus
+
+let () =
+  Alcotest.run "analysis"
+    [ ("cfg",
+       [ Alcotest.test_case "factorial blocks" `Quick test_cfg_fact;
+         Alcotest.test_case "switch jump table" `Quick test_cfg_switch_table;
+         Alcotest.test_case "randomfuns corpus" `Slow test_cfg_randomfuns ]);
+      ("liveness",
+       [ Alcotest.test_case "flags live before jcc" `Quick test_liveness_flags;
+         Alcotest.test_case "param live at entry" `Quick test_liveness_param ]) ]

@@ -1,0 +1,190 @@
+(* Tests for the mini-C compiler: compiled code on the emulator must agree
+   with the reference interpreter, on hand-written programs and on the full
+   RandomFuns corpus. *)
+
+open Minic.Ast
+
+let run_compiled prog fname args =
+  let img = Minic.Codegen.compile prog in
+  let r = Runner.call_exn img ~func:fname ~args in
+  r.Runner.rax
+
+let check_both name prog fname args expected =
+  let interp = Minic.Interp.run prog fname args in
+  let compiled = run_compiled prog fname args in
+  Alcotest.(check int64) (name ^ " (interp)") expected interp;
+  Alcotest.(check int64) (name ^ " (compiled)") expected compiled
+
+(* --- hand-written programs ---------------------------------------------- *)
+
+let fact_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "r"; "i" ] "fact"
+        [ set "r" (c 1);
+          For (set "i" (c 1), Bin (Les, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "r" (Bin (Mul, v "r", v "i")) ]);
+          Return (v "r") ] ]
+
+let fib_prog =
+  program
+    [ func ~params:[ "n" ] "fib"
+        [ If (Bin (Lts, v "n", c 2),
+              [ Return (v "n") ],
+              [ Return
+                  (Bin (Add,
+                        call "fib" [ Bin (Sub, v "n", c 1) ],
+                        call "fib" [ Bin (Sub, v "n", c 2) ])) ]) ] ]
+
+let switch_prog =
+  program
+    [ func ~params:[ "n" ] "classify"
+        [ Switch (v "n",
+                  [ (0, [ Return (c 100) ]);
+                    (1, [ Return (c 101) ]);
+                    (2, [ Return (c 102) ]);
+                    (3, [ Return (c 103) ]);
+                    (4, [ Return (c 104) ]);
+                    (6, [ Return (c 106) ]) ],
+                  [ Return (c (-1)) ]) ] ]
+
+let array_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "sum" ] ~arrays:[ ("buf", 64) ] "arrsum"
+        [ For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ store8 (Bin (Add, Addr_local "buf", v "i"))
+                   (Bin (Mul, v "i", v "i")) ]);
+          set "sum" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "sum"
+                   (Bin (Add, v "sum",
+                         load8 (Bin (Add, Addr_local "buf", v "i")))) ]);
+          Return (v "sum") ] ]
+
+let global_prog =
+  program
+    ~globals:[ G_bytes ("tbl", "\x05\x0A\x0F\x14") ]
+    [ func ~params:[ "i" ] "lookup"
+        [ Return (load8 (Bin (Add, Addr_global "tbl", v "i"))) ] ]
+
+let test_fact () = check_both "fact 10" fact_prog "fact" [ 10L ] 3628800L
+let test_fib () = check_both "fib 12" fib_prog "fib" [ 12L ] 144L
+
+let test_switch () =
+  List.iter
+    (fun (n, e) -> check_both "switch" switch_prog "classify" [ n ] e)
+    [ (0L, 100L); (1L, 101L); (2L, 102L); (3L, 103L); (4L, 104L); (6L, 106L);
+      (5L, -1L); (7L, -1L); (100L, -1L); (-3L, -1L) ]
+
+let test_array () =
+  (* sum of i^2 for i<8 mod 256 per-byte truncation: values < 256 anyway *)
+  check_both "array sum" array_prog "arrsum" [ 8L ] 140L
+
+let test_global () =
+  check_both "global load" global_prog "lookup" [ 2L ] 15L
+
+let test_unsigned_ops () =
+  let prog =
+    program
+      [ func ~params:[ "a"; "b" ] "f"
+          [ Return
+              (Bin (Add,
+                    Bin (Divu, v "a", v "b"),
+                    Bin (Mul, Bin (Ltu, v "a", v "b"), c 1000))) ] ]
+  in
+  check_both "unsigned div" prog "f" [ -1L; 16L ] 0x0FFFFFFFFFFFFFFFL;
+  check_both "unsigned lt" prog "f" [ 1L; -1L ] 1000L
+
+let test_short_circuit () =
+  (* b != 0 is guarded by the && so no division by zero *)
+  let prog =
+    program
+      [ func ~params:[ "a"; "b" ] "f"
+          [ If (Bin (Land, Bin (Ne, v "b", c 0),
+                    Bin (Gts, Bin (Divs, v "a", v "b"), c 3)),
+                [ Return (c 1) ], [ Return (c 0) ]) ] ]
+  in
+  check_both "short-circuit false" prog "f" [ 10L; 0L ] 0L;
+  check_both "short-circuit true" prog "f" [ 10L; 2L ] 1L
+
+let test_narrow_memory () =
+  let prog =
+    program
+      [ func ~params:[ "x" ] ~arrays:[ ("b", 16) ] "f"
+          [ Store (X86.Isa.W32, Addr_local "b", v "x");
+            Store (X86.Isa.W16, Bin (Add, Addr_local "b", c 8), v "x");
+            Return
+              (Bin (Add,
+                    Load (X86.Isa.W32, true, Addr_local "b"),
+                    Load (X86.Isa.W16, false, Bin (Add, Addr_local "b", c 8)))) ] ]
+  in
+  check_both "narrow store/load" prog "f" [ 0xFFFFFFFFL ] (Int64.add (-1L) 0xFFFFL);
+  check_both "narrow positive" prog "f" [ 0x12345L ] (Int64.add 0x12345L 0x2345L)
+
+(* --- RandomFuns corpus --------------------------------------------------- *)
+
+let test_randomfuns_secret () =
+  (* every generated function accepts its secret and the compiled version
+     agrees with the interpreter *)
+  let corpus = Minic.Randomfuns.corpus ~point_test:true () in
+  Alcotest.(check int) "72 functions" 72 (List.length corpus);
+  List.iteri
+    (fun i (t : Minic.Randomfuns.t) ->
+       match t.secret with
+       | None -> Alcotest.fail "missing secret"
+       | Some s ->
+         let r_interp = Minic.Interp.run t.prog "target" [ s ] in
+         Alcotest.(check int64) (Printf.sprintf "f%d accepts secret" i) 1L r_interp;
+         let r_comp = run_compiled t.prog "target" [ s ] in
+         Alcotest.(check int64) (Printf.sprintf "f%d compiled accepts" i) 1L r_comp)
+    corpus
+
+let corpus_lazy = lazy (Minic.Randomfuns.corpus ~point_test:true ())
+
+let prop_randomfuns_differential =
+  QCheck.Test.make ~name:"compiled = interpreted on random inputs" ~count:60
+    QCheck.(pair (int_range 0 71) (map Int64.of_int int))
+    (fun (idx, input) ->
+       let t = List.nth (Lazy.force corpus_lazy) idx in
+       let input = Int64.logand input t.Minic.Randomfuns.input_mask in
+       let a = Minic.Interp.run t.Minic.Randomfuns.prog "target" [ input ] in
+       let b = run_compiled t.Minic.Randomfuns.prog "target" [ input ] in
+       a = b)
+
+let test_coverage_probes () =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~control_index:4 ~point_test:false
+         ~coverage_probes:true ())
+  in
+  Alcotest.(check bool) "has probes" true (t.n_probes > 0);
+  (* run and check that some probes fired in compiled execution *)
+  let img = Minic.Codegen.compile t.prog in
+  let mem = Image.load img in
+  let r = Runner.call_exn ~mem img ~func:"target" ~args:[ 42L ] in
+  let cov_addr = Image.symbol_addr img "__cov" in
+  let fired = ref 0 in
+  for i = 0 to t.n_probes - 1 do
+    if Machine.Memory.read r.Runner.cpu.Machine.Cpu.mem
+        (Int64.add cov_addr (Int64.of_int i)) 1 = 1L
+    then incr fired
+  done;
+  Alcotest.(check bool) "some probes fired" true (!fired > 0)
+
+let () =
+  Alcotest.run "minic"
+    [ ("programs",
+       [ Alcotest.test_case "factorial" `Quick test_fact;
+         Alcotest.test_case "fibonacci (recursion)" `Quick test_fib;
+         Alcotest.test_case "switch jump table" `Quick test_switch;
+         Alcotest.test_case "local arrays" `Quick test_array;
+         Alcotest.test_case "globals" `Quick test_global;
+         Alcotest.test_case "unsigned ops" `Quick test_unsigned_ops;
+         Alcotest.test_case "short circuit" `Quick test_short_circuit;
+         Alcotest.test_case "narrow memory" `Quick test_narrow_memory ]);
+      ("randomfuns",
+       [ Alcotest.test_case "corpus secrets" `Slow test_randomfuns_secret;
+         Alcotest.test_case "coverage probes" `Quick test_coverage_probes;
+         QCheck_alcotest.to_alcotest prop_randomfuns_differential ]) ]

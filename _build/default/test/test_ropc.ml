@@ -1,0 +1,229 @@
+(* The central invariant of the whole system: rewriting a function into a ROP
+   chain preserves its observable behaviour.  Differential tests run the
+   native and rewritten images on the same inputs and compare results, across
+   all predicate configurations. *)
+
+open Minic.Ast
+
+let rewrite_img ?(config = Ropc.Config.plain ()) prog fnames =
+  let img = Minic.Codegen.compile prog in
+  let r = Ropc.Rewriter.rewrite img ~functions:fnames ~config in
+  List.iter
+    (fun (f, res) ->
+       match res with
+       | Ok _ -> ()
+       | Error e ->
+         Alcotest.failf "rewrite of %s failed: %s" f
+           (Ropc.Rewriter.failure_to_string e))
+    r.Ropc.Rewriter.funcs;
+  (img, r.Ropc.Rewriter.image)
+
+let run img fname args =
+  (Runner.call_exn ~fuel:100_000_000 img ~func:fname ~args).Runner.rax
+
+let check_same ?config name prog fname inputs =
+  let native_img, rop_img = rewrite_img ?config prog [ fname ] in
+  List.iter
+    (fun args ->
+       let n = run native_img fname args in
+       let r = run rop_img fname args in
+       if n <> r then
+         Alcotest.failf "%s: native=%Ld rop=%Ld on args %s" name n r
+           (String.concat "," (List.map Int64.to_string args)))
+    inputs
+
+(* --- programs -------------------------------------------------------------- *)
+
+let fact_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "r"; "i" ] "fact"
+        [ set "r" (c 1);
+          For (set "i" (c 1), Bin (Les, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "r" (Bin (Mul, v "r", v "i")) ]);
+          Return (v "r") ] ]
+
+let fib_prog =
+  program
+    [ func ~params:[ "n" ] "fib"
+        [ If (Bin (Lts, v "n", c 2),
+              [ Return (v "n") ],
+              [ Return
+                  (Bin (Add,
+                        call "fib" [ Bin (Sub, v "n", c 1) ],
+                        call "fib" [ Bin (Sub, v "n", c 2) ])) ]) ] ]
+
+let switch_prog =
+  program
+    [ func ~params:[ "n" ] "classify"
+        [ Switch (v "n",
+                  [ (0, [ Return (c 100) ]); (1, [ Return (c 101) ]);
+                    (2, [ Return (c 102) ]); (3, [ Return (c 103) ]);
+                    (4, [ Return (c 104) ]); (6, [ Return (c 106) ]) ],
+                  [ Return (c (-1)) ]) ] ]
+
+(* caller in ROP, callee native: exercises the stack-switching call *)
+let mixed_prog =
+  program
+    [ func ~params:[ "x" ] "helper" [ Return (Bin (Mul, v "x", c 3)) ];
+      func ~params:[ "n" ] ~locals:[ "acc"; "i" ] "driver"
+        [ set "acc" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "acc" (Bin (Add, v "acc", call "helper" [ v "i" ])) ]);
+          Return (v "acc") ] ]
+
+let array_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "i"; "sum" ] ~arrays:[ ("buf", 64) ] "arrsum"
+        [ For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ store8 (Bin (Add, Addr_local "buf", v "i"))
+                   (Bin (Mul, v "i", v "i")) ]);
+          set "sum" (c 0);
+          For (set "i" (c 0), Bin (Lts, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "sum"
+                   (Bin (Add, v "sum",
+                         load8 (Bin (Add, Addr_local "buf", v "i")))) ]);
+          Return (v "sum") ] ]
+
+let inputs_n = [ [ 0L ]; [ 1L ]; [ 2L ]; [ 5L ]; [ 8L ] ]
+
+(* --- plain encoding -------------------------------------------------------- *)
+
+let test_plain_fact () = check_same "fact" fact_prog "fact" inputs_n
+let test_plain_fib () = check_same "fib" fib_prog "fib" [ [ 0L ]; [ 1L ]; [ 7L ]; [ 10L ] ]
+
+let test_plain_switch () =
+  check_same "switch" switch_prog "classify"
+    [ [ 0L ]; [ 1L ]; [ 2L ]; [ 3L ]; [ 4L ]; [ 5L ]; [ 6L ]; [ 7L ]; [ -1L ]; [ 100L ] ]
+
+let test_plain_mixed () = check_same "mixed" mixed_prog "driver" inputs_n
+let test_plain_array () = check_same "array" array_prog "arrsum" inputs_n
+
+(* rewrite BOTH caller and callee: ROP -> ROP calls, re-pivoting *)
+let test_rop_to_rop () =
+  let native_img, rop_img = rewrite_img mixed_prog [ "helper"; "driver" ] in
+  List.iter
+    (fun args ->
+       let n = run native_img "driver" args in
+       let r = run rop_img "driver" args in
+       Alcotest.(check int64) "rop->rop" n r)
+    inputs_n
+
+(* recursion through the stub: every activation re-pivots *)
+let test_recursive_rop () =
+  let native_img, rop_img = rewrite_img fib_prog [ "fib" ] in
+  List.iter
+    (fun n ->
+       Alcotest.(check int64) "fib rop"
+         (run native_img "fib" [ n ]) (run rop_img "fib" [ n ]))
+    [ 0L; 1L; 5L; 10L ]
+
+(* --- predicate configurations --------------------------------------------- *)
+
+let all_configs =
+  [ "plain", Ropc.Config.plain ();
+    "p1", Ropc.Config.rop_k 0.0;
+    "p1+p3for", Ropc.Config.rop_k 0.25;
+    "p1+p3for-full", Ropc.Config.rop_k 1.0;
+    "p1+p3arr",
+    (let c = Ropc.Config.rop_k 0.5 in
+     { c with Ropc.Config.p3 =
+                Some { (Ropc.Config.default_p3 0.5) with
+                       Ropc.Config.variant = Ropc.Config.P3_array } });
+    "p1+p2", Ropc.Config.rop_k ~p2:true 0.0;
+    "p1+p2+p3+gc", Ropc.Config.rop_k ~p2:true ~confusion:true 0.25;
+    "gc-only",
+    { (Ropc.Config.plain ()) with Ropc.Config.gadget_confusion = true } ]
+
+let test_configs_fact () =
+  List.iter
+    (fun (name, config) ->
+       check_same ~config ("fact/" ^ name) fact_prog "fact" inputs_n)
+    all_configs
+
+let test_configs_fib () =
+  List.iter
+    (fun (name, config) ->
+       check_same ~config ("fib/" ^ name) fib_prog "fib" [ [ 6L ]; [ 9L ] ])
+    all_configs
+
+let test_configs_switch () =
+  List.iter
+    (fun (name, config) ->
+       check_same ~config ("switch/" ^ name) switch_prog "classify"
+         [ [ 0L ]; [ 3L ]; [ 5L ]; [ 6L ]; [ 9L ] ])
+    all_configs
+
+(* --- the full corpus, the paper's main targets ----------------------------- *)
+
+let test_randomfuns_plain () =
+  let corpus = Minic.Randomfuns.corpus () in
+  List.iteri
+    (fun i (t : Minic.Randomfuns.t) ->
+       if i mod 6 = 0 then begin   (* every 6th to keep the suite fast *)
+         let secret = Option.get t.secret in
+         let native_img, rop_img = rewrite_img t.prog [ "target" ] in
+         List.iter
+           (fun x ->
+              let x = Int64.logand x t.input_mask in
+              Alcotest.(check int64)
+                (Printf.sprintf "f%d(%Ld)" i x)
+                (run native_img "target" [ x ])
+                (run rop_img "target" [ x ]))
+           [ secret; 0L; 1L; 0x5AL; 0x1234L ]
+       end)
+    corpus
+
+let test_randomfuns_rop1 () =
+  let corpus = Minic.Randomfuns.corpus () in
+  let config = Ropc.Config.rop_k 0.25 in
+  List.iteri
+    (fun i (t : Minic.Randomfuns.t) ->
+       if i mod 12 = 0 then begin
+         let secret = Option.get t.secret in
+         let native_img, rop_img = rewrite_img ~config t.prog [ "target" ] in
+         List.iter
+           (fun x ->
+              let x = Int64.logand x t.input_mask in
+              Alcotest.(check int64)
+                (Printf.sprintf "f%d(%Ld)" i x)
+                (run native_img "target" [ x ])
+                (run rop_img "target" [ x ]))
+           [ secret; 0L; 0xABCDL ]
+       end)
+    corpus
+
+(* qcheck: random corpus function, random config, random input *)
+let corpus_lazy = lazy (Minic.Randomfuns.corpus ())
+
+let prop_differential =
+  QCheck.Test.make ~name:"rop = native on random corpus inputs" ~count:40
+    QCheck.(triple (int_range 0 71) (int_range 0 7) (map Int64.of_int int))
+    (fun (idx, cfg_idx, input) ->
+       let t = List.nth (Lazy.force corpus_lazy) idx in
+       let _, config = List.nth all_configs cfg_idx in
+       let input = Int64.logand input t.Minic.Randomfuns.input_mask in
+       let native_img, rop_img = rewrite_img ~config t.prog [ "target" ] in
+       run native_img "target" [ input ] = run rop_img "target" [ input ])
+
+let () =
+  Alcotest.run "ropc"
+    [ ("plain",
+       [ Alcotest.test_case "fact" `Quick test_plain_fact;
+         Alcotest.test_case "fib" `Quick test_plain_fib;
+         Alcotest.test_case "switch" `Quick test_plain_switch;
+         Alcotest.test_case "mixed calls" `Quick test_plain_mixed;
+         Alcotest.test_case "arrays" `Quick test_plain_array;
+         Alcotest.test_case "rop-to-rop calls" `Quick test_rop_to_rop;
+         Alcotest.test_case "recursion" `Quick test_recursive_rop ]);
+      ("configs",
+       [ Alcotest.test_case "fact all configs" `Quick test_configs_fact;
+         Alcotest.test_case "fib all configs" `Quick test_configs_fib;
+         Alcotest.test_case "switch all configs" `Quick test_configs_switch ]);
+      ("corpus",
+       [ Alcotest.test_case "randomfuns plain" `Slow test_randomfuns_plain;
+         Alcotest.test_case "randomfuns rop_k" `Slow test_randomfuns_rop1;
+         QCheck_alcotest.to_alcotest prop_differential ]) ]

@@ -1,0 +1,200 @@
+(* Tests for the symbolic-execution stack: expression semantics vs. the
+   concrete machine, solver soundness, and end-to-end attacks (DSE cracks
+   native targets; the symbolic stepper agrees with concrete execution on
+   obfuscated chains). *)
+
+module E = Symex.Expr
+
+(* --- expression evaluation ------------------------------------------------ *)
+
+let gen_expr_conc =
+  (* random expression over 2 input bytes, paired evaluation *)
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof
+        [ map (fun v -> E.Const (Int64.of_int v)) int;
+          oneofl [ E.Input 0; E.Input 1 ] ]
+    else
+      let sub = go (depth - 1) in
+      oneof
+        [ (let* a = sub in
+           let* b = sub in
+           let* op =
+             oneofl
+               [ E.Add; E.Sub; E.Mul; E.And; E.Or; E.Xor; E.Shl; E.Shr;
+                 E.Eq; E.Ult; E.Slt ]
+           in
+           return (E.Bin (op, a, b)));
+          (let* a = sub in
+           oneofl [ E.Un (E.Not, a); E.Un (E.Neg, a) ]) ]
+  in
+  go 4
+
+let prop_eval_matches_compiled =
+  QCheck.Test.make ~name:"compiled eval = tree eval" ~count:500
+    QCheck.(pair (make gen_expr_conc) (pair (int_bound 255) (int_bound 255)))
+    (fun (e, (b0, b1)) ->
+       let input i = if i = 0 then b0 else b1 in
+       let tree = E.eval ~input e in
+       let memo = (E.evaluator ~input) e in
+       let comp = E.compile [ e ] in
+       let v = E.run comp ~input in
+       tree = memo && tree = v.(comp.E.roots.(0)))
+
+let prop_solver_sound =
+  QCheck.Test.make ~name:"solver models satisfy constraints" ~count:200
+    QCheck.(make gen_expr_conc)
+    (fun e ->
+       let cs = [ { Symex.Solver.cond = e; want = true } ] in
+       match Symex.Solver.solve ~n_inputs:2 ~max_evals:70000 cs with
+       | Some m -> Symex.Solver.check m cs
+       | None -> true)
+
+let test_solver_finds_eq () =
+  (* in[0] ^ 0x5A == 0x33 *)
+  let e =
+    E.bin E.Eq (E.bin E.Xor (E.Input 0) (E.Const 0x5AL)) (E.Const 0x33L)
+  in
+  match Symex.Solver.solve ~n_inputs:1 ~max_evals:1000
+          [ { Symex.Solver.cond = e; want = true } ]
+  with
+  | Some m -> Alcotest.(check int) "x" (0x5A lxor 0x33) m.(0)
+  | None -> Alcotest.fail "no model"
+
+let test_solver_unsat () =
+  let e = E.bin E.Eq (E.bin E.And (E.Input 0) (E.Const 1L)) (E.Const 7L) in
+  Alcotest.(check bool) "unsat" true
+    (Symex.Solver.solve ~n_inputs:1 ~max_evals:1000
+       [ { Symex.Solver.cond = e; want = true } ]
+     = None)
+
+(* --- symbolic stepper vs concrete machine ---------------------------------- *)
+
+(* run both engines on a corpus function for the same input; RAX must agree *)
+let sym_matches_concrete ?config (t : Minic.Randomfuns.t) input =
+  let img = Minic.Codegen.compile t.prog in
+  let img =
+    match config with
+    | None -> img
+    | Some config ->
+      (Ropc.Rewriter.rewrite img ~functions:[ "target" ] ~config).Ropc.Rewriter.image
+  in
+  let n_inputs = Int64.to_int (Int64.add (Int64.div (Int64.of_int 63) 8L) 1L) in
+  ignore n_inputs;
+  let n_inputs = t.params.Minic.Randomfuns.input_size in
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs } in
+  let ctx =
+    Symex.Engine.make_ctx ~goal:Symex.Engine.G_secret
+      ~budget:{ Symex.Engine.default_budget with wall_seconds = 60.0 } tgt
+  in
+  let witness = Array.init n_inputs (fun i ->
+      Int64.to_int (Int64.logand (Int64.shift_right_logical input (8 * i)) 0xFFL))
+  in
+  let st, _, outcome = Symex.Engine.concolic_path ctx witness in
+  match outcome with
+  | `Halt ->
+    let ev = E.evaluator ~input:(Symex.Solver.input_of_model witness) in
+    let sym = ev (Symex.Sym_state.get st X86.Isa.RAX) in
+    let conc = (Runner.call_exn ~fuel:200_000_000 img ~func:"target" ~args:[ input ]).Runner.rax in
+    sym = conc
+  | `Fault _ -> false
+  | `Fuel -> true   (* inconclusive: P3-heavy chains can outlast the budget *)
+
+let corpus_lazy = lazy (Minic.Randomfuns.corpus ())
+
+let prop_sym_concrete_native =
+  QCheck.Test.make ~name:"symbolic = concrete (native)" ~count:25
+    QCheck.(pair (int_range 0 71) (map Int64.of_int int))
+    (fun (idx, input) ->
+       let t = List.nth (Lazy.force corpus_lazy) idx in
+       sym_matches_concrete t (Int64.logand input t.Minic.Randomfuns.input_mask))
+
+let prop_sym_concrete_rop =
+  QCheck.Test.make ~name:"symbolic = concrete (ROP+P1+P3)" ~count:10
+    QCheck.(pair (int_range 0 71) (map Int64.of_int int))
+    (fun (idx, input) ->
+       let t = List.nth (Lazy.force corpus_lazy) idx in
+       sym_matches_concrete ~config:(Ropc.Config.rop_k 0.25) t
+         (Int64.logand input t.Minic.Randomfuns.input_mask))
+
+(* --- end-to-end attacks ----------------------------------------------------- *)
+
+let scaled_fun ~input_size ~control_index =
+  Minic.Randomfuns.generate
+    (Minic.Randomfuns.default_params ~loop_size:5 ~seed:1 ~input_size
+       ~control_index ())
+
+let test_dse_cracks_native () =
+  let t = scaled_fun ~input_size:1 ~control_index:0 in
+  let img = Minic.Codegen.compile t.prog in
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs = 1 } in
+  let budget = { Symex.Engine.default_budget with wall_seconds = 10.0 } in
+  let r = Symex.Engine.dse ~goal:Symex.Engine.G_secret ~budget tgt in
+  match r.Symex.Engine.secret_input with
+  | Some m ->
+    let got = (Runner.call_exn img ~func:"target" ~args:[ Int64.of_int m.(0) ]).Runner.rax in
+    Alcotest.(check int64) "accepted" 1L got
+  | None -> Alcotest.fail "DSE failed on an unobfuscated 1-byte target"
+
+let test_se_cracks_native () =
+  let t = scaled_fun ~input_size:1 ~control_index:0 in
+  let img = Minic.Codegen.compile t.prog in
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs = 1 } in
+  let budget = { Symex.Engine.default_budget with wall_seconds = 10.0 } in
+  let r = Symex.Engine.se ~goal:Symex.Engine.G_secret ~budget tgt in
+  Alcotest.(check bool) "found" true (r.Symex.Engine.secret_input <> None)
+
+let test_dse_coverage_native () =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:5 ~seed:2 ~input_size:1
+         ~control_index:1 ~point_test:false ~coverage_probes:true ())
+  in
+  let img = Minic.Codegen.compile t.prog in
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs = 1 } in
+  let budget = { Symex.Engine.default_budget with wall_seconds = 10.0 } in
+  let r = Symex.Engine.dse ~goal:Symex.Engine.G_coverage ~budget tgt in
+  Alcotest.(check bool)
+    (Printf.sprintf "covered %d/%d" (Hashtbl.length r.Symex.Engine.covered) t.n_probes)
+    true
+    (Hashtbl.length r.Symex.Engine.covered >= t.n_probes - 1)
+
+let test_dse_slowed_by_rop () =
+  (* the headline effect: a target DSE cracks fast natively resists when
+     ROP-encoded with P1+P3 *)
+  let t = scaled_fun ~input_size:1 ~control_index:0 in
+  let img = Minic.Codegen.compile t.prog in
+  let budget = { Symex.Engine.default_budget with wall_seconds = 3.0 } in
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs = 1 } in
+  let r_native = Symex.Engine.dse ~goal:Symex.Engine.G_secret ~budget tgt in
+  Alcotest.(check bool) "native cracked" true (r_native.Symex.Engine.secret_input <> None);
+  let rw =
+    Ropc.Rewriter.rewrite img ~functions:[ "target" ]
+      ~config:(Ropc.Config.rop_k 1.0)
+  in
+  let tgtr =
+    { Symex.Engine.img = rw.Ropc.Rewriter.image; func = "target"; n_inputs = 1 }
+  in
+  let r_rop = Symex.Engine.dse ~goal:Symex.Engine.G_secret ~budget tgtr in
+  (* either not cracked, or took markedly longer *)
+  Alcotest.(check bool) "rop resists or is much slower" true
+    (r_rop.Symex.Engine.secret_input = None
+     || r_rop.Symex.Engine.time > 5.0 *. r_native.Symex.Engine.time)
+
+let () =
+  Alcotest.run "symex"
+    [ ("expr",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_eval_matches_compiled; prop_solver_sound ]);
+      ("solver",
+       [ Alcotest.test_case "eq inversion" `Quick test_solver_finds_eq;
+         Alcotest.test_case "unsat" `Quick test_solver_unsat ]);
+      ("stepper",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_sym_concrete_native; prop_sym_concrete_rop ]);
+      ("attacks",
+       [ Alcotest.test_case "dse cracks native" `Slow test_dse_cracks_native;
+         Alcotest.test_case "se cracks native" `Slow test_se_cracks_native;
+         Alcotest.test_case "dse coverage native" `Slow test_dse_coverage_native;
+         Alcotest.test_case "rop slows dse" `Slow test_dse_slowed_by_rop ]) ]

@@ -1,0 +1,99 @@
+(* VM obfuscation preserves semantics, at every nesting depth and with
+   implicit VPC loads, both under the interpreter and compiled+emulated;
+   ROP rewriting composes on top (§IV-C). *)
+
+open Minic.Ast
+
+let fact_prog =
+  program
+    [ func ~params:[ "n" ] ~locals:[ "r"; "i" ] "fact"
+        [ set "r" (c 1);
+          For (set "i" (c 1), Bin (Les, v "i", v "n"),
+               set "i" (Bin (Add, v "i", c 1)),
+               [ set "r" (Bin (Mul, v "r", v "i")) ]);
+          Return (v "r") ] ]
+
+let run_compiled prog fname args =
+  let img = Minic.Codegen.compile prog in
+  (Runner.call_exn ~fuel:200_000_000 img ~func:fname ~args).Runner.rax
+
+let test_one_layer () =
+  let t = Vmobf.virtualize ~seed:3 fact_prog "fact" in
+  Alcotest.(check bool) "several opcodes" true (t.Vmobf.n_opcodes >= 5);
+  List.iter
+    (fun n ->
+       Alcotest.(check int64) "vm fact"
+         (Minic.Interp.run fact_prog "fact" [ n ])
+         (Minic.Interp.run t.Vmobf.prog "fact" [ n ]);
+       Alcotest.(check int64) "vm fact compiled"
+         (Minic.Interp.run fact_prog "fact" [ n ])
+         (run_compiled t.Vmobf.prog "fact" [ n ]))
+    [ 0L; 1L; 5L; 10L ]
+
+let test_layers_and_implicit () =
+  List.iter
+    (fun (layers, implicit) ->
+       let prog = Vmobf.layered ~implicit ~layers ~seed:7 fact_prog "fact" in
+       Alcotest.(check int64)
+         (Printf.sprintf "%dVM fact(6)" layers)
+         720L
+         (run_compiled prog "fact" [ 6L ]))
+    [ (1, Vmobf.Imp_none); (1, Vmobf.Imp_all); (2, Vmobf.Imp_none);
+      (2, Vmobf.Imp_last); (2, Vmobf.Imp_all); (3, Vmobf.Imp_none) ]
+
+let test_vm_different_seeds_differ () =
+  let t1 = Vmobf.virtualize ~seed:1 fact_prog "fact" in
+  let t2 = Vmobf.virtualize ~seed:2 fact_prog "fact" in
+  (* the bytecode streams should differ (random opcode assignment) *)
+  let g prog =
+    List.filter_map
+      (function G_quads (_, qs) -> Some qs | G_bytes _ | G_zero _ -> None)
+      prog.globals
+  in
+  Alcotest.(check bool) "different encodings" true
+    (g t1.Vmobf.prog <> g t2.Vmobf.prog)
+
+let test_rop_on_vm () =
+  (* the paper's composition: ROP-rewrite a VM-obfuscated function *)
+  let vm = Vmobf.layered ~layers:1 ~seed:5 fact_prog "fact" in
+  let img = Minic.Codegen.compile vm in
+  let r =
+    Ropc.Rewriter.rewrite img ~functions:[ "fact" ]
+      ~config:(Ropc.Config.rop_k 0.05)
+  in
+  (match List.assoc "fact" r.Ropc.Rewriter.funcs with
+   | Ok _ -> ()
+   | Error e ->
+     Alcotest.failf "rop-on-vm failed: %s" (Ropc.Rewriter.failure_to_string e));
+  List.iter
+    (fun n ->
+       Alcotest.(check int64) "rop(vm(fact))"
+         (Minic.Interp.run fact_prog "fact" [ n ])
+         (Runner.call_exn ~fuel:200_000_000 r.Ropc.Rewriter.image
+            ~func:"fact" ~args:[ n ]).Runner.rax)
+    [ 0L; 4L; 7L ]
+
+let test_vm_randomfuns () =
+  let corpus = Minic.Randomfuns.corpus () in
+  List.iteri
+    (fun i (t : Minic.Randomfuns.t) ->
+       if i mod 9 = 0 then begin
+         let vm = Vmobf.layered ~layers:1 ~seed:i ~implicit:Vmobf.Imp_all t.prog "target" in
+         List.iter
+           (fun x ->
+              let x = Int64.logand x t.input_mask in
+              Alcotest.(check int64) (Printf.sprintf "vm f%d" i)
+                (Minic.Interp.run t.prog "target" [ x ])
+                (run_compiled vm "target" [ x ]))
+           [ Option.get t.secret; 0L; 0x33L ]
+       end)
+    corpus
+
+let () =
+  Alcotest.run "vmobf"
+    [ ("vm",
+       [ Alcotest.test_case "one layer" `Quick test_one_layer;
+         Alcotest.test_case "nesting and implicit vpc" `Quick test_layers_and_implicit;
+         Alcotest.test_case "seed diversity" `Quick test_vm_different_seeds_differ;
+         Alcotest.test_case "rop on top of vm" `Quick test_rop_on_vm;
+         Alcotest.test_case "randomfuns sample" `Slow test_vm_randomfuns ]) ]

@@ -1,0 +1,101 @@
+(* Workload programs: clbg analogs, base64 case study and the corpus compile,
+   run, and survive ROP rewriting with unchanged results. *)
+
+let run img fname args = (Runner.call_exn ~fuel:500_000_000 img ~func:fname ~args).Runner.rax
+
+let test_clbg_native () =
+  List.iter
+    (fun (name, prog, _fns, n) ->
+       let interp = Minic.Interp.run ~fuel:100_000_000 prog "bench" [ n ] in
+       let compiled = run (Minic.Codegen.compile prog) "bench" [ n ] in
+       Alcotest.(check int64) (name ^ " interp=compiled") interp compiled)
+    Minic.Clbg.all
+
+let test_clbg_rop () =
+  List.iter
+    (fun (name, prog, fns, n) ->
+       let img = Minic.Codegen.compile prog in
+       let native = run img "bench" [ n ] in
+       let r =
+         Ropc.Rewriter.rewrite img ~functions:fns
+           ~config:(Ropc.Config.rop_k 0.05)
+       in
+       List.iter
+         (fun (f, res) ->
+            match res with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.failf "%s/%s: %s" name f (Ropc.Rewriter.failure_to_string e))
+         r.Ropc.Rewriter.funcs;
+       Alcotest.(check int64) (name ^ " rop=native") native
+         (run r.Ropc.Rewriter.image "bench" [ n ]))
+    Minic.Clbg.all
+
+let test_base64 () =
+  let prog = Minic.Programs.base64_program () in
+  let img = Minic.Codegen.compile prog in
+  Alcotest.(check int64) "secret accepted" 1L
+    (run img "b64_check" [ Minic.Programs.secret_arg ]);
+  Alcotest.(check int64) "wrong input rejected" 0L
+    (run img "b64_check" [ 0x123456L ]);
+  (* rewritten *)
+  let r =
+    Ropc.Rewriter.rewrite img ~functions:[ "b64_check"; "b64_encode" ]
+      ~config:(Ropc.Config.rop_k 0.25)
+  in
+  Alcotest.(check int64) "rop secret accepted" 1L
+    (run r.Ropc.Rewriter.image "b64_check" [ Minic.Programs.secret_arg ]);
+  Alcotest.(check int64) "rop wrong rejected" 0L
+    (run r.Ropc.Rewriter.image "b64_check" [ 99L ])
+
+let test_corpus_runs () =
+  let img = Minic.Corpus.compile () in
+  Alcotest.(check int64) "gcd" 6L (run img "gcd_" [ 54L; 24L ]);
+  Alcotest.(check int64) "popcount" 3L (run img "popcount_" [ 0b10101L ]);
+  Alcotest.(check int64) "isqrt" 11L (run img "isqrt_" [ 121L ]);
+  Alcotest.(check int64) "fib_iter" 55L (run img "fib_iter_" [ 10L ]);
+  Alcotest.(check int64) "hexval a" 10L (run img "hexval_" [ 97L ]);
+  Alcotest.(check int64) "hexval 7" 7L (run img "hexval_" [ 55L ]);
+  Alcotest.(check int64) "leap 2000" 1L (run img "leap_" [ 2000L ]);
+  Alcotest.(check int64) "leap 1900" 0L (run img "leap_" [ 1900L ]);
+  Alcotest.(check int64) "digits" 4L (run img "digits_" [ 1234L ]);
+  Alcotest.(check int64) "powmod" 445L (run img "powmod_" [ 4L; 13L; 497L ]);
+  Alcotest.(check int64) "asm tiny" 7L (run img "asm_tiny" [ 7L ])
+
+let test_corpus_rewrite_coverage () =
+  (* the deployability experiment in miniature: most functions rewrite, the
+     pathological ones fail with the documented reasons *)
+  let img = Minic.Corpus.compile () in
+  let r =
+    Ropc.Rewriter.rewrite img ~functions:Minic.Corpus.all_names
+      ~config:(Ropc.Config.plain ())
+  in
+  let ok, failed =
+    List.partition (fun (_, res) -> Result.is_ok res) r.Ropc.Rewriter.funcs
+  in
+  let frac = float_of_int (List.length ok) /. float_of_int (List.length r.Ropc.Rewriter.funcs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.1f%% (%d/%d)" (frac *. 100.) (List.length ok)
+       (List.length r.Ropc.Rewriter.funcs))
+    true (frac > 0.85);
+  (* the seeded failures are among the failing ones *)
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " fails") true
+         (List.mem_assoc name failed))
+    [ "asm_push_rsp"; "asm_pop_mem"; "asm_tiny" ];
+  (* rewritten functions still behave *)
+  Alcotest.(check int64) "gcd after rewrite" 6L
+    (run r.Ropc.Rewriter.image "gcd_" [ 54L; 24L ]);
+  Alcotest.(check int64) "powmod after rewrite" 445L
+    (run r.Ropc.Rewriter.image "powmod_" [ 4L; 13L; 497L ])
+
+let () =
+  Alcotest.run "workloads"
+    [ ("clbg",
+       [ Alcotest.test_case "native" `Quick test_clbg_native;
+         Alcotest.test_case "rop" `Slow test_clbg_rop ]);
+      ("base64", [ Alcotest.test_case "case study" `Quick test_base64 ]);
+      ("corpus",
+       [ Alcotest.test_case "runs" `Quick test_corpus_runs;
+         Alcotest.test_case "rewrite coverage" `Quick test_corpus_rewrite_coverage ]) ]

@@ -1,0 +1,207 @@
+(* Tests for the x64-lite ISA: encoder/decoder round-trip, operand edge
+   cases, and decode totality at arbitrary offsets. *)
+
+open X86.Isa
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_reg = QCheck.Gen.map reg_of_index (QCheck.Gen.int_range 0 15)
+let gen_width = QCheck.Gen.map width_of_index (QCheck.Gen.int_range 0 3)
+let gen_cc = QCheck.Gen.map cc_of_index (QCheck.Gen.int_range 0 15)
+
+let gen_disp =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-128) 127);
+      QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-2000000) 2000000) ]
+
+let gen_mem =
+  let open QCheck.Gen in
+  let* base = opt gen_reg in
+  let* index = opt (pair gen_reg (oneofl [ 1; 2; 4; 8 ])) in
+  let* disp = gen_disp in
+  return { base; index; disp }
+
+let gen_imm =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-128) 127);
+      QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-2000000000) 2000000000);
+      QCheck.Gen.ui64 ]
+
+let gen_operand =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map (fun r -> Reg r) gen_reg;
+      QCheck.Gen.map (fun v -> Imm v) gen_imm;
+      QCheck.Gen.map (fun m -> Mem m) gen_mem ]
+
+let gen_dst =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map (fun r -> Reg r) gen_reg;
+      QCheck.Gen.map (fun m -> Mem m) gen_mem ]
+
+(* dst/src pair avoiding mem-to-mem *)
+let gen_dst_src =
+  let open QCheck.Gen in
+  let* d = gen_dst in
+  let* s = gen_operand in
+  match d, s with
+  | Mem _, Mem _ -> return (d, Reg RAX)
+  | _ -> return (d, s)
+
+let gen_instr =
+  let open QCheck.Gen in
+  oneof
+    [ return Nop; return Ret; return Leave; return Hlt;
+      (let* w = gen_width in
+       let* d, s = gen_dst_src in
+       return (Mov (w, d, s)));
+      (let* w = gen_width in
+       let* d = gen_dst in
+       let* s = gen_dst in
+       match d, s with
+       | Mem _, Mem _ -> return (Xchg (w, d, Reg RCX))
+       | _ -> return (Xchg (w, d, s)));
+      (let* o =
+         oneofl [ Add; Sub; And; Or; Xor; Adc; Sbb; Cmp; Test ]
+       in
+       let* w = gen_width in
+       let* d, s = gen_dst_src in
+       return (Alu (o, w, d, s)));
+      (let* o = oneofl [ Neg; Not; Inc; Dec ] in
+       let* w = gen_width in
+       let* d = gen_dst in
+       return (Unary (o, w, d)));
+      (let* w = gen_width in
+       let* r = gen_reg in
+       let* s = gen_operand in
+       return (Imul2 (w, r, s)));
+      (let* o = oneofl [ Mul; Imul1; Div; Idiv ] in
+       let* s = gen_dst in
+       return (MulDiv (o, s)));
+      (let* o = oneofl [ Shl; Shr; Sar; Rol; Ror ] in
+       let* w = gen_width in
+       let* d = gen_dst in
+       let* c = oneof [ return S_cl; map (fun n -> S_imm n) (int_range 0 255) ] in
+       return (Shift (o, w, d, c)));
+      (let* c = gen_cc in
+       let* r = gen_reg in
+       let* s = gen_operand in
+       return (Cmov (c, r, s)));
+      (let* c = gen_cc in
+       let* d = gen_dst in
+       return (Setcc (c, d)));
+      (let* r = gen_reg in
+       let* m = gen_mem in
+       return (Lea (r, m)));
+      (let* o = gen_operand in
+       return (Push o));
+      (let* d = gen_dst in
+       return (Pop d));
+      (let* d = int_range (-1000000) 1000000 in
+       return (Jmp (J_rel d)));
+      (let* o = gen_dst in
+       return (Jmp (J_op o)));
+      (let* d = int_range (-1000000) 1000000 in
+       return (Call (J_rel d)));
+      (let* o = gen_dst in
+       return (Call (J_op o)));
+      (let* c = gen_cc in
+       let* d = int_range (-1000000) 1000000 in
+       return (Jcc (c, d)));
+      (let* combo = int_range 0 5 in
+       let dw, sw = ext_combo_of_index combo in
+       let* r = gen_reg in
+       let* s = gen_operand in
+       return (Movzx (dw, sw, r, s)));
+      (let* combo = int_range 0 5 in
+       let dw, sw = ext_combo_of_index combo in
+       let* r = gen_reg in
+       let* s = gen_operand in
+       return (Movsx (dw, sw, r, s))) ]
+
+let arb_instr = QCheck.make ~print:X86.Pp.instr_str gen_instr
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Imm8/Imm32 decode back sign-extended, so round-trip equality holds on the
+   decoded semantic value. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trip" ~count:2000 arb_instr
+    (fun i ->
+       let b = X86.Encode.encode i in
+       match X86.Decode.decode b 0 with
+       | Some (i', len) -> i' = i && len = Bytes.length b
+       | None -> false)
+
+let prop_roundtrip_wide =
+  QCheck.Test.make ~name:"round-trip with wide immediates" ~count:1000 arb_instr
+    (fun i ->
+       let b = X86.Encode.encode ~wide_imm:true i in
+       match X86.Decode.decode b 0 with
+       | Some (i', len) -> i' = i && len = Bytes.length b
+       | None -> false)
+
+(* Decoding never raises, whatever the bytes and offset. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode total on random bytes" ~count:2000
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 32)) small_nat)
+    (fun (s, off) ->
+       let b = Bytes.of_string s in
+       match X86.Decode.decode b off with
+       | Some (_, len) -> len > 0 && len <= Bytes.length b
+       | None -> true)
+
+(* A concatenated stream decodes back to the same instruction list. *)
+let prop_stream =
+  QCheck.Test.make ~name:"linear sweep of concatenated stream" ~count:300
+    QCheck.(make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 20) gen_instr))
+    (fun instrs ->
+       let b = X86.Encode.encode_list instrs in
+       let decoded = X86.Decode.decode_all b in
+       List.length decoded = List.length instrs
+       && List.for_all2 (fun (_, i, _) i' -> i = i') decoded instrs)
+
+(* --- unit tests ---------------------------------------------------------- *)
+
+let test_lengths () =
+  Alcotest.(check int) "ret is 1 byte" 1 (X86.Encode.length Ret);
+  Alcotest.(check int) "nop is 1 byte" 1 (X86.Encode.length Nop);
+  Alcotest.(check int) "pop reg is 2 bytes" 2 (X86.Encode.length (Pop (Reg RAX)));
+  Alcotest.(check int) "jmp rel is 5 bytes" 5 (X86.Encode.length (Jmp (J_rel 4)));
+  (* wide imm: opcode + dst reg byte + imm mode byte + 8 bytes *)
+  Alcotest.(check int) "mov reg, imm64 wide" 11
+    (X86.Encode.length ~wide_imm:true (Mov (W64, Reg RAX, Imm 5L)))
+
+let test_invalid_opcode () =
+  let b = Bytes.of_string "\xFF\xFF\xFF" in
+  Alcotest.(check bool) "0xFF invalid" true (X86.Decode.decode b 0 = None);
+  let b0 = Bytes.of_string "\x00" in
+  Alcotest.(check bool) "0x00 invalid" true (X86.Decode.decode b0 0 = None)
+
+let test_truncated () =
+  (* jmp rel32 needs 4 displacement bytes *)
+  let b = Bytes.of_string "\x63\x01\x02" in
+  Alcotest.(check bool) "truncated jmp" true (X86.Decode.decode b 0 = None)
+
+let test_mem_to_mem_rejected () =
+  (* craft: mov w64 [rax+0], [rcx+0]: opcode 0x0B, mode 0x10|0 disp8 0, mode 0x10|1 disp8 0 *)
+  let b = Bytes.of_string "\x0B\x10\x00\x11\x00" in
+  Alcotest.(check bool) "mem-to-mem mov rejected" true (X86.Decode.decode b 0 = None)
+
+let test_pp_smoke () =
+  let s = X86.Pp.instr_str (Alu (Add, W64, Reg RAX, Imm 16L)) in
+  Alcotest.(check string) "pp add" "add rax, 0x10" s;
+  let s2 = X86.Pp.instr_str (Mov (W64, Reg RCX, Mem (mem_b RSP 8))) in
+  Alcotest.(check string) "pp mov mem" "mov rcx, qword ptr [rsp + 0x8]" s2
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest
+      [ prop_roundtrip; prop_roundtrip_wide; prop_decode_total; prop_stream ]
+  in
+  Alcotest.run "x86"
+    [ ("roundtrip", qt);
+      ("unit",
+       [ Alcotest.test_case "encoding lengths" `Quick test_lengths;
+         Alcotest.test_case "invalid opcodes" `Quick test_invalid_opcode;
+         Alcotest.test_case "truncated stream" `Quick test_truncated;
+         Alcotest.test_case "mem-to-mem rejected" `Quick test_mem_to_mem_rejected;
+         Alcotest.test_case "printer" `Quick test_pp_smoke ]) ]

@@ -1,0 +1,99 @@
+(* Differential fuzzer CLI.
+
+     difftest --cases 500 --seed 42 --config default
+
+   generates [cases] deterministic mini-C programs from [seed], runs each one
+   through the four-way oracle stack (reference interpreter, compiled native
+   on the emulator, ROP-rewritten, VM-virtualized), diffs return values,
+   global-buffer contents and termination class, and shrinks every failing
+   case to a minimal reproducer.  The run ends with coverage counters and a
+   one-line replay artifact per failure.
+
+     difftest --seed 42 --replay 137 --config default
+
+   regenerates case 137 of that run bit-for-bit, prints it, and re-runs the
+   oracle on it. *)
+
+open Cmdliner
+open Diffuzz
+
+let progress_tick cases i =
+  if cases >= 50 && (i + 1) mod 50 = 0 then begin
+    Printf.eprintf "\r[%d/%d]%!" (i + 1) cases;
+    if i + 1 = cases then Printf.eprintf "\n%!"
+  end
+
+let replay_case cfg ~seed ~index ~shrink =
+  let case = Gen.case ~seed index in
+  print_string (Gen.to_string case);
+  let coverage = Coverage.create () in
+  match Driver.run_case ~shrink cfg ~seed index ~coverage with
+  | None ->
+    Printf.printf "case %d: all backends agree\n" index;
+    0
+  | Some f ->
+    let s =
+      { Driver.s_config = cfg; s_seed = seed; s_cases = 1;
+        s_failures = [ f ]; s_coverage = coverage }
+    in
+    print_string (Driver.failure_report s f);
+    1
+
+let fuzz cfg ~seed ~cases ~shrink =
+  let summary =
+    Driver.run ~progress:(progress_tick cases) ~shrink cfg ~seed ~cases ()
+  in
+  print_string (Driver.report summary);
+  if summary.Driver.s_failures = [] then 0 else 1
+
+let main cases seed config_name replay no_shrink show_fingerprint =
+  match Oracle.find_config config_name with
+  | None ->
+    Printf.eprintf "unknown config %s; available: %s\n" config_name
+      (String.concat ", " (Oracle.config_names ()));
+    2
+  | Some cfg ->
+    let shrink = not no_shrink in
+    if show_fingerprint then begin
+      (* generation digest only: no oracle run, so two invocations are a
+         cheap determinism check *)
+      Printf.printf "fingerprint: %s\n" (Driver.fingerprint ~seed ~cases);
+      0
+    end
+    else
+      (match replay with
+       | Some index -> replay_case cfg ~seed ~index ~shrink
+       | None -> fuzz cfg ~seed ~cases ~shrink)
+
+let cases =
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N"
+         ~doc:"Number of cases to generate and diff.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+         ~doc:"Master seed; every case is a pure function of (seed, index).")
+
+let config =
+  Arg.(value & opt string "default" & info [ "config" ] ~docv:"NAME"
+         ~doc:"Oracle configuration (which ROP / VM legs to run).")
+
+let replay =
+  Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"INDEX"
+         ~doc:"Regenerate and re-check a single case instead of fuzzing.")
+
+let no_shrink =
+  Arg.(value & flag & info [ "no-shrink" ]
+         ~doc:"Report failing cases without minimizing them.")
+
+let fingerprint =
+  Arg.(value & flag & info [ "fingerprint" ]
+         ~doc:"Only print a digest of all generated cases (determinism \
+               check); skips the oracle run.")
+
+let cmd =
+  let doc = "differential fuzzing of the obfuscation pipeline" in
+  Cmd.v
+    (Cmd.info "difftest" ~doc)
+    Term.(const main $ cases $ seed $ config $ replay $ no_shrink $ fingerprint)
+
+let () = exit (Cmd.eval' cmd)

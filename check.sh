@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: build, fast test tier, then a 200-case differential-fuzzing
+# smoke across all four oracles.  The deep tier (dune build @fuzz) is not run
+# here; see EXPERIMENTS.md, "Differential testing".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== fast test tier (@runtest) =="
+dune runtest
+
+echo "== difftest smoke (200 cases, seed 42) =="
+dune exec bin/difftest.exe -- --cases 200 --seed 42
+
+echo "== OK =="

@@ -50,8 +50,16 @@ let slot_size = function
 
 (* Lay out and emit the chain for placement at absolute address [base].
    [junk] supplies filler bytes for skew gaps (deceptive: they should look
-   like gadget addresses). *)
-let materialize ?(junk = fun _ -> Random.bits () land 0xff) ~base t =
+   like gadget addresses).  The default filler is a fixed-seed Util.Rng
+   stream rather than the ambient [Random] state: every materialization must
+   be replayable from explicit seeds alone (the rewriter always passes its
+   own seeded stream; the default only serves direct callers in tests). *)
+let default_junk () =
+  let rng = Util.Rng.create 0x6a756e6b (* "junk" *) in
+  fun _ -> Util.Rng.int rng 256
+
+let materialize ?junk ~base t =
+  let junk = match junk with Some j -> j | None -> default_junk () in
   ignore junk;
   let items = slots t in
   let offsets = Hashtbl.create 32 in

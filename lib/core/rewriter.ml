@@ -56,7 +56,13 @@ let pivot_stub ~ss_addr ~chain_addr =
       Pop (Reg RSP);                                   (* step (c) *)
       Ret ]
 
-let pivot_stub_size = Bytes.length (pivot_stub ~ss_addr:0L ~chain_addr:0L)
+(* Sizing must use representative addresses: the encoder picks the smallest
+   immediate form, so a stub built with address 0 comes out imm8-sized while
+   the real ss/chain addresses need imm32.  (Found by differential fuzzing:
+   functions between the two sizes crashed the rewrite instead of cleanly
+   declining with F_too_small.) *)
+let pivot_stub_size =
+  Bytes.length (pivot_stub ~ss_addr:0x7FFF_FFFFL ~chain_addr:0x7FFF_FFFFL)
 
 (* --- per-instruction translation ------------------------------------------ *)
 
@@ -396,37 +402,42 @@ let rewrite_function (s : session) fname : func_result =
         in
         let addr = rop_emit s m.Chain.bytes in
         assert (addr = base);
-        (* install the pivot stub over the original body *)
-        Image.replace_function_body s.img sym
-          (pivot_stub ~ss_addr:s.ss_addr ~chain_addr:base);
-        (* patch the jump tables with chain displacements *)
-        List.iter
-          (fun (table_addr, anchor, entries) ->
-             List.iteri
-               (fun i target ->
-                  let v =
-                    Chain.label_delta m ~target:(Builder.block_label target)
-                      ~anchor
-                  in
-                  Image.patch s.img
-                    (Int64.add table_addr (Int64.of_int (8 * i))) 8 v)
-               entries)
-          !table_jobs;
-        let block_offsets =
-          Hashtbl.fold
-            (fun name off acc ->
-               if String.length name > 3 && String.sub name 0 3 = "bb_" then
-                 off :: acc
-               else acc)
-            m.Chain.offsets []
-          |> List.sort compare
-        in
-        Ok
-          { fs_points = b.Builder.program_points;
-            fs_chain_bytes = Bytes.length m.Chain.bytes;
-            fs_chain_addr = base;
-            fs_blocks = List.length order;
-            fs_block_offsets = block_offsets }
+        (* install the pivot stub over the original body; the early
+           pivot_stub_size check is an estimate, so re-check with the actual
+           addresses rather than crash in Image.replace_function_body *)
+        let stub = pivot_stub ~ss_addr:s.ss_addr ~chain_addr:base in
+        if Bytes.length stub > sym.Image.sym_size then Error F_too_small
+        else begin
+          Image.replace_function_body s.img sym stub;
+          (* patch the jump tables with chain displacements *)
+          List.iter
+            (fun (table_addr, anchor, entries) ->
+               List.iteri
+                 (fun i target ->
+                    let v =
+                      Chain.label_delta m ~target:(Builder.block_label target)
+                        ~anchor
+                    in
+                    Image.patch s.img
+                      (Int64.add table_addr (Int64.of_int (8 * i))) 8 v)
+                 entries)
+            !table_jobs;
+          let block_offsets =
+            Hashtbl.fold
+              (fun name off acc ->
+                 if String.length name > 3 && String.sub name 0 3 = "bb_" then
+                   off :: acc
+                 else acc)
+              m.Chain.offsets []
+            |> List.sort compare
+          in
+          Ok
+            { fs_points = b.Builder.program_points;
+              fs_chain_bytes = Bytes.length m.Chain.bytes;
+              fs_chain_addr = base;
+              fs_blocks = List.length order;
+              fs_block_offsets = block_offsets }
+        end
     end
 
 (* --- session --------------------------------------------------------------- *)

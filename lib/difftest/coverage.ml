@@ -1,0 +1,81 @@
+(* Coverage counters for a fuzzing run.
+
+   Two axes matter for judging how much of the pipeline a run exercised:
+
+   - the opcode mix of the *native* compiled cases (decoded straight from
+     each function symbol's .text bytes) — a generator that never emits
+     idiv or movsx is not testing those semantics, whatever the case count;
+   - gadget statistics from the rewriter (total uses / unique gadgets, the
+     A and B of Table III), plus how many entry functions the rewriter
+     actually rewrote vs. declined.  A run where every function is declined
+     diffs the native binary against itself and proves nothing about ROP. *)
+
+type t = {
+  opcodes : (string, int) Hashtbl.t;
+  mutable gadget_uses : int;
+  mutable gadget_unique : int;
+  mutable rop_rewritten : int;
+  mutable rop_declined : int;
+  mutable vm_built : int;
+}
+
+let create () =
+  { opcodes = Hashtbl.create 64; gadget_uses = 0; gadget_unique = 0;
+    rop_rewritten = 0; rop_declined = 0; vm_built = 0 }
+
+let mnemonic i =
+  let s = X86.Pp.instr_str i in
+  match String.index_opt s ' ' with Some k -> String.sub s 0 k | None -> s
+
+let count t m =
+  Hashtbl.replace t.opcodes m
+    (1 + Option.value (Hashtbl.find_opt t.opcodes m) ~default:0)
+
+(* Decode every function symbol of [img] and count mnemonics. *)
+let add_image t (img : Image.t) =
+  match Image.find_section img ".text" with
+  | None -> ()
+  | Some sec ->
+    List.iter
+      (fun (sym : Image.symbol) ->
+         if sym.Image.sym_is_function then begin
+           let off = Int64.to_int (Int64.sub sym.Image.sym_addr sec.Image.sec_addr) in
+           if off >= 0 && off + sym.Image.sym_size <= Bytes.length sec.Image.sec_data
+           then begin
+             let b = Bytes.sub sec.Image.sec_data off sym.Image.sym_size in
+             List.iter (fun (_, i, _) -> count t (mnemonic i))
+               (X86.Decode.decode_all b)
+           end
+         end)
+      img.Image.symbols
+
+let add_prepared t (p : Oracle.prepared) =
+  add_image t p.Oracle.native_img;
+  t.gadget_uses <- t.gadget_uses + p.Oracle.gadget_uses;
+  t.gadget_unique <- t.gadget_unique + p.Oracle.gadget_unique;
+  (match p.Oracle.rop_img with
+   | Some (Ok (_, true)) -> t.rop_rewritten <- t.rop_rewritten + 1
+   | Some (Ok (_, false)) -> t.rop_declined <- t.rop_declined + 1
+   | Some (Error _) | None -> ());
+  match p.Oracle.vm_img with
+  | Some (Ok _) -> t.vm_built <- t.vm_built + 1
+  | Some (Error _) | None -> ()
+
+let opcode_list t =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.opcodes [] in
+  List.sort (fun (_, a) (_, b) -> compare b a) l
+
+let report t : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "rop: %d rewritten, %d declined; %d gadget uses, %d unique gadgets\n"
+       t.rop_rewritten t.rop_declined t.gadget_uses t.gadget_unique);
+  Buffer.add_string buf (Printf.sprintf "vm: %d built\n" t.vm_built);
+  Buffer.add_string buf
+    (Printf.sprintf "opcode coverage (%d distinct):\n"
+       (Hashtbl.length t.opcodes));
+  List.iter
+    (fun (m, n) -> Buffer.add_string buf (Printf.sprintf "  %-8s %d\n" m n))
+    (opcode_list t);
+  Buffer.contents buf

@@ -1,0 +1,117 @@
+(* Fuzzing driver: generate -> prepare -> diff -> (on mismatch) shrink.
+
+   Everything is a pure function of (seed, case count, config name), so any
+   failure in a run reduces to a one-line replay artifact:
+
+     dune exec bin/difftest.exe -- --seed S --replay I --config NAME
+
+   which regenerates case I bit-for-bit, re-runs the four-way oracle, and
+   re-shrinks. *)
+
+type failure = {
+  f_index : int;
+  f_first : Oracle.discrepancy;     (* as found *)
+  f_shrunk : Gen.t;                 (* after minimization *)
+  f_shrunk_disc : Oracle.discrepancy option;  (* re-diff of the shrunk case *)
+}
+
+type summary = {
+  s_config : Oracle.config;
+  s_seed : int;
+  s_cases : int;
+  s_failures : failure list;
+  s_coverage : Coverage.t;
+}
+
+(* The shrinking predicate: the candidate must still produce a discrepancy on
+   the *same backend*, with the same outcome classes on both sides.  Pinning
+   backend and class keeps the shrink from wandering onto an unrelated bug
+   mid-minimization (e.g. from a wrong return value to a build failure). *)
+let still_fails cfg (d0 : Oracle.discrepancy) case =
+  match Oracle.check cfg (Oracle.prepare cfg case) with
+  | Some d ->
+    d.Oracle.d_backend = d0.Oracle.d_backend
+    && Oracle.outcome_class d.Oracle.d_got
+       = Oracle.outcome_class d0.Oracle.d_got
+    && Oracle.outcome_class d.Oracle.d_expected
+       = Oracle.outcome_class d0.Oracle.d_expected
+  | None -> false
+
+let run_case ?(shrink = true) ?(max_shrink_tests = 1500) (cfg : Oracle.config)
+    ~seed index ~(coverage : Coverage.t) : failure option =
+  let case = Gen.case ~seed index in
+  let p = Oracle.prepare cfg case in
+  Coverage.add_prepared coverage p;
+  match Oracle.check cfg p with
+  | None -> None
+  | Some d ->
+    let shrunk =
+      if shrink then
+        Shrink.minimize ~max_tests:max_shrink_tests
+          ~pred:(still_fails cfg d) case
+      else case
+    in
+    let shrunk_disc = Oracle.check cfg (Oracle.prepare cfg shrunk) in
+    Some { f_index = index; f_first = d; f_shrunk = shrunk;
+           f_shrunk_disc = shrunk_disc }
+
+let run ?(progress = fun _ -> ()) ?(shrink = true) ?(max_shrink_tests = 1500)
+    (cfg : Oracle.config) ~seed ~cases () : summary =
+  let coverage = Coverage.create () in
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case ~shrink ~max_shrink_tests cfg ~seed i ~coverage with
+    | None -> ()
+    | Some f -> failures := f :: !failures
+  done;
+  { s_config = cfg; s_seed = seed; s_cases = cases;
+    s_failures = List.rev !failures; s_coverage = coverage }
+
+(* Digest of every generated case: two runs with the same (seed, cases) must
+   produce the same hex string, byte for byte.  This is the determinism
+   guarantee the replay artifact rests on, checked in the smoke tier. *)
+let fingerprint ~seed ~cases =
+  let buf = Buffer.create 4096 in
+  for i = 0 to cases - 1 do
+    Buffer.add_string buf (Gen.to_string (Gen.case ~seed i))
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- reports -------------------------------------------------------------- *)
+
+let discrepancy_str (d : Oracle.discrepancy) =
+  Printf.sprintf "backend %s disagrees on f(%s):\n  interp: %s\n  %-6s: %s"
+    (Oracle.backend_name d.Oracle.d_backend)
+    (String.concat ", " (List.map Int64.to_string d.Oracle.d_input))
+    (Oracle.outcome_str d.Oracle.d_expected)
+    (Oracle.backend_name d.Oracle.d_backend)
+    (Oracle.outcome_str d.Oracle.d_got)
+
+let failure_report (s : summary) (f : failure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== discrepancy in case %d (seed %d, config %s)\n"
+       f.f_index s.s_seed s.s_config.Oracle.name);
+  Buffer.add_string buf (discrepancy_str f.f_first ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "shrunk to %d statements:\n" (Shrink.case_size f.f_shrunk));
+  Buffer.add_string buf (Gen.to_string f.f_shrunk);
+  (match f.f_shrunk_disc with
+   | Some d -> Buffer.add_string buf ("shrunk " ^ discrepancy_str d ^ "\n")
+   | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "replay: dune exec bin/difftest.exe -- --seed %d --replay %d --config %s\n"
+       s.s_seed f.f_index s.s_config.Oracle.name);
+  Buffer.contents buf
+
+let report (s : summary) =
+  let buf = Buffer.create 2048 in
+  List.iter (fun f -> Buffer.add_string buf (failure_report s f))
+    s.s_failures;
+  Buffer.add_string buf
+    (Printf.sprintf "%d cases, seed %d, config %s: %d discrepancies\n"
+       s.s_cases s.s_seed s.s_config.Oracle.name (List.length s.s_failures));
+  Buffer.add_string buf (Coverage.report s.s_coverage);
+  Buffer.contents buf

@@ -1,0 +1,311 @@
+(* Random mini-C case generator for the differential fuzzer.
+
+   Design constraints, all of which exist so that the four execution backends
+   (reference interpreter, compiled-on-emulator, ROP-rewritten, VM-virtualized)
+   are *comparable* rather than merely runnable:
+
+   - Determinism: a case is a pure function of (seed, index).  The same pair
+     must produce a byte-identical program and input set on every run, so a
+     one-line replay artifact suffices to reproduce any failure.
+   - No undefined behavior: divisors are forced odd-nonzero ([(e & 0xff) | 1]),
+     shift counts are masked to 0..63, and every memory access is masked
+     in-bounds, because a fault would surface at a different address in each
+     backend and drown real bugs in layout noise.
+   - No address leaks: Addr_local/Addr_global only ever appear as the base of
+     a Load/Store address expression.  Local arrays live at unrelated
+     addresses in the interpreter (bump allocator) and on the emulated stack
+     (rbp-relative), so a leaked pointer value would be a false mismatch.
+   - Termination: every loop iterates a compile-time-bounded number of times
+     over a dedicated counter no other statement assigns, so fuel exhaustion
+     is a per-backend budget question, not a semantic coin flip.
+
+   The skeleton vocabulary deliberately covers the constructs the rewriter
+   and virtualizer treat specially: dense switches (jump tables, Appendix A),
+   nested loops (P3 interaction), calls (JOP native-call sequences and
+   rop-to-rop transfers), narrow loads/stores and casts (width handling), and
+   flag-rich comparison chains (lahf/sahf spill paths). *)
+
+open Minic.Ast
+
+type t = {
+  seed : int;
+  index : int;
+  prog : program;
+  fname : string;              (* entry point, always "f" *)
+  n_params : int;
+  inputs : int64 list list;    (* input vectors to diff on *)
+}
+
+(* Global scratch written by generated stores; its final contents are part of
+   the observable behavior the oracle compares. *)
+let gbuf = "gbuf"
+let gbuf_size = 128
+let gbuf_mask = 63               (* store index mask: 63 + 8 < 128 *)
+
+(* Read-only global table (loads only). *)
+let gtab = "gtab"
+let gtab_quads = 8
+
+(* Optional local array. *)
+let lbuf = "lbuf"
+let lbuf_size = 64
+let lbuf_mask = 31               (* 31 + 8 < 64 *)
+
+let scalar_pool = [ "a"; "b"; "t0"; "t1" ]
+
+(* List.init with a guaranteed left-to-right evaluation order.  The stdlib
+   leaves the order in which [f] is applied unspecified; with an rng-consuming
+   [f] that would make generated cases depend on the stdlib version. *)
+let init_ordered n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+type ctx = {
+  rng : Util.Rng.t;
+  params : string list;
+  scalars : string list;         (* assignable scalar locals in scope *)
+  has_lbuf : bool;
+  has_helper : bool;
+  mutable loop_depth : int;      (* also indexes the counter name l<d> *)
+  mutable budget : int;          (* remaining statement allowance *)
+}
+
+let vars ctx = ctx.params @ ctx.scalars
+
+let widths = [ X86.Isa.W8; X86.Isa.W16; X86.Isa.W32; X86.Isa.W64 ]
+
+let gen_const rng =
+  match Util.Rng.int rng 8 with
+  | 0 -> c 0
+  | 1 -> c 1
+  | 2 -> c (-1)
+  | 3 -> c (Util.Rng.range rng 2 255)
+  | 4 -> c (- Util.Rng.range rng 2 255)
+  | 5 -> c64 (Int64.of_int32 (Int64.to_int32 (Util.Rng.next64 rng)))
+  | 6 -> c64 0x7FFFFFFFFFFFFFFFL
+  | _ -> c64 (Util.Rng.next64 rng)
+
+(* Address expression for a load: base + masked index. *)
+let gen_load_addr ctx depth gen_expr =
+  let base, mask =
+    match Util.Rng.int ctx.rng (if ctx.has_lbuf then 3 else 2) with
+    | 0 -> (Addr_global gbuf, gbuf_mask)
+    | 1 -> (Addr_global gtab, 8 * gtab_quads - 8)
+    | _ -> (Addr_local lbuf, lbuf_mask)
+  in
+  Bin (Add, base, band (gen_expr ctx (depth - 1)) (c mask))
+
+let rec gen_expr ctx depth =
+  if depth <= 0 then
+    match Util.Rng.int ctx.rng 3 with
+    | 0 -> gen_const ctx.rng
+    | _ -> v (Util.Rng.choose ctx.rng (vars ctx))
+  else
+    match Util.Rng.int ctx.rng 20 with
+    | 0 -> Bin (Add, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 1 -> Bin (Sub, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 2 -> Bin (Mul, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 3 -> Bin (Band, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 4 -> Bin (Bor, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 5 -> Bin (Bxor, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 6 ->
+      (* shift: count masked to the word size, as both the interpreter and
+         the machine do for W64 *)
+      let op = Util.Rng.choose ctx.rng [ Shl; Shr; Sar ] in
+      Bin (op, gen_expr ctx (depth - 1),
+           band (gen_expr ctx (depth - 1)) (c 63))
+    | 7 ->
+      (* division: divisor forced into 1..255 (odd-ored), which rules out
+         divide-by-zero and signed-overflow faults in every backend *)
+      let op = Util.Rng.choose ctx.rng [ Divs; Divu; Rems; Remu ] in
+      Bin (op, gen_expr ctx (depth - 1),
+           bor (band (gen_expr ctx (depth - 1)) (c 0xFF)) (c 1))
+    | 8 | 9 ->
+      let op =
+        Util.Rng.choose ctx.rng [ Eq; Ne; Lts; Les; Gts; Ges; Ltu; Leu; Gtu; Geu ]
+      in
+      Bin (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 10 ->
+      let op = Util.Rng.choose ctx.rng [ Land; Lor ] in
+      Bin (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 11 ->
+      Un (Util.Rng.choose ctx.rng [ Neg; Bnot; Lnot ], gen_expr ctx (depth - 1))
+    | 12 ->
+      let w = Util.Rng.choose ctx.rng widths in
+      Cast (w, Util.Rng.bool ctx.rng, gen_expr ctx (depth - 1))
+    | 13 | 14 ->
+      let w = Util.Rng.choose ctx.rng widths in
+      Load (w, Util.Rng.bool ctx.rng, gen_load_addr ctx depth gen_expr)
+    | 15 when ctx.has_helper ->
+      call "g" [ gen_expr ctx (depth - 1); gen_expr ctx (depth - 1) ]
+    | _ ->
+      Bin (Add, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+
+let gen_cond ctx = gen_expr ctx 2
+
+let take_budget ctx = ctx.budget <- ctx.budget - 1
+
+(* A statement; [depth] bounds nesting of compound statements. *)
+let rec gen_stmt ctx depth : stmt list =
+  take_budget ctx;
+  let compound = depth > 0 && ctx.budget > 0 in
+  match Util.Rng.int ctx.rng (if compound then 14 else 7) with
+  | 0 | 1 | 2 ->
+    [ set (Util.Rng.choose ctx.rng ctx.scalars) (gen_expr ctx 3) ]
+  | 3 | 4 ->
+    let w = Util.Rng.choose ctx.rng widths in
+    let base, mask =
+      if ctx.has_lbuf && Util.Rng.bool ctx.rng then (Addr_local lbuf, lbuf_mask)
+      else (Addr_global gbuf, gbuf_mask)
+    in
+    [ Store (w, Bin (Add, base, band (gen_expr ctx 2) (c mask)),
+             gen_expr ctx 2) ]
+  | 5 ->
+    (* break / continue, only meaningful inside a loop *)
+    if ctx.loop_depth > 0 && Util.Rng.int ctx.rng 4 = 0 then
+      [ If (gen_cond ctx,
+            [ (if Util.Rng.bool ctx.rng then Break else Continue) ], []) ]
+    else [ set (Util.Rng.choose ctx.rng ctx.scalars) (gen_expr ctx 2) ]
+  | 6 ->
+    (* occasionally a guarded early return; exercises Return from nested
+       scopes (epilogue chains in the rewriter, Op_ret mid-bytecode) *)
+    if Util.Rng.int ctx.rng 6 = 0 then
+      [ If (gen_cond ctx, [ Return (gen_expr ctx 2) ], []) ]
+    else [ Expr (gen_expr ctx 2) ]
+  | 7 | 8 ->
+    [ If (gen_cond ctx, gen_block ctx (depth - 1) 2,
+          if Util.Rng.bool ctx.rng then gen_block ctx (depth - 1) 2 else []) ]
+  | 9 | 10 ->
+    if ctx.loop_depth >= 2 then [ If (gen_cond ctx, gen_block ctx 0 2, []) ]
+    else gen_loop ctx depth
+  | 11 ->
+    (* dense switch over a masked scrutinee: compiles to a jump table *)
+    let n_cases = Util.Rng.range ctx.rng 4 7 in
+    let cases =
+      init_ordered n_cases (fun k -> (k, gen_block ctx (depth - 1) 1))
+    in
+    [ Switch (band (gen_expr ctx 2) (c 7), cases, gen_block ctx (depth - 1) 1) ]
+  | 12 ->
+    [ Do_while (gen_loop_body ctx depth, c 0) ]   (* runs exactly once *)
+  | _ ->
+    [ set (Util.Rng.choose ctx.rng ctx.scalars) (gen_expr ctx 3) ]
+
+(* Bounded loop over a dedicated counter.  Nothing else assigns l<d>, so the
+   trip count is static and small.  In the while/do-while forms the counter
+   increment comes FIRST in the body: a generated [continue] then cannot skip
+   it, which would leave the condition true forever.  (The for form is safe
+   as-is — continue runs the step by definition.) *)
+and gen_loop ctx depth : stmt list =
+  let ctr = Printf.sprintf "l%d" ctx.loop_depth in
+  ctx.loop_depth <- ctx.loop_depth + 1;
+  let trips = Util.Rng.range ctx.rng 1 6 in
+  let body = gen_block ctx (depth - 1) 3 in
+  ctx.loop_depth <- ctx.loop_depth - 1;
+  match Util.Rng.int ctx.rng 3 with
+  | 0 ->
+    [ For (set ctr (c 0), Bin (Lts, v ctr, c trips),
+           set ctr (Bin (Add, v ctr, c 1)), body) ]
+  | 1 ->
+    [ set ctr (c 0);
+      While (Bin (Lts, v ctr, c trips),
+             set ctr (Bin (Add, v ctr, c 1)) :: body) ]
+  | _ ->
+    [ set ctr (c 0);
+      Do_while (set ctr (Bin (Add, v ctr, c 1)) :: body,
+                Bin (Lts, v ctr, c trips)) ]
+
+and gen_loop_body ctx depth = gen_block ctx (max 0 (depth - 1)) 2
+
+and gen_block ctx depth n : stmt list =
+  let n = Util.Rng.range ctx.rng 1 n in
+  List.concat
+    (init_ordered n (fun _ -> if ctx.budget > 0 then gen_stmt ctx depth else []))
+
+(* Loop counters only ever appear as whole-statement assignments inside
+   gen_loop, but while/do-while forms hoist [set l 0] to the current block,
+   so every l<d> up to the max nesting depth must be declared. *)
+let max_loop_vars = 4
+
+let helper_func ctx =
+  (* no recursive calls: g's body is generated with calls disabled.  The rng
+     is shared with [ctx], so the stream stays linear. *)
+  let hctx =
+    { ctx with has_helper = false; params = [ "p"; "q" ];
+      scalars = [ "h0"; "h1" ]; has_lbuf = false }
+  in
+  let body =
+    init_ordered (Util.Rng.range ctx.rng 3 5) (fun _ ->
+        let dst = Util.Rng.choose ctx.rng [ "h0"; "h1" ] in
+        set dst (gen_expr hctx 2))
+  in
+  func ~params:[ "p"; "q" ] ~locals:[ "h0"; "h1" ]
+    "g"
+    ([ set "h0" (v "p"); set "h1" (v "q") ]
+     @ body
+     @ [ Return (bxor (v "h0") (Bin (Mul, v "h1", c 31))) ])
+
+let gen_inputs rng n_params =
+  let one () =
+    init_ordered n_params (fun _ ->
+        match Util.Rng.int rng 5 with
+        | 0 -> 0L
+        | 1 -> 1L
+        | 2 -> -1L
+        | 3 -> Int64.of_int (Util.Rng.range rng 2 1000)
+        | _ -> Util.Rng.next64 rng)
+  in
+  init_ordered 4 (fun _ -> one ())
+
+(* Deterministic case construction: everything flows from one splitmix64
+   stream seeded with (seed, index). *)
+let case ~seed index : t =
+  let rng = Util.Rng.create ((seed * 1_000_003) lxor (index * 8191) lxor 0x5f) in
+  let n_params = Util.Rng.range rng 1 3 in
+  let params = List.init n_params (fun i -> Printf.sprintf "x%d" i) in
+  let has_lbuf = Util.Rng.int rng 3 > 0 in
+  let has_helper = Util.Rng.int rng 2 = 0 in
+  let ctx =
+    { rng; params; scalars = scalar_pool; has_lbuf; has_helper; loop_depth = 0;
+      budget = Util.Rng.range rng 6 18 }
+  in
+  let helper = if has_helper then [ helper_func ctx ] else [] in
+  let loops = List.init max_loop_vars (fun i -> Printf.sprintf "l%d" i) in
+  let locals = scalar_pool @ loops in
+  (* initialize every scalar: the interpreter zeroes locals, the compiled
+     frame only happens to be zero on a fresh image; make it explicit *)
+  let init =
+    List.mapi
+      (fun i l ->
+         set l (if i < List.length scalar_pool && ctx.params <> []
+                then v (List.nth ctx.params (i mod List.length ctx.params))
+                else c 0))
+      locals
+  in
+  let body = gen_block ctx 3 6 in
+  let final_mix =
+    Return
+      (bxor
+         (Bin (Mul, v "a", c 0x9E37))
+         (bxor (v "b") (Bin (Add, v "t0", Bin (Mul, v "t1", c 131)))))
+  in
+  let arrays = if has_lbuf then [ (lbuf, lbuf_size) ] else [] in
+  let fmain = func ~params ~locals ~arrays "f" (init @ body @ [ final_mix ]) in
+  let globals =
+    [ G_zero (gbuf, gbuf_size);
+      G_quads (gtab, init_ordered gtab_quads (fun _ -> Util.Rng.next64 rng)) ]
+  in
+  let prog = program ~globals (fmain :: helper) in
+  let inputs = gen_inputs rng n_params in
+  { seed; index; prog; fname = "f"; n_params; inputs }
+
+(* Full textual rendering: the C-flavoured program plus the input vectors.
+   Used both for failure reports and as the determinism fingerprint (two runs
+   of the same (seed, index) must produce identical strings). *)
+let to_string (t : t) =
+  let input_line args =
+    Printf.sprintf "f(%s)" (String.concat ", " (List.map Int64.to_string args))
+  in
+  Printf.sprintf "// case seed=%d index=%d\n%s\n// inputs:\n%s\n" t.seed
+    t.index
+    (Minic.Pp.program_str t.prog)
+    (String.concat "\n" (List.map input_line t.inputs))

@@ -1,0 +1,296 @@
+(* Greedy shrinker for failing differential cases.
+
+   Given a case and a predicate "does this case still exhibit the failure",
+   repeatedly applies the first accepted single-step simplification until no
+   candidate is accepted (or the test budget runs out).  Simplification
+   steps, roughly from coarsest to finest:
+
+     - drop a statement,
+     - hoist a compound statement's sub-body into its place
+       (if -> branch, loop -> body, switch -> one arm),
+     - replace an expression by a subexpression or by the constant 0 / 1,
+     - drop input vectors and zero / one out input elements.
+
+   Two invariants are enforced on candidates rather than assumed:
+
+     - break/continue must stay inside a loop (or switch, for break) —
+       hoisting a loop body can otherwise evict them into open code, which
+       no backend gives a meaning to;
+     - Addr_local/Addr_global never move into value position.  Array base
+       addresses differ across backends by design (interpreter bump
+       allocator vs. emulated stack), so a hoisted address would fail the
+       diff for a reason that has nothing to do with the original bug. *)
+
+open Minic.Ast
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let rec stmt_size (s : stmt) =
+  match s with
+  | If (_, t, e) -> 1 + body_size t + body_size e
+  | While (_, b) | Do_while (b, _) -> 1 + body_size b
+  | For (i, _, st, b) -> 1 + stmt_size i + stmt_size st + body_size b
+  | Switch (_, cases, d) ->
+    1 + body_size d + List.fold_left (fun n (_, b) -> n + body_size b) 0 cases
+  | Assign _ | Store _ | Return _ | Expr _ | Break | Continue -> 1
+
+and body_size b = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+(* --- validity ------------------------------------------------------------- *)
+
+(* [in_loop]: an enclosing loop exists (continue target).
+   [brk]: an enclosing loop or switch exists (break target). *)
+let rec stmt_valid ~in_loop ~brk (s : stmt) =
+  match s with
+  | Break -> brk
+  | Continue -> in_loop
+  | If (_, t, e) -> body_valid ~in_loop ~brk t && body_valid ~in_loop ~brk e
+  | While (_, b) | Do_while (b, _) -> body_valid ~in_loop:true ~brk:true b
+  | For (i, _, st, b) ->
+    stmt_valid ~in_loop ~brk i && stmt_valid ~in_loop ~brk st
+    && body_valid ~in_loop:true ~brk:true b
+  | Switch (_, cases, d) ->
+    body_valid ~in_loop ~brk:true d
+    && List.for_all (fun (_, b) -> body_valid ~in_loop ~brk:true b) cases
+  | Assign _ | Store _ | Return _ | Expr _ -> true
+
+and body_valid ~in_loop ~brk b = List.for_all (stmt_valid ~in_loop ~brk) b
+
+(* Does [e] mention an array address outside of a Load?  (Store addresses are
+   handled at the statement level.) *)
+let rec leaks_addr (e : expr) =
+  match e with
+  | Addr_local _ | Addr_global _ -> true
+  | Bin (_, a, b) -> leaks_addr a || leaks_addr b
+  | Un (_, a) | Cast (_, _, a) -> leaks_addr a
+  | Load _ -> false                       (* address stays in address position *)
+  | Call (_, args) -> List.exists leaks_addr args
+  | Const _ | Var _ -> false
+
+(* --- expression candidates ------------------------------------------------ *)
+
+let rec expr_shrinks (e : expr) : expr list =
+  let consts =
+    match e with
+    | Const 0L -> []
+    | Const 1L -> [ c 0 ]
+    | _ -> [ c 0; c 1 ]
+  in
+  let hoists =
+    match e with
+    | Bin (_, a, b) -> List.filter (fun x -> not (leaks_addr x)) [ a; b ]
+    | Un (_, a) | Cast (_, _, a) -> if leaks_addr a then [] else [ a ]
+    | Call (_, args) -> List.filter (fun x -> not (leaks_addr x)) args
+    | Const _ | Var _ | Load _ | Addr_local _ | Addr_global _ -> []
+  in
+  let inner =
+    match e with
+    | Bin (op, a, b) ->
+      List.map (fun a' -> Bin (op, a', b)) (expr_shrinks a)
+      @ List.map (fun b' -> Bin (op, a, b')) (expr_shrinks b)
+    | Un (op, a) -> List.map (fun a' -> Un (op, a')) (expr_shrinks a)
+    | Cast (w, s, a) -> List.map (fun a' -> Cast (w, s, a')) (expr_shrinks a)
+    | Load (w, s, a) -> List.map (fun a' -> Load (w, s, a')) (expr_shrinks a)
+    | Call (f, args) ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+              List.map
+                (fun a' ->
+                   Call (f, List.mapi (fun j x -> if j = i then a' else x) args))
+                (expr_shrinks a))
+           args)
+    | Const _ | Var _ | Addr_local _ | Addr_global _ -> []
+  in
+  (* an address expression may legitimately *be* an Addr-rooted term; the
+     leak filter above only guards hoisting into value positions, while the
+     caller decides whether [e] itself sits in address position *)
+  consts @ hoists @ inner
+
+(* --- statement / body candidates ------------------------------------------ *)
+
+let splice body i (sub : stmt list) =
+  List.concat (List.mapi (fun j x -> if j = i then sub else [ x ]) body)
+
+let replace body i s' = List.mapi (fun j x -> if j = i then s' else x) body
+
+(* Sub-bodies a compound statement can collapse to. *)
+let stmt_hoists (s : stmt) : stmt list list =
+  match s with
+  | If (_, t, e) -> [ t; e ]
+  | While (_, b) | Do_while (b, _) -> [ b ]
+  | For (i, _, st, b) -> [ b; (i :: b) @ [ st ] ]
+  | Switch (_, cases, d) -> d :: List.map snd cases
+  | Assign _ | Store _ | Return _ | Expr _ | Break | Continue -> []
+
+let rec stmt_replacements (s : stmt) : stmt list =
+  match s with
+  | Assign (n, e) -> List.map (fun e' -> Assign (n, e')) (expr_shrinks e)
+  | Store (w, a, v) ->
+    List.map (fun a' -> Store (w, a', v)) (expr_shrinks a)
+    @ List.map (fun v' -> Store (w, a, v')) (expr_shrinks v)
+  | Return e -> List.map (fun e' -> Return e') (expr_shrinks e)
+  | Expr e -> List.map (fun e' -> Expr e') (expr_shrinks e)
+  | If (c0, t, e) ->
+    List.map (fun c' -> If (c', t, e)) (expr_shrinks c0)
+    @ List.map (fun t' -> If (c0, t', e)) (body_candidates t)
+    @ List.map (fun e' -> If (c0, t, e')) (body_candidates e)
+  | While (c0, b) ->
+    List.map (fun c' -> While (c', b)) (expr_shrinks c0)
+    @ List.map (fun b' -> While (c0, b')) (body_candidates b)
+  | Do_while (b, c0) ->
+    List.map (fun c' -> Do_while (b, c')) (expr_shrinks c0)
+    @ List.map (fun b' -> Do_while (b', c0)) (body_candidates b)
+  | For (i, c0, st, b) ->
+    List.map (fun c' -> For (i, c', st, b)) (expr_shrinks c0)
+    @ List.map (fun b' -> For (i, c0, st, b')) (body_candidates b)
+  | Switch (scrut, cases, d) ->
+    List.map (fun s' -> Switch (s', cases, d)) (expr_shrinks scrut)
+    @ List.map (fun d' -> Switch (scrut, cases, d')) (body_candidates d)
+    @ List.concat
+        (List.mapi
+           (fun i (k, b) ->
+              List.map
+                (fun b' ->
+                   Switch
+                     (scrut,
+                      List.mapi (fun j kb -> if j = i then (k, b') else kb)
+                        cases,
+                      d))
+                (body_candidates b))
+           cases)
+  | Break | Continue -> []
+
+(* All single-step simplifications of a body, coarsest first. *)
+and body_candidates (body : stmt list) : stmt list list =
+  let removals = List.mapi (fun i _ -> splice body i []) body in
+  let hoists =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun sub -> splice body i sub) (stmt_hoists s))
+         body)
+  in
+  let repls =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (replace body i) (stmt_replacements s))
+         body)
+  in
+  removals @ hoists @ repls
+
+(* --- case-level candidates ------------------------------------------------ *)
+
+let rec expr_calls (e : expr) fname =
+  match e with
+  | Call (f, args) -> f = fname || List.exists (fun a -> expr_calls a fname) args
+  | Bin (_, a, b) -> expr_calls a fname || expr_calls b fname
+  | Un (_, a) | Cast (_, _, a) | Load (_, _, a) -> expr_calls a fname
+  | Const _ | Var _ | Addr_local _ | Addr_global _ -> false
+
+let rec stmt_calls (s : stmt) fname =
+  match s with
+  | Assign (_, e) | Return e | Expr e -> expr_calls e fname
+  | Store (_, a, v) -> expr_calls a fname || expr_calls v fname
+  | If (c0, t, e) ->
+    expr_calls c0 fname || body_calls t fname || body_calls e fname
+  | While (c0, b) | Do_while (b, c0) ->
+    expr_calls c0 fname || body_calls b fname
+  | For (i, c0, st, b) ->
+    stmt_calls i fname || expr_calls c0 fname || stmt_calls st fname
+    || body_calls b fname
+  | Switch (scrut, cases, d) ->
+    expr_calls scrut fname || body_calls d fname
+    || List.exists (fun (_, b) -> body_calls b fname) cases
+  | Break | Continue -> false
+
+and body_calls b fname = List.exists (fun s -> stmt_calls s fname) b
+
+(* Rebuild the case with a new entry-function body, dropping helper functions
+   that are no longer called. *)
+let with_body (case : Gen.t) (body : stmt list) : Gen.t =
+  let prog = case.Gen.prog in
+  let funcs =
+    List.filter_map
+      (fun f ->
+         if f.fname = case.Gen.fname then Some { f with body }
+         else if body_calls body f.fname then Some f
+         else None)
+      prog.funcs
+  in
+  { case with Gen.prog = { prog with funcs } }
+
+let entry_body (case : Gen.t) =
+  match
+    List.find_opt (fun f -> f.fname = case.Gen.fname) case.Gen.prog.funcs
+  with
+  | Some f -> f.body
+  | None -> []
+
+let case_size (case : Gen.t) = body_size (entry_body case)
+
+let input_candidates (case : Gen.t) : Gen.t list =
+  let inputs = case.Gen.inputs in
+  let drops =
+    if List.length inputs > 1 then
+      List.mapi
+        (fun i _ ->
+           { case with
+             Gen.inputs = List.filteri (fun j _ -> j <> i) inputs })
+        inputs
+    else []
+  in
+  let elems =
+    List.concat
+      (List.mapi
+         (fun i vec ->
+            List.concat
+              (List.mapi
+                 (fun j x ->
+                    let cands =
+                      match x with 0L -> [] | 1L -> [ 0L ] | _ -> [ 0L; 1L ]
+                    in
+                    List.map
+                      (fun x' ->
+                         let vec' =
+                           List.mapi (fun k y -> if k = j then x' else y) vec
+                         in
+                         { case with
+                           Gen.inputs =
+                             List.mapi (fun k w -> if k = i then vec' else w)
+                               inputs })
+                      cands)
+                 vec))
+         inputs)
+  in
+  drops @ elems
+
+let case_candidates (case : Gen.t) : Gen.t list =
+  let bodies =
+    List.filter (body_valid ~in_loop:false ~brk:false)
+      (body_candidates (entry_body case))
+  in
+  List.map (with_body case) bodies @ input_candidates case
+
+(* --- main loop ------------------------------------------------------------ *)
+
+(* Greedy fixpoint: take the first accepted candidate, restart from it.
+   [pred case] must return true iff [case] still exhibits the failure;
+   exceptions raised by [pred] reject the candidate.  [max_tests] bounds the
+   total number of predicate evaluations. *)
+let minimize ?(max_tests = 1500) ~pred (case0 : Gen.t) : Gen.t =
+  let tests = ref 0 in
+  let ok case =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      (try pred case with _ -> false)
+    end
+  in
+  let rec fix case =
+    if !tests >= max_tests then case
+    else
+      match List.find_opt ok (case_candidates case) with
+      | Some case' -> fix case'
+      | None -> case
+  in
+  fix case0

@@ -197,3 +197,14 @@ let run ?fuel prog fname args =
   let st = create prog in
   (match fuel with Some f -> st.fuel <- f | None -> ());
   call st fname args
+
+(* Like [run], but also hands back the final state so callers can inspect
+   observable memory effects (the differential oracle compares global-buffer
+   contents across execution backends). *)
+let run_state ?fuel prog fname args =
+  let st = create prog in
+  (match fuel with Some f -> st.fuel <- f | None -> ());
+  let r = call st fname args in
+  (r, st)
+
+let global_addr st name = Hashtbl.find_opt st.globals name

@@ -1,0 +1,109 @@
+(* Pretty-printer for mini-C, C-flavoured.
+
+   Exists for humans: the differential fuzzer prints shrunk failing programs
+   with it, so a regression report reads like the small C function it is
+   instead of an AST dump. *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | Divs -> "/" | Divu -> "/u" | Rems -> "%" | Remu -> "%u"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Shl -> "<<" | Shr -> ">>u" | Sar -> ">>"
+  | Eq -> "==" | Ne -> "!="
+  | Lts -> "<" | Les -> "<=" | Gts -> ">" | Ges -> ">="
+  | Ltu -> "<u" | Leu -> "<=u" | Gtu -> ">u" | Geu -> ">=u"
+  | Land -> "&&" | Lor -> "||"
+
+let unop_str = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+let width_str (w : width) =
+  match w with
+  | X86.Isa.W8 -> "u8" | X86.Isa.W16 -> "u16"
+  | X86.Isa.W32 -> "u32" | X86.Isa.W64 -> "u64"
+
+let rec expr_str (e : expr) =
+  match e with
+  | Const v ->
+    if v >= -4096L && v <= 4096L then Int64.to_string v
+    else Printf.sprintf "0x%Lx" v
+  | Var n -> n
+  | Load (w, signed, a) ->
+    Printf.sprintf "*(%s%s*)(%s)" (if signed then "s" else "u")
+      (String.sub (width_str w) 1 (String.length (width_str w) - 1))
+      (expr_str a)
+  | Addr_local n -> "&" ^ n
+  | Addr_global n -> "&" ^ n
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Un (op, a) -> Printf.sprintf "%s(%s)" (unop_str op) (expr_str a)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Cast (w, signed, a) ->
+    Printf.sprintf "(%s%s)(%s)" (if signed then "s" else "u")
+      (String.sub (width_str w) 1 (String.length (width_str w) - 1))
+      (expr_str a)
+
+let rec stmt_lines indent (s : stmt) : string list =
+  let pad = String.make (2 * indent) ' ' in
+  let block body = List.concat_map (stmt_lines (indent + 1)) body in
+  match s with
+  | Assign (n, e) -> [ Printf.sprintf "%s%s = %s;" pad n (expr_str e) ]
+  | Store (w, a, v) ->
+    [ Printf.sprintf "%s*(%s*)(%s) = %s;" pad (width_str w) (expr_str a)
+        (expr_str v) ]
+  | If (c, t, []) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_str c))
+    :: block t @ [ pad ^ "}" ]
+  | If (c, t, e) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_str c))
+    :: block t @ [ pad ^ "} else {" ] @ block e @ [ pad ^ "}" ]
+  | While (c, body) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_str c))
+    :: block body @ [ pad ^ "}" ]
+  | Do_while (body, c) ->
+    (pad ^ "do {") :: block body
+    @ [ Printf.sprintf "%s} while (%s);" pad (expr_str c) ]
+  | For (init, c, step, body) ->
+    let one s =
+      match stmt_lines 0 s with [ l ] -> String.trim l | _ -> "<stmt>"
+    in
+    (Printf.sprintf "%sfor (%s %s; %s) {" pad (one init) (expr_str c)
+       (String.concat "" (String.split_on_char ';' (one step))))
+    :: block body @ [ pad ^ "}" ]
+  | Switch (scrut, cases, default) ->
+    (Printf.sprintf "%sswitch (%s) {" pad (expr_str scrut))
+    :: List.concat_map
+         (fun (k, body) ->
+            (Printf.sprintf "%scase %d:" pad k) :: block body)
+         cases
+    @ ((pad ^ "default:") :: block default)
+    @ [ pad ^ "}" ]
+  | Return e -> [ Printf.sprintf "%sreturn %s;" pad (expr_str e) ]
+  | Expr e -> [ Printf.sprintf "%s%s;" pad (expr_str e) ]
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+
+let func_str (f : func) =
+  let header =
+    Printf.sprintf "u64 %s(%s) {" f.fname
+      (String.concat ", " (List.map (fun p -> "u64 " ^ p) f.params))
+  in
+  let decls =
+    (match f.locals with
+     | [] -> []
+     | ls -> [ "  u64 " ^ String.concat ", " ls ^ ";" ])
+    @ List.map (fun (n, sz) -> Printf.sprintf "  u8 %s[%d];" n sz) f.arrays
+  in
+  String.concat "\n"
+    ((header :: decls) @ List.concat_map (stmt_lines 1) f.body @ [ "}" ])
+
+let global_str = function
+  | G_bytes (n, s) -> Printf.sprintf "u8 %s[%d] = \"...\";" n (String.length s)
+  | G_zero (n, sz) -> Printf.sprintf "u8 %s[%d] = {0};" n sz
+  | G_quads (n, qs) -> Printf.sprintf "u64 %s[%d] = {...};" n (List.length qs)
+
+let program_str (p : program) =
+  String.concat "\n\n"
+    (List.map global_str p.globals @ List.map func_str p.funcs)

@@ -16,31 +16,6 @@
 
 open Minic.Ast
 
-(* --- desugaring: reduce to If/While/Assign/Store/Return/Expr -------------- *)
-
-let rec desugar_stmt (s : stmt) : stmt list =
-  match s with
-  | For (init, cond, step, body) ->
-    desugar_stmt init
-    @ [ While (cond, desugar_list body @ desugar_stmt step) ]
-  | Do_while (body, cond) ->
-    let body' = desugar_list body in
-    body' @ [ While (cond, body') ]
-  | Switch (scrut, cases, default) ->
-    (* if-chain; relies on the scrutinee expression being re-evaluable,
-       which holds for the pure expressions minic programs use *)
-    let rec chain = function
-      | [] -> desugar_list default
-      | (k, body) :: rest ->
-        [ If (Bin (Eq, scrut, c k), desugar_list body, chain rest) ]
-    in
-    chain cases
-  | If (e, t, f) -> [ If (e, desugar_list t, desugar_list f) ]
-  | While (e, body) -> [ While (e, desugar_list body) ]
-  | Assign _ | Store _ | Return _ | Expr _ | Break | Continue -> [ s ]
-
-and desugar_list body = List.concat_map desugar_stmt body
-
 (* --- bytecode -------------------------------------------------------------- *)
 
 type opkind =
@@ -68,6 +43,16 @@ let op_size (_, operand) = match operand with Some _ -> 2 | None -> 1
 
 exception Virtualize_error of string
 
+(* Break/continue scoping mirrors Codegen: [break] exits the innermost loop
+   OR switch, [continue] targets the innermost loop, skipping switch scopes.
+   (An earlier desugaring pass got both wrong — continue in a for-loop
+   skipped the step statement, and break inside a switch left the enclosing
+   loop; the differential fuzzer flags either as a divergence from the
+   reference interpreter.) *)
+type scope =
+  | Sc_loop of int * int           (* break label, continue label *)
+  | Sc_switch of int               (* break label *)
+
 type compile_ctx = {
   var_index : (string, int) Hashtbl.t;
   prog : program;                  (* for callee arities *)
@@ -75,7 +60,7 @@ type compile_ctx = {
   mutable labels : (int, int) Hashtbl.t;   (* label id -> vpc *)
   mutable fixups : (int * int) list;       (* code index (of operand), label *)
   mutable next_label : int;
-  mutable loop_stack : (int * int) list;   (* break, continue label ids *)
+  mutable loop_stack : scope list;
 }
 
 let emit ctx i = ctx.code <- i :: ctx.code
@@ -161,10 +146,62 @@ let rec compile_stmt ctx (s : stmt) =
     place_label ctx lhead;
     compile_expr ctx e;
     emit_jump ctx Op_jz lend;
-    ctx.loop_stack <- (lend, lhead) :: ctx.loop_stack;
+    ctx.loop_stack <- Sc_loop (lend, lhead) :: ctx.loop_stack;
     List.iter (compile_stmt ctx) body;
     ctx.loop_stack <- List.tl ctx.loop_stack;
     emit_jump ctx Op_jmp lhead;
+    place_label ctx lend
+  | For (init, e, step, body) ->
+    (* continue must run [step], so it gets its own label *)
+    let lhead = fresh_label ctx and lcont = fresh_label ctx
+    and lend = fresh_label ctx in
+    compile_stmt ctx init;
+    place_label ctx lhead;
+    compile_expr ctx e;
+    emit_jump ctx Op_jz lend;
+    ctx.loop_stack <- Sc_loop (lend, lcont) :: ctx.loop_stack;
+    List.iter (compile_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    place_label ctx lcont;
+    compile_stmt ctx step;
+    emit_jump ctx Op_jmp lhead;
+    place_label ctx lend
+  | Do_while (body, e) ->
+    (* continue re-checks the condition, it does not re-enter the body *)
+    let lhead = fresh_label ctx and lcont = fresh_label ctx
+    and lend = fresh_label ctx in
+    place_label ctx lhead;
+    ctx.loop_stack <- Sc_loop (lend, lcont) :: ctx.loop_stack;
+    List.iter (compile_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    place_label ctx lcont;
+    compile_expr ctx e;
+    emit_jump ctx Op_jz lend;
+    emit_jump ctx Op_jmp lhead;
+    place_label ctx lend
+  | Switch (scrut, cases, default) ->
+    (* if-chain dispatch; relies on the scrutinee expression being
+       re-evaluable, which holds for the pure expressions minic programs
+       use.  Case bodies run in a switch scope so that break exits the
+       switch, not an enclosing loop. *)
+    let lend = fresh_label ctx in
+    let case_labels = List.map (fun (k, _) -> (k, fresh_label ctx)) cases in
+    List.iter
+      (fun (k, l) ->
+         (* jump-on-equal: invert the comparison so Op_jz takes the edge *)
+         compile_expr ctx (Un (Lnot, Bin (Eq, scrut, c k)));
+         emit_jump ctx Op_jz l)
+      case_labels;
+    ctx.loop_stack <- Sc_switch lend :: ctx.loop_stack;
+    List.iter (compile_stmt ctx) default;
+    emit_jump ctx Op_jmp lend;
+    List.iter
+      (fun ((_, body), (_, l)) ->
+         place_label ctx l;
+         List.iter (compile_stmt ctx) body;
+         emit_jump ctx Op_jmp lend)
+      (List.combine cases case_labels);
+    ctx.loop_stack <- List.tl ctx.loop_stack;
     place_label ctx lend
   | Return e ->
     compile_expr ctx e;
@@ -173,15 +210,20 @@ let rec compile_stmt ctx (s : stmt) =
     compile_expr ctx e;
     emit ctx (Op_pop, None)
   | Break ->
-    (match ctx.loop_stack with
-     | (lend, _) :: _ -> emit_jump ctx Op_jmp lend
-     | [] -> raise (Virtualize_error "break outside loop"))
+    let find = function
+      | Sc_loop (lend, _) :: _ -> lend
+      | Sc_switch lend :: _ -> lend
+      | [] -> raise (Virtualize_error "break outside loop")
+    in
+    emit_jump ctx Op_jmp (find ctx.loop_stack)
   | Continue ->
-    (match ctx.loop_stack with
-     | (_, lhead) :: _ -> emit_jump ctx Op_jmp lhead
-     | [] -> raise (Virtualize_error "continue outside loop"))
-  | For _ | Do_while _ | Switch _ ->
-    raise (Virtualize_error "statement should have been desugared")
+    (* switch scopes are transparent to continue, as in Codegen *)
+    let rec find = function
+      | Sc_loop (_, lcont) :: _ -> lcont
+      | Sc_switch _ :: rest -> find rest
+      | [] -> raise (Virtualize_error "continue outside loop")
+    in
+    emit_jump ctx Op_jmp (find ctx.loop_stack)
 
 (* --- interpreter generation ------------------------------------------------ *)
 
@@ -208,7 +250,7 @@ let virtualize ?(implicit_vpc = false) ~seed (prog : program) fname : t =
     | Some f -> f
     | None -> raise (Virtualize_error ("no such function " ^ fname))
   in
-  let body = desugar_list f.body in
+  let body = f.body in
   (* variable slots: params then locals *)
   let var_index = Hashtbl.create 16 in
   List.iteri (fun i n -> Hashtbl.replace var_index n i) (f.params @ f.locals);

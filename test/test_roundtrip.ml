@@ -1,0 +1,372 @@
+(* Property tests over the ISA/emulator substrate, driven by the repo's
+   deterministic Util.Rng so every failure replays from the printed seed:
+
+   - encode -> decode round-trips on randomly generated instructions, in
+     both compact and wide-immediate forms, including decode at shifted
+     offsets into a junk-padded byte stream;
+   - decode totality and encodability of everything the decoder accepts
+     at arbitrary (unaligned) offsets into random bytes;
+   - neg/adc/cmov flag semantics checked against a bit-level reference
+     model (a ripple-carry full adder), since the paper's branch encoding
+     (neg; adc; cmov) depends on these exact flags. *)
+
+open X86.Isa
+module R = Util.Rng
+
+let seed = 0x7e57_5eed
+
+(* --- Rng-driven instruction generator ----------------------------------- *)
+
+let gen_reg rng = reg_of_index (R.int rng 16)
+let gen_width rng = width_of_index (R.int rng 4)
+let gen_cc rng = cc_of_index (R.int rng 16)
+
+let gen_disp rng =
+  if R.bool rng then Int64.of_int (R.range rng (-128) 127)
+  else Int64.of_int (R.range rng (-2_000_000) 2_000_000)
+
+let gen_mem rng =
+  { base = (if R.bool rng then Some (gen_reg rng) else None);
+    index =
+      (if R.int rng 3 = 0 then Some (gen_reg rng, R.choose rng [ 1; 2; 4; 8 ])
+       else None);
+    disp = gen_disp rng }
+
+let gen_imm rng =
+  match R.int rng 3 with
+  | 0 -> Int64.of_int (R.range rng (-128) 127)
+  | 1 -> Int64.of_int (R.range rng (-2_000_000_000) 2_000_000_000)
+  | _ -> R.next64 rng
+
+let gen_operand rng =
+  match R.int rng 3 with
+  | 0 -> Reg (gen_reg rng)
+  | 1 -> Imm (gen_imm rng)
+  | _ -> Mem (gen_mem rng)
+
+let gen_dst rng =
+  if R.bool rng then Reg (gen_reg rng) else Mem (gen_mem rng)
+
+(* dst/src pair avoiding mem-to-mem, which the encoder rejects *)
+let gen_dst_src rng =
+  let d = gen_dst rng in
+  let s = gen_operand rng in
+  match (d, s) with Mem _, Mem _ -> (d, Reg RAX) | _ -> (d, s)
+
+let gen_rel rng = R.range rng (-1_000_000) 1_000_000
+
+let gen_instr rng =
+  match R.int rng 20 with
+  | 0 -> R.choose rng [ Nop; Ret; Leave; Hlt ]
+  | 1 ->
+    let w = gen_width rng in
+    let d, s = gen_dst_src rng in
+    Mov (w, d, s)
+  | 2 ->
+    let w = gen_width rng in
+    let d = gen_dst rng in
+    let s = gen_dst rng in
+    (match (d, s) with
+     | Mem _, Mem _ -> Xchg (w, d, Reg RCX)
+     | _ -> Xchg (w, d, s))
+  | 3 | 4 ->
+    let o = R.choose rng [ Add; Sub; And; Or; Xor; Adc; Sbb; Cmp; Test ] in
+    let w = gen_width rng in
+    let d, s = gen_dst_src rng in
+    Alu (o, w, d, s)
+  | 5 ->
+    let o = R.choose rng [ Neg; Not; Inc; Dec ] in
+    Unary (o, gen_width rng, gen_dst rng)
+  | 6 -> Imul2 (gen_width rng, gen_reg rng, gen_operand rng)
+  | 7 -> MulDiv (R.choose rng [ Mul; Imul1; Div; Idiv ], gen_dst rng)
+  | 8 ->
+    let o = R.choose rng [ Shl; Shr; Sar; Rol; Ror ] in
+    let c = if R.bool rng then S_cl else S_imm (R.range rng 0 255) in
+    Shift (o, gen_width rng, gen_dst rng, c)
+  | 9 -> Cmov (gen_cc rng, gen_reg rng, gen_operand rng)
+  | 10 -> Setcc (gen_cc rng, gen_dst rng)
+  | 11 -> Lea (gen_reg rng, gen_mem rng)
+  | 12 -> Push (gen_operand rng)
+  | 13 -> Pop (gen_dst rng)
+  | 14 -> if R.bool rng then Jmp (J_rel (gen_rel rng)) else Jmp (J_op (gen_dst rng))
+  | 15 -> if R.bool rng then Call (J_rel (gen_rel rng)) else Call (J_op (gen_dst rng))
+  | 16 -> Jcc (gen_cc rng, gen_rel rng)
+  | 17 | 18 ->
+    let dw, sw = ext_combo_of_index (R.int rng 6) in
+    Movzx (dw, sw, gen_reg rng, gen_operand rng)
+  | _ ->
+    let dw, sw = ext_combo_of_index (R.int rng 6) in
+    Movsx (dw, sw, gen_reg rng, gen_operand rng)
+
+let fail_instr name i extra =
+  Alcotest.failf "%s: %s%s" name (X86.Pp.instr_str i) extra
+
+(* --- encode/decode round-trips ------------------------------------------ *)
+
+let test_roundtrip () =
+  let rng = R.create seed in
+  for _ = 1 to 3000 do
+    let i = gen_instr rng in
+    let b = X86.Encode.encode i in
+    match X86.Decode.decode b 0 with
+    | Some (i', len) ->
+      if i' <> i then fail_instr "round-trip changed instruction" i
+          (" -> " ^ X86.Pp.instr_str i');
+      if len <> Bytes.length b then fail_instr "round-trip length" i ""
+    | None -> fail_instr "encoded bytes do not decode" i ""
+  done
+
+let test_roundtrip_wide () =
+  let rng = R.create (seed + 1) in
+  for _ = 1 to 1500 do
+    let i = gen_instr rng in
+    let b = X86.Encode.encode ~wide_imm:true i in
+    match X86.Decode.decode b 0 with
+    | Some (i', len) ->
+      if i' <> i || len <> Bytes.length b then
+        fail_instr "wide round-trip" i ""
+    | None -> fail_instr "wide encoding does not decode" i ""
+  done
+
+(* A stream of instructions embedded at a non-zero offset into junk bytes:
+   decoding at each shifted boundary must recover the same instruction the
+   in-place linear sweep saw.  This is exactly what the gadget scanner does
+   when it decodes from the middle of .text. *)
+let test_stream_at_offset () =
+  let rng = R.create (seed + 2) in
+  for _ = 1 to 200 do
+    let n = R.range rng 1 15 in
+    let instrs = List.init n (fun _ -> gen_instr rng) in
+    let stream = X86.Encode.encode_list instrs in
+    let pre = R.range rng 1 7 in
+    let post = R.range rng 0 7 in
+    let buf = Bytes.create (pre + Bytes.length stream + post) in
+    for i = 0 to Bytes.length buf - 1 do
+      Bytes.set buf i (Char.chr (R.int rng 256))
+    done;
+    Bytes.blit stream 0 buf pre (Bytes.length stream);
+    let decoded = X86.Decode.decode_all stream in
+    if List.length decoded <> n then
+      Alcotest.failf "linear sweep lost instructions (%d of %d)"
+        (List.length decoded) n;
+    List.iter
+      (fun (off, i, len) ->
+         match X86.Decode.decode buf (pre + off) with
+         | Some (i', len') when i' = i && len' = len -> ()
+         | Some (i', _) ->
+           fail_instr "decode at shifted offset" i
+             (" -> " ^ X86.Pp.instr_str i')
+         | None -> fail_instr "decode at shifted offset: None" i "")
+      decoded
+  done
+
+(* Decode never raises at any offset into arbitrary bytes, and anything it
+   does accept lies in the encoder's domain (re-encodes to an instruction
+   that decodes back to itself). *)
+let test_unaligned_total_and_encodable () =
+  let rng = R.create (seed + 3) in
+  for _ = 1 to 2000 do
+    let len = R.range rng 0 32 in
+    let buf = Bytes.init len (fun _ -> Char.chr (R.int rng 256)) in
+    let off = R.int rng (len + 4) in
+    match X86.Decode.decode buf off with
+    | None -> ()
+    | Some (i, dlen) ->
+      if dlen <= 0 || off + dlen > len then
+        fail_instr "decoded length out of bounds" i "";
+      let b = X86.Encode.encode i in
+      (match X86.Decode.decode b 0 with
+       | Some (i', _) when i' = i -> ()
+       | _ -> fail_instr "decoder output not canonically encodable" i "")
+  done
+
+(* --- neg/adc/cmov flags vs a bit-level reference model ------------------- *)
+
+(* Independent model: a ripple-carry full adder over [bits w] bits.  Returns
+   (result, carry-out, signed overflow), with overflow computed as
+   carry-into-msb xor carry-out-of-msb.  Subtraction and negation are
+   modelled as addition of the complement with carry-in, as in hardware. *)
+let bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+let ripple_add w a b cin =
+  let n = bits w in
+  let r = ref 0L in
+  let c = ref (if cin then 1 else 0) in
+  let c_into_msb = ref 0 in
+  for i = 0 to n - 1 do
+    if i = n - 1 then c_into_msb := !c;
+    let ai = Int64.to_int (Int64.logand (Int64.shift_right_logical a i) 1L) in
+    let bi = Int64.to_int (Int64.logand (Int64.shift_right_logical b i) 1L) in
+    let s = ai + bi + !c in
+    if s land 1 = 1 then r := Int64.logor !r (Int64.shift_left 1L i);
+    c := s lsr 1
+  done;
+  (!r, !c = 1, !c <> !c_into_msb)
+
+let ref_msb w r = Int64.logand (Int64.shift_right_logical r (bits w - 1)) 1L = 1L
+
+let ref_parity r =
+  let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
+  pop 0 (Int64.to_int (Int64.logand r 0xFFL)) land 1 = 0
+
+let ref_lognot w a =
+  Int64.logand (Int64.lognot a)
+    (if bits w = 64 then -1L else Int64.sub (Int64.shift_left 1L (bits w)) 1L)
+
+type rflags = { rcf : bool; rzf : bool; rsf : bool; rof : bool; rpf : bool }
+
+let zsp_of w r =
+  (r = 0L, ref_msb w r, ref_parity r)
+
+(* neg a  =  0 - a  =  0 + ~a + 1; CF is the borrow, i.e. not carry-out. *)
+let ref_neg w a =
+  let r, cout, ovf = ripple_add w 0L (ref_lognot w a) true in
+  let rzf, rsf, rpf = zsp_of w r in
+  (r, { rcf = not cout; rzf; rsf; rof = ovf; rpf })
+
+let ref_adc w a b cin =
+  let r, cout, ovf = ripple_add w a b cin in
+  let rzf, rsf, rpf = zsp_of w r in
+  (r, { rcf = cout; rzf; rsf; rof = ovf; rpf })
+
+(* cmp a, b  =  a + ~b + 1; CF is the borrow. *)
+let ref_cmp w a b =
+  let r, cout, ovf = ripple_add w a (ref_lognot w b) true in
+  let rzf, rsf, rpf = zsp_of w r in
+  { rcf = not cout; rzf; rsf; rof = ovf; rpf }
+
+let ref_cc_holds f = function
+  | O -> f.rof | NO -> not f.rof
+  | B -> f.rcf | AE -> not f.rcf
+  | E -> f.rzf | NE -> not f.rzf
+  | BE -> f.rcf || f.rzf | A -> not (f.rcf || f.rzf)
+  | S -> f.rsf | NS -> not f.rsf
+  | P -> f.rpf | NP -> not f.rpf
+  | L -> f.rsf <> f.rof | GE -> f.rsf = f.rof
+  | LE -> f.rzf || f.rsf <> f.rof | G -> not f.rzf && f.rsf = f.rof
+
+(* Run a short program on the emulator and return (rax, flags at halt). *)
+let code_base = 0x400000L
+let stack_top = 0x7000_0000L
+
+let run_flags instrs =
+  let mem = Machine.Memory.create () in
+  Machine.Memory.store_bytes mem code_base (X86.Encode.encode_list instrs);
+  Machine.Memory.map mem (Int64.sub stack_top 65536L) 65536;
+  let cpu = Machine.Cpu.create mem in
+  cpu.Machine.Cpu.rip <- code_base;
+  Machine.Cpu.set cpu RSP stack_top;
+  let t = Machine.Exec.make cpu in
+  match Machine.Exec.run ~fuel:1000 t with
+  | Machine.Exec.Halted ->
+    (Machine.Cpu.get t.Machine.Exec.cpu RAX, Machine.Cpu.flags t.Machine.Exec.cpu)
+  | st -> Alcotest.failf "unexpected exit: %a" Machine.Exec.pp_exit st
+
+let check_flags name w a (f : Machine.Semantics.flags) (r : rflags) =
+  let open Machine.Semantics in
+  if (f.cf, f.zf, f.sf, f.o_f, f.pf) <> (r.rcf, r.rzf, r.rsf, r.rof, r.rpf)
+  then
+    Alcotest.failf
+      "%s w%d a=%Ld: emulator cf=%b zf=%b sf=%b of=%b pf=%b, reference \
+       cf=%b zf=%b sf=%b of=%b pf=%b"
+      name (bits w) a f.cf f.zf f.sf f.o_f f.pf r.rcf r.rzf r.rsf r.rof r.rpf
+
+(* Operand pool: boundary values for every width plus random 64-bit ones. *)
+let interesting w =
+  let top = Int64.shift_left 1L (bits w - 1) in
+  [ 0L; 1L; 2L; Int64.minus_one; top; Int64.sub top 1L; Int64.add top 1L;
+    Int64.sub (Int64.shift_left top 1) 1L ]
+
+let operands rng w =
+  interesting w @ List.init 40 (fun _ -> R.next64 rng)
+
+let test_neg_flags () =
+  let rng = R.create (seed + 4) in
+  List.iter
+    (fun w ->
+       List.iter
+         (fun a ->
+            let r_ref, f_ref = ref_neg w (Machine.Semantics.truncate w a) in
+            let rax, f =
+              run_flags
+                [ Mov (W64, Reg RAX, Imm a); Unary (Neg, w, Reg RAX); Hlt ]
+            in
+            check_flags "neg" w a f f_ref;
+            if Machine.Semantics.truncate w rax <> r_ref then
+              Alcotest.failf "neg w%d %Ld: result %Ld, reference %Ld"
+                (bits w) a (Machine.Semantics.truncate w rax) r_ref)
+         (operands rng w))
+    [ W8; W16; W32; W64 ]
+
+let test_adc_flags () =
+  let rng = R.create (seed + 5) in
+  List.iter
+    (fun w ->
+       for _ = 1 to 120 do
+         let a = R.choose rng (operands rng w) in
+         let b = R.choose rng (operands rng w) in
+         let cin = R.bool rng in
+         let am = Machine.Semantics.truncate w a in
+         let bm = Machine.Semantics.truncate w b in
+         let r_ref, f_ref = ref_adc w am bm cin in
+         (* set CF with a full-width add (-1 + 1 carries, 0 + 0 does not),
+            then adc: mov does not touch flags *)
+         let setup =
+           if cin then
+             [ Mov (W64, Reg RDX, Imm (-1L)); Alu (Add, W64, Reg RDX, Imm 1L) ]
+           else [ Mov (W64, Reg RDX, Imm 0L); Alu (Add, W64, Reg RDX, Imm 0L) ]
+         in
+         let rax, f =
+           run_flags
+             (setup
+              @ [ Mov (W64, Reg RAX, Imm a); Mov (W64, Reg RCX, Imm b);
+                  Alu (Adc, w, Reg RAX, Reg RCX); Hlt ])
+         in
+         check_flags "adc" w a f f_ref;
+         if Machine.Semantics.truncate w rax <> r_ref then
+           Alcotest.failf "adc w%d %Ld+%Ld+%b: result %Ld, reference %Ld"
+             (bits w) am bm cin (Machine.Semantics.truncate w rax) r_ref
+       done)
+    [ W8; W16; W32; W64 ]
+
+(* cmp sets the flags, cmov consumes them: the emulator's cmov outcome must
+   match the reference model's condition evaluated on reference cmp flags. *)
+let test_cmov_after_cmp () =
+  let rng = R.create (seed + 6) in
+  List.iter
+    (fun w ->
+       for _ = 1 to 100 do
+         let a = R.choose rng (operands rng w) in
+         let b = R.choose rng (operands rng w) in
+         let cc = gen_cc rng in
+         let am = Machine.Semantics.truncate w a in
+         let bm = Machine.Semantics.truncate w b in
+         let f_ref = ref_cmp w am bm in
+         let expect = if ref_cc_holds f_ref cc then 111L else 222L in
+         let rax, _ =
+           run_flags
+             [ Mov (W64, Reg RCX, Imm a); Mov (W64, Reg RDX, Imm b);
+               Mov (W64, Reg RAX, Imm 222L); Mov (W64, Reg RBX, Imm 111L);
+               Alu (Cmp, w, Reg RCX, Reg RDX);
+               Cmov (cc, RAX, Reg RBX); Hlt ]
+         in
+         if rax <> expect then
+           Alcotest.failf "cmov%s after cmp w%d %Ld,%Ld: got %Ld, expected %Ld"
+             (X86.Pp.cc_name cc) (bits w) am bm rax expect
+       done)
+    [ W8; W16; W32; W64 ]
+
+let () =
+  Alcotest.run "roundtrip"
+    [ ("encode-decode",
+       [ Alcotest.test_case "round-trip" `Quick test_roundtrip;
+         Alcotest.test_case "round-trip wide imm" `Quick test_roundtrip_wide;
+         Alcotest.test_case "stream at shifted offsets" `Quick
+           test_stream_at_offset;
+         Alcotest.test_case "unaligned decode total + encodable" `Quick
+           test_unaligned_total_and_encodable ]);
+      ("flag-model",
+       [ Alcotest.test_case "neg flags vs ripple adder" `Quick test_neg_flags;
+         Alcotest.test_case "adc flags vs ripple adder" `Quick test_adc_flags;
+         Alcotest.test_case "cmov after cmp vs reference" `Quick
+           test_cmov_after_cmp ]) ]

@@ -46,13 +46,14 @@ let fuzz cfg ~seed ~cases ~shrink =
   print_string (Driver.report summary);
   if summary.Driver.s_failures = [] then 0 else 1
 
-let main cases seed config_name replay no_shrink show_fingerprint =
+let main cases seed config_name replay no_shrink show_fingerprint verify =
   match Oracle.find_config config_name with
   | None ->
     Printf.eprintf "unknown config %s; available: %s\n" config_name
       (String.concat ", " (Oracle.config_names ()));
     2
   | Some cfg ->
+    let cfg = if verify then { cfg with Oracle.verify = true } else cfg in
     let shrink = not no_shrink in
     if show_fingerprint then begin
       (* generation digest only: no oracle run, so two invocations are a
@@ -90,10 +91,16 @@ let fingerprint =
          ~doc:"Only print a digest of all generated cases (determinism \
                check); skips the oracle run.")
 
+let verify =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Also run the static chain verifier on every ROP leg; an \
+               error-severity diagnostic counts as a build failure.")
+
 let cmd =
   let doc = "differential fuzzing of the obfuscation pipeline" in
   Cmd.v
     (Cmd.info "difftest" ~doc)
-    Term.(const main $ cases $ seed $ config $ replay $ no_shrink $ fingerprint)
+    Term.(const main $ cases $ seed $ config $ replay $ no_shrink $ fingerprint
+          $ verify)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,128 @@
+(* Static chain verifier driver.
+
+   Rewrites every built-in program at every Table I / Table II configuration
+   and runs the four verification passes (lib/verify) over each result,
+   without executing any rewritten code.  Exits nonzero if any error-severity
+   diagnostic is reported; CI runs this over the full matrix (dune @check).
+
+     ropcheck                       # whole corpus, whole config matrix
+     ropcheck --program fasta       # one program
+     ropcheck --config rop1.0+p2   # one configuration
+     ropcheck --verbose             # also print warnings and per-run stats *)
+
+open Cmdliner
+
+(* Table I feature matrix plus the Table II k sweep. *)
+let config_matrix seed =
+  [ ("plain", Ropc.Config.plain ~seed ());
+    ("rop0", Ropc.Config.rop_k ~seed 0.0);
+    ("rop0.05", Ropc.Config.rop_k ~seed 0.05);
+    ("rop0.25", Ropc.Config.rop_k ~seed 0.25);
+    ("rop0.5", Ropc.Config.rop_k ~seed 0.5);
+    ("rop0.75", Ropc.Config.rop_k ~seed 0.75);
+    ("rop1.0", Ropc.Config.rop_k ~seed 1.0);
+    ("rop1.0+p2", Ropc.Config.rop_k ~seed ~p2:true 1.0);
+    ("rop1.0+gc", Ropc.Config.rop_k ~seed ~confusion:true 1.0);
+    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0) ]
+
+(* name, image builder, functions to rewrite *)
+let targets () =
+  [ ("corpus", Minic.Corpus.compile, Minic.Corpus.all_names);
+    ("base64",
+     (fun () -> Minic.Codegen.compile (Minic.Programs.base64_program ())),
+     [ "b64_check"; "b64_encode" ]) ]
+  @ List.map
+      (fun (name, prog, fns, _) ->
+         (name, (fun () -> Minic.Codegen.compile prog), fns))
+      Minic.Clbg.all
+
+let check_one ~verbose name cfg_name config build fns =
+  let img = build () in
+  let r = Ropc.Rewriter.rewrite img ~functions:fns ~config in
+  let skipped =
+    List.filter_map
+      (fun (f, res) ->
+         match res with
+         | Ok _ -> None
+         | Error e -> Some (f, Ropc.Rewriter.failure_to_string e))
+      r.Ropc.Rewriter.funcs
+  in
+  let diags = Verify.Check.check r in
+  let errs, warns, _ = Verify.Diag.counts diags in
+  if errs > 0 || (verbose && (warns > 0 || skipped <> [])) then begin
+    Printf.printf "== %s / %s ==\n" name cfg_name;
+    List.iter
+      (fun (f, why) -> Printf.printf "  (skipped %s: %s)\n" f why)
+      skipped;
+    List.iter
+      (fun d ->
+         if d.Verify.Diag.severity = Verify.Diag.Error || verbose then
+           Printf.printf "  %s\n" (Verify.Diag.render d))
+      diags
+  end;
+  (errs, warns)
+
+let main seed program config verbose =
+  let matrix =
+    match config with
+    | None -> config_matrix seed
+    | Some c ->
+      (match List.assoc_opt c (config_matrix seed) with
+       | Some cfg -> [ (c, cfg) ]
+       | None ->
+         Printf.eprintf "unknown config %s; available: %s\n" c
+           (String.concat ", " (List.map fst (config_matrix seed)));
+         exit 2)
+  in
+  let targets =
+    match program with
+    | None -> targets ()
+    | Some p ->
+      (match
+         List.filter (fun (name, _, _) -> name = p) (targets ())
+       with
+       | [] ->
+         Printf.eprintf "unknown program %s; available: %s\n" p
+           (String.concat ", "
+              (List.map (fun (n, _, _) -> n) (targets ())));
+         exit 2
+       | ts -> ts)
+  in
+  let runs = ref 0 and errs = ref 0 and warns = ref 0 in
+  List.iter
+    (fun (name, build, fns) ->
+       List.iter
+         (fun (cfg_name, cfg) ->
+            incr runs;
+            let e, w = check_one ~verbose name cfg_name cfg build fns in
+            errs := !errs + e;
+            warns := !warns + w)
+         matrix)
+    targets;
+  Printf.printf "ropcheck: %d runs, %d errors, %d warnings\n" !runs !errs
+    !warns;
+  if !errs > 0 then exit 1
+
+let cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Obfuscation seed.")
+  in
+  let program =
+    Arg.(value & opt (some string) None
+         & info [ "program" ] ~doc:"Check only this built-in program.")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~doc:"Check only this configuration.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Print warnings and skipped functions too.")
+  in
+  Cmd.v
+    (Cmd.info "ropcheck"
+       ~doc:"Statically verify rewritten images without executing them")
+    Term.(const main $ seed $ program $ config $ verbose)
+
+let () = exit (Cmd.eval cmd)

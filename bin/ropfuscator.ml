@@ -24,7 +24,7 @@ let builtin_programs () =
       (fun (name, prog, fns, _) -> (name, (prog, fns, "bench")))
       Minic.Clbg.all
 
-let main prog_name k p2 confusion seed arg =
+let main prog_name k p2 confusion seed arg verify =
   match List.assoc_opt prog_name (builtin_programs ()) with
   | None ->
     Printf.eprintf "unknown program %s; available: %s\n" prog_name
@@ -54,6 +54,13 @@ let main prog_name k p2 confusion seed arg =
       r.Ropc.Rewriter.funcs;
     Printf.printf "gadgets:    %d uses of %d unique gadgets\n"
       r.Ropc.Rewriter.total_gadget_uses r.Ropc.Rewriter.unique_gadgets;
+    if verify then begin
+      let diags = Verify.Check.check r in
+      let errs, warns, _ = Verify.Diag.counts diags in
+      List.iter (fun d -> Printf.printf "  %s\n" (Verify.Diag.render d)) diags;
+      Printf.printf "verify:     %d errors, %d warnings\n" errs warns;
+      if errs > 0 then exit 1
+    end;
     let rop = Runner.call_exn ~fuel:2_000_000_000 r.Ropc.Rewriter.image ~func:entry ~args:[ arg ] in
     Printf.printf "obfuscated: result=%Ld  (%d instructions, %.1fx)\n" rop.Runner.rax
       rop.Runner.steps
@@ -72,8 +79,13 @@ let cmd =
   let confusion = Arg.(value & flag & info [ "confusion" ] ~doc:"Enable gadget confusion.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Obfuscation seed.") in
   let arg = Arg.(value & opt int64 8L & info [ "arg" ] ~doc:"Argument for the entry function.") in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Run the static chain verifier on the rewritten image.")
+  in
   Cmd.v
     (Cmd.info "ropfuscator" ~doc:"Rewrite a program's functions into ROP chains")
-    Term.(const main $ prog $ k $ p2 $ confusion $ seed $ arg)
+    Term.(const main $ prog $ k $ p2 $ confusion $ seed $ arg $ verify)
 
 let () = exit (Cmd.eval cmd)

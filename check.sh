@@ -11,7 +11,10 @@ dune build
 echo "== fast test tier (@runtest) =="
 dune runtest
 
-echo "== difftest smoke (200 cases, seed 42) =="
-dune exec bin/difftest.exe -- --cases 200 --seed 42
+echo "== static chain verification (full corpus, Table I/II matrix) =="
+dune build @check
+
+echo "== difftest smoke (200 cases, seed 42, verifier on) =="
+dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify
 
 echo "== OK =="

@@ -12,6 +12,21 @@ module R = Analysis.Regset
 
 exception Bail of string
 
+(* One lowered program point (roplet / terminator group / trampoline): which
+   chain slots it produced and what liveness said there.  Recorded as a side
+   effect of crafting and handed to lib/verify through the rewriter's audit;
+   the verifier replays the slots against these facts. *)
+type point = {
+  pt_addr : int64;             (* original instruction address (0 if none) *)
+  pt_desc : string;            (* human label, e.g. the source instruction *)
+  mutable pt_live : R.t;       (* registers that must survive the roplet *)
+  pt_flags_live : bool;        (* must the status flags survive? *)
+  pt_defs : R.t;               (* registers the roplet means to define *)
+  mutable pt_borrowed : R.t;   (* spilled-and-restored (scratch borrows) *)
+  pt_start : int;              (* first chain slot index of the roplet *)
+  mutable pt_stop : int;       (* one past the last slot index *)
+}
+
 type t = {
   pool : Pool.t;
   chain : Chain.t;
@@ -27,13 +42,51 @@ type t = {
   mutable branch_ordinal : int;
   mutable fresh_counter : int;
   mutable program_points : int;   (* N of Table III *)
+  mutable points : point list;    (* reversed; audit trace *)
+  mutable cur_point : point option;
 }
 
 let create ~pool ~config ~rng ~fname ~ss_addr ~spill_base ~flags_spill
     ~funcret_gadget ~p1_array ~p1_class_a =
   { pool; chain = Chain.create (); config; rng; fname; ss_addr; spill_base;
     flags_spill; funcret_gadget; p1_array; p1_class_a;
-    branch_ordinal = 0; fresh_counter = 0; program_points = 0 }
+    branch_ordinal = 0; fresh_counter = 0; program_points = 0;
+    points = []; cur_point = None }
+
+(* --- audit trace ---------------------------------------------------------- *)
+
+let end_point b =
+  match b.cur_point with
+  | Some p ->
+    p.pt_stop <- Chain.length b.chain;
+    b.points <- p :: b.points;
+    b.cur_point <- None
+  | None -> ()
+
+let begin_point b ~addr ~desc ~live ~flags_live ~defs =
+  end_point b;
+  b.cur_point <-
+    Some { pt_addr = addr; pt_desc = desc; pt_live = live;
+           pt_flags_live = flags_live; pt_defs = defs;
+           pt_borrowed = R.empty;
+           pt_start = Chain.length b.chain;
+           pt_stop = Chain.length b.chain }
+
+(* Extend the live set recorded for the current point (e.g. a P2 branch value
+   that must survive into the trampoline). *)
+let widen_point_live b extra =
+  match b.cur_point with
+  | Some p -> p.pt_live <- R.union p.pt_live extra
+  | None -> ()
+
+let note_borrowed b regs =
+  match b.cur_point with
+  | Some p -> p.pt_borrowed <- R.union p.pt_borrowed regs
+  | None -> ()
+
+let points b =
+  end_point b;
+  List.rev b.points
 
 let fresh b prefix =
   let n = b.fresh_counter in
@@ -80,6 +133,7 @@ let with_scratch ?(allow_spill = true) b ~live ~avoid n (f : reg list -> unit) =
     if List.length borrowable < missing then
       raise (Bail "register pressure: nothing left to spill");
     let borrowed = List.filteri (fun i _ -> i < missing) borrowable in
+    note_borrowed b (R.of_list borrowed);
     let slot i = Int64.add b.spill_base (Int64.of_int (8 * i)) in
     List.iteri
       (fun i r ->
@@ -93,6 +147,16 @@ let with_scratch ?(allow_spill = true) b ~live ~avoid n (f : reg list -> unit) =
            (Pool.request b.pool [ Mov (W64, Reg r, Mem (mem_abs (slot i))) ]))
       borrowed
   end
+
+(* Internal-invariant failure: a lowering template received scratch registers
+   of a shape other than the one its fixed gadget sequence needs.  Reachable
+   only through a bug in [with_scratch] or the template itself, so surface
+   the role and the offending operand shape instead of an anonymous assert. *)
+let template_error role regs =
+  invalid_arg
+    (Printf.sprintf
+       "Builder.%s: gadget template got scratch shape [%s]"
+       role (String.concat "; " (List.map X86.Pp.reg_name regs)))
 
 (* Emit one gadget; [clobber] lists registers usable in diversification
    prefixes (dynamically dead at this point). *)
@@ -156,6 +220,8 @@ let flag_restore b =
 (* Run [f] with the status register preserved if [flags_live]. *)
 let with_flags_preserved b ~flags_live f =
   if flags_live then begin
+    (* RAX is saved/restored around the spill pair *)
+    note_borrowed b (R.of_reg RAX);
     flag_spill b;
     f ();
     flag_restore b
@@ -178,7 +244,7 @@ let vpush_reg b ~live vr =
               Alu (Sub, W64, Reg s2, Imm 8L) ];
         g b [ Mov (W64, Mem (mem_b s1 0), Reg s2) ];
         g b [ Mov (W64, Mem (mem_b s2 0), Reg vr) ]
-      | _ -> assert false)
+      | regs -> template_error "vpush_reg (virtual push, 2 scratch)" regs)
 
 let vpush_imm b ~live v =
   with_scratch b ~live ~avoid:R.empty 3 (fun regs ->
@@ -190,7 +256,7 @@ let vpush_imm b ~live v =
         g b [ Mov (W64, Mem (mem_b s1 0), Reg s2) ];
         load_imm b ~scratch:[] s3 v;
         g b [ Mov (W64, Mem (mem_b s2 0), Reg s3) ]
-      | _ -> assert false)
+      | regs -> template_error "vpush_imm (virtual push imm, 3 scratch)" regs)
 
 (* pop <into dst register> *)
 let vpop b ~live dst =
@@ -201,7 +267,7 @@ let vpop b ~live dst =
         g b [ Mov (W64, Reg s2, Mem (mem_b s1 0)) ];
         g b [ Mov (W64, Reg dst, Mem (mem_b s2 0)) ];
         g b [ Alu (Add, W64, Mem (mem_b s1 0), Imm 8L) ]
-      | _ -> assert false)
+      | regs -> template_error "vpop (virtual pop, 2 scratch)" regs)
 
 (* rsp += delta (frame allocation / release) *)
 let rsp_adjust b ~live delta =
@@ -211,7 +277,7 @@ let rsp_adjust b ~live delta =
         load_cell_ptr b ~scratch:[ s2 ] s1;
         load_imm b ~scratch:[] s2 delta;
         g b [ Alu (Add, W64, Mem (mem_b s1 0), Reg s2) ]
-      | _ -> assert false)
+      | regs -> template_error "rsp_adjust (virtual rsp += imm, 2 scratch)" regs)
 
 (* dst := rsp   (e.g. mov rbp, rsp) *)
 let rsp_to_reg b ~live dst =
@@ -220,7 +286,7 @@ let rsp_to_reg b ~live dst =
       | [ s1 ] ->
         load_cell_ptr b ~scratch:[] s1;
         g b [ Mov (W64, Reg dst, Mem (mem_b s1 0)) ]
-      | _ -> assert false)
+      | regs -> template_error "rsp_to_reg (reg := virtual rsp, 1 scratch)" regs)
 
 (* rsp := src   (e.g. mov rsp, rbp; the stack-release half of leave) *)
 let reg_to_rsp b ~live src =
@@ -229,7 +295,7 @@ let reg_to_rsp b ~live src =
       | [ s1 ] ->
         load_cell_ptr b ~scratch:[] s1;
         g b [ Mov (W64, Mem (mem_b s1 0), Reg src) ]
-      | _ -> assert false)
+      | regs -> template_error "reg_to_rsp (virtual rsp := reg, 1 scratch)" regs)
 
 (* dst := [rsp + disp] with width/extension (Figure 3) *)
 let rsp_read b ~live ~move dst disp =
@@ -239,7 +305,7 @@ let rsp_read b ~live ~move dst disp =
         load_cell_ptr b ~scratch:[] s1;
         g b [ Mov (W64, Reg s1, Mem (mem_b s1 0)) ];
         g b [ move dst (Mem (mem_b s1 disp)) ]
-      | _ -> assert false)
+      | regs -> template_error "rsp_read (reg := [virtual rsp+disp], 1 scratch)" regs)
 
 (* [rsp + disp] := src (register source) *)
 let rsp_write b ~live w disp src =
@@ -249,7 +315,7 @@ let rsp_write b ~live w disp src =
         load_cell_ptr b ~scratch:[] s1;
         g b [ Mov (W64, Reg s1, Mem (mem_b s1 0)) ];
         g b [ Mov (w, Mem (mem_b s1 disp), Reg src) ]
-      | _ -> assert false)
+      | regs -> template_error "rsp_write ([virtual rsp+disp] := reg, 1 scratch)" regs)
 
 (* dst := rsp + disp (lea dst, [rsp+disp]) *)
 let rsp_lea b ~live dst disp =
@@ -277,7 +343,7 @@ let plain_branch b ~live ~cc ~target =
         g b [ Mov (W64, Reg s2, Imm 0L); Cmov (cc_negate cc, s1, Reg s2) ];
         g b [ Alu (Add, W64, Reg RSP, Reg s1) ];
         Chain.anchor b.chain anchor
-      | _ -> assert false)
+      | regs, _ -> template_error "plain_branch (branch group, 2 scratch)" regs)
 
 (* P1 branch group: the branch offset is split into an array-encoded part [a]
    (recovered through the periodic opaque array, with input-derived aliasing
@@ -285,7 +351,12 @@ let plain_branch b ~live ~cc ~target =
    (§V-A). *)
 let p1_branch b ~live ~cc ~target =
   let p1 =
-    match b.config.Config.p1 with Some p -> p | None -> assert false
+    match b.config.Config.p1 with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        "Builder.p1_branch: P1 branch requested but the configuration has \
+         no P1 parameters (use plain_branch when config.p1 = None)"
   in
   let ordinal = b.branch_ordinal in
   b.branch_ordinal <- ordinal + 1;
@@ -298,7 +369,9 @@ let p1_branch b ~live ~cc ~target =
         match cc, regs with
         | Some _, sd :: rest -> (Some sd, rest)
         | None, rest -> (None, rest)
-        | _ -> assert false
+        | Some _, [] ->
+          template_error "p1_branch (conditional needs a decision scratch)"
+            regs
       in
       (match cc, sd with
        | Some cc, Some sd ->
@@ -306,7 +379,10 @@ let p1_branch b ~live ~cc ~target =
          g b [ Mov (W64, Reg sd, Imm 0L) ];
          g b [ Setcc (cc, Reg sd) ]
        | None, None -> ()
-       | _ -> assert false);
+       | Some _, None | None, Some _ ->
+         invalid_arg
+           "Builder.p1_branch: decision scratch present iff the branch is \
+            conditional");
       match rest with
       | [ si; st; sv; so ] ->
         (* f(x): opaquely combine up to 4 input-derived (live) registers *)
@@ -352,7 +428,7 @@ let p1_branch b ~live ~cc ~target =
          | None -> ());
         g b [ Alu (Add, W64, Reg RSP, Reg so) ];
         Chain.anchor b.chain anchor
-      | _ -> assert false)
+      | regs -> template_error "p1_branch (P1 branch group, 4 scratch)" regs)
 
 let branch b ~live ~cc ~target =
   match b.config.Config.p1 with
@@ -399,7 +475,7 @@ let native_call b ~live target =
         Chain.gadget b.chain
           (Pool.request_jop b.pool
              [ Xchg (W64, Reg RSP, Mem (mem_b s1 0)); Jmp (J_op (Reg s2)) ])
-      | _ -> assert false)
+      | regs -> template_error "native_call (stack-switch call, 2 scratch)" regs)
 
 (* Function epilogue: release the ss frame and return natively (Appendix A).
    The final gadget's own ret pops the caller's return address from the
@@ -413,7 +489,7 @@ let epilogue b ~live =
         g b [ Alu (Add, W64, Reg s1, Mem (mem_b s1 0));
               Alu (Add, W64, Reg s1, Imm 8L) ];
         g b [ Mov (W64, Reg RSP, Mem (mem_b s1 0)) ]
-      | _ -> assert false)
+      | regs -> template_error "epilogue (stack unswitch, 1 scratch)" regs)
 
 (* Tail-jump variant: unpivot, then jump to the tail target (Appendix A). *)
 let tail_jump b ~live target =
@@ -429,6 +505,6 @@ let tail_jump b ~live target =
         Chain.gadget b.chain
           (Pool.request_jop b.pool
              [ Mov (W64, Reg RSP, Mem (mem_b s1 0)); Jmp (J_op (Reg s2)) ])
-      | _ -> assert false)
+      | regs -> template_error "tail_jump (stack unswitch + jop, 2 scratch)" regs)
 
 let hlt b = g b [ Hlt ]

@@ -19,11 +19,19 @@ type slot =
 
 type t = {
   mutable slots : slot list;   (* reversed during construction *)
+  mutable n : int;             (* length of [slots] *)
 }
 
-let create () = { slots = [] }
+let create () = { slots = []; n = 0 }
 
-let push t s = t.slots <- s :: t.slots
+let push t s =
+  t.slots <- s :: t.slots;
+  t.n <- t.n + 1
+
+(* Number of slots pushed so far; the builder brackets each roplet by the
+   [length] at its start and end so the verifier can attribute slots to
+   program points without re-walking the list. *)
+let length t = t.n
 
 let gadget t addr = push t (S_gadget addr)
 let imm t v = push t (S_imm v)
@@ -39,6 +47,9 @@ type materialized = {
   (* offset of each label/anchor within the chain *)
   offsets : (string, int) Hashtbl.t;
   base : int64;                (* absolute address the chain is placed at *)
+  layout : (int * slot) array;
+  (* byte offset of every slot in push order, including the zero-width
+     label/anchor markers; the static verifier replays the chain from this *)
 }
 
 exception Materialize_error of string
@@ -63,6 +74,7 @@ let materialize ?junk ~base t =
   ignore junk;
   let items = slots t in
   let offsets = Hashtbl.create 32 in
+  let layout_rev = ref [] in
   let total =
     List.fold_left
       (fun off s ->
@@ -72,9 +84,11 @@ let materialize ?junk ~base t =
               raise (Materialize_error ("duplicate label " ^ name));
             Hashtbl.replace offsets name off
           | S_gadget _ | S_imm _ | S_disp _ | S_skew _ -> ());
+         layout_rev := (off, s) :: !layout_rev;
          off + slot_size s)
       0 items
   in
+  let layout = Array.of_list (List.rev !layout_rev) in
   let buf = Bytes.create total in
   let write64 off v =
     for i = 0 to 7 do
@@ -107,7 +121,7 @@ let materialize ?junk ~base t =
          off + slot_size s)
       0 items
   in
-  { bytes = buf; offsets; base }
+  { bytes = buf; offsets; base; layout }
 
 (* Absolute address of a label in a materialized chain. *)
 let label_addr m name =

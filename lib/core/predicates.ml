@@ -46,7 +46,9 @@ let guard_zero_ok b ~live bv =
         load_d b s1 bv;
         Builder.g b [ Shift (Shl, W64, Reg s1, S_imm 3) ];
         Builder.g b [ Alu (Add, W64, Reg RSP, Reg s1) ]
-      | _ -> assert false)
+      | regs ->
+        Builder.template_error "Predicates.guard_zero_ok (P2 guard, 1 scratch)"
+          regs)
 
 (* Guard for a path legitimate when d != 0:  rsp += 8*(1 - notZero(d)), with
    notZero computed flag-independently so the attacker cannot flip it. *)
@@ -62,7 +64,9 @@ let guard_nonzero_ok b ~live bv =
         Builder.g b [ Alu (Xor, W64, Reg s1, Imm 1L) ];   (* 1 - notZero *)
         Builder.g b [ Shift (Shl, W64, Reg s1, S_imm 3) ];
         Builder.g b [ Alu (Add, W64, Reg RSP, Reg s1) ]
-      | _ -> assert false)
+      | regs ->
+        Builder.template_error
+          "Predicates.guard_nonzero_ok (P2 guard, 2 scratch)" regs)
 
 (* The guard a given edge needs: for an E-branch the taken path is legitimate
    when d == 0; for NE it is the other way around. *)
@@ -126,7 +130,9 @@ let p3_for b ~live ~max_iters sym =
         Chain.label b.Builder.chain done_;
         Builder.g b [ Alu (And, W64, Reg dead, Imm 0xFFL) ];
         Builder.g b [ Alu (Or, W64, Reg sym, Reg dead) ]
-      | _ -> assert false)
+      | regs ->
+        Builder.template_error "Predicates.p3_for (state fork, 4 scratch)"
+          regs)
 
 (* Second variant: opaque input-derived updates to the P1 array.  Adds a
    multiple of m to a cell selected by the symbolic register: every P1
@@ -163,7 +169,9 @@ let p3_array b ~live sym =
           [ Alu (Add, W64,
                  Mem { base = Some s2; index = Some (s1, 1); disp = 0L },
                  Reg s3) ]
-      | _ -> assert false)
+      | regs ->
+        Builder.template_error
+          "Predicates.p3_array (array update, 3 scratch)" regs)
 
 (* Insert a P3 instance at the current point if the configuration and RNG
    say so; flags are preserved when live. *)
@@ -175,6 +183,10 @@ let maybe_p3 b ~live ~flags_live =
       match pick_sym b ~live with
       | None -> ()
       | Some sym ->
+        (* both variants write [sym] with a value-preserving opaque update
+           (identity fold / array cell bump), so record it as borrowed: the
+           static clobber check would otherwise flag a live-register write *)
+        Builder.note_borrowed b (R.of_reg sym);
         Builder.with_flags_preserved b ~flags_live (fun () ->
             match p3.Config.variant with
             | Config.P3_for -> p3_for b ~live ~max_iters:p3.Config.max_iters sym

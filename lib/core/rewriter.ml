@@ -39,6 +39,7 @@ type result = {
   funcs : (string * func_result) list;
   total_gadget_uses : int;      (* A of Table III *)
   unique_gadgets : int;         (* B of Table III *)
+  audit : Audit.t;              (* claims for the static verifier *)
 }
 
 exception Unsupported of string
@@ -75,9 +76,24 @@ let mentions_rsp_op = function
   | Mem m -> mentions_rsp_mem m
 
 (* Translate one non-terminator instruction at [live] (live-out u uses u
-   defs). *)
-let translate_instr b ~live (i : instr) =
-  let direct () = Builder.g b [ i ] in
+   defs).  [flags_live] gates diversification: dead-prefix variants may
+   clobber the status flags, so directly-lowered gadgets only declare
+   clobberable registers when the flags neither survive the roplet nor feed
+   the instruction itself. *)
+let translate_instr b ~live ~flags_live (i : instr) =
+  let direct () =
+    let clobber =
+      if flags_live then []
+      else begin
+        let uses, defs = Analysis.Reguse.def_use i in
+        let keep =
+          R.union (R.union live (R.union uses defs)) Builder.reserved
+        in
+        List.filter (fun r -> not (R.mem_reg keep r)) all_regs
+      end
+    in
+    Builder.g b ~clobber [ i ]
+  in
   (* split an ALU immediate into a chain operand with some probability, for
      diversity and to give gadget confusion material to work on *)
   let alu_imm_split op w d v =
@@ -88,7 +104,9 @@ let translate_instr b ~live (i : instr) =
            | [ s ] ->
              Builder.load_imm b ~scratch:[] s v;
              Builder.g b [ Alu (op, w, d, Reg s) ]
-           | _ -> assert false)
+           | regs ->
+             Builder.template_error
+               "Rewriter.alu_imm_split (imm -> chain operand, 1 scratch)" regs)
     else direct ()
   in
   match i with
@@ -104,7 +122,9 @@ let translate_instr b ~live (i : instr) =
          | [ s ] ->
            Builder.g b [ Mov (W64, Reg s, Mem m) ];
            Builder.vpush_reg b ~live:(R.add live s) s
-         | _ -> assert false)
+         | regs ->
+           Builder.template_error
+             "Rewriter.translate_instr (push [mem], 1 scratch)" regs)
   | Pop (Reg RSP) -> raise (Unsupported "pop rsp")
   | Pop (Reg r) -> Builder.vpop b ~live r
   | Pop (Imm _) | Pop (Mem _) -> raise (Unsupported "pop to memory")
@@ -147,7 +167,9 @@ let translate_instr b ~live (i : instr) =
            | [ s ] ->
              Builder.load_imm b ~scratch:[] s v;
              Builder.rsp_write b ~live:(R.add live s) w (Int64.to_int m.disp) s
-           | _ -> assert false)
+           | regs ->
+             Builder.template_error
+               "Rewriter.translate_instr ([rsp+disp] := imm, 1 scratch)" regs)
      | _ -> raise (Unsupported "rsp-indexed addressing"))
   | Lea (r, m) when mentions_rsp_mem m ->
     (match m.base, m.index with
@@ -162,8 +184,9 @@ let translate_instr b ~live (i : instr) =
     Builder.reg_to_rsp b ~live RBP;
     Builder.vpop b ~live RBP
   | Call (J_rel _) | Call (J_op _) ->
-    (* handled by the caller (needs the instruction's address) *)
-    assert false
+    invalid_arg
+      "Rewriter.translate_instr: calls are lowered by the block emitter \
+       (native_call needs the call site's own address)"
   | Xchg (_, a, bb) when mentions_rsp_op a || mentions_rsp_op bb ->
     raise (Unsupported "xchg with rsp")
   | Mov (W64, Reg r, Imm v) ->
@@ -176,7 +199,13 @@ let translate_instr b ~live (i : instr) =
   | Mov _ | Movzx _ | Movsx _ | Lea _ | Alu _ | Unary _ | Imul2 _
   | MulDiv _ | Shift _ | Cmov _ | Setcc _ | Xchg _ | Lahf | Sahf ->
     direct ()
-  | Hlt | Ret | Jmp _ | Jcc _ -> assert false  (* terminators *)
+  | (Hlt | Ret | Jmp _ | Jcc _) as i ->
+    invalid_arg
+      (Printf.sprintf
+         "Rewriter.translate_instr: terminator '%s' reached the \
+          instruction translator (terminators are lowered from the CFG \
+          block structure)"
+         (X86.Pp.instr_str i))
 
 (* --- per-function rewriting ------------------------------------------------ *)
 
@@ -246,7 +275,8 @@ let live_for live_info (bi : Cfg.binstr) =
   let uses, _defs = Analysis.Reguse.def_use bi.Cfg.instr in
   R.union (Analysis.Liveness.live_out_at live_info bi.Cfg.addr) uses
 
-let rewrite_function (s : session) fname : func_result =
+let rewrite_function (s : session) fname
+  : (func_stats * Audit.func, failure) Stdlib.result =
   match Cfg.of_image s.img fname with
   | exception Cfg.Analysis_error _ -> Error F_cfg
   | cfg when cfg.Cfg.failed -> Error F_cfg
@@ -254,7 +284,11 @@ let rewrite_function (s : session) fname : func_result =
     let sym =
       match Image.find_symbol s.img fname with
       | Some sy -> sy
-      | None -> assert false
+      | None ->
+        invalid_arg
+          ("Rewriter.rewrite_function: no symbol for function '" ^ fname
+           ^ "' (CFG reconstruction succeeded, so the symbol table and \
+              section map disagree)")
     in
     if sym.Image.sym_size < pivot_stub_size then Error F_too_small
     else begin
@@ -289,6 +323,12 @@ let rewrite_function (s : session) fname : func_result =
                || Analysis.Reguse.reads_flags bi.Cfg.instr
              in
              b.Builder.program_points <- b.Builder.program_points + 1;
+             let _, defs = Analysis.Reguse.def_use bi.Cfg.instr in
+             Builder.begin_point b ~addr:bi.Cfg.addr
+               ~desc:(X86.Pp.instr_str bi.Cfg.instr) ~live
+               ~flags_live:
+                 (Analysis.Liveness.flags_live_after live_info bi.Cfg.addr)
+               ~defs;
              Predicates.maybe_p3 b ~live ~flags_live;
              (match bi.Cfg.instr with
               | Call (J_rel d) ->
@@ -304,10 +344,14 @@ let rewrite_function (s : session) fname : func_result =
                         Builder.g b [ Mov (W64, Reg sr, Mem m) ];
                         Builder.native_call b ~live:(R.add live sr)
                           (Builder.Ct_reg sr)
-                      | _ -> assert false)
+                      | regs ->
+                        Builder.template_error
+                          "Rewriter.emit_block_body (call [mem], 1 scratch)"
+                          regs)
               | Call (J_op _) -> raise (Unsupported "call through rsp memory")
-              | i -> translate_instr b ~live i);
-             if not flags_live then Builder.maybe_skew b)
+              | i -> translate_instr b ~live ~flags_live i);
+             if not flags_live then Builder.maybe_skew b;
+             Builder.end_point b)
           block.Cfg.b_instrs
       in
       let order = cfg.Cfg.order in
@@ -331,6 +375,22 @@ let rewrite_function (s : session) fname : func_result =
                  | Some ti -> live_for live_info ti
                  | None -> R.all
                in
+               let taddr, tdesc, tflags =
+                 match block.Cfg.b_term_instr with
+                 | Some ti ->
+                   (ti.Cfg.addr, X86.Pp.instr_str ti.Cfg.instr,
+                    Analysis.Liveness.flags_live_after live_info ti.Cfg.addr)
+                 | None -> (addr, "fallthrough", false)
+               in
+               let point_live =
+                 match block.Cfg.b_term with
+                 | Cfg.T_ret -> Analysis.Liveness.exit_live
+                 | Cfg.T_tail _ -> Analysis.Liveness.tail_live
+                 | Cfg.T_hlt -> R.empty
+                 | _ -> term_live
+               in
+               Builder.begin_point b ~addr:taddr ~desc:tdesc ~live:point_live
+                 ~flags_live:tflags ~defs:R.empty;
                (match block.Cfg.b_term with
                 | Cfg.T_hlt -> Builder.hlt b
                 | Cfg.T_ret -> Builder.epilogue b ~live:Analysis.Liveness.exit_live
@@ -357,6 +417,8 @@ let rewrite_function (s : session) fname : func_result =
                      let live =
                        R.union term_live (Predicates.branch_value_regs bv)
                      in
+                     Builder.widen_point_live b
+                       (Predicates.branch_value_regs bv);
                      let tramp = Builder.fresh b "p2t" in
                      Builder.branch b ~live ~cc:(Some cc) ~target:tramp;
                      trampolines :=
@@ -374,14 +436,18 @@ let rewrite_function (s : session) fname : func_result =
                 | Cfg.T_jmp_table { jump_reg; table_addr; entries; _ } ->
                   let anchor = Builder.table_jump b ~live:term_live jump_reg in
                   table_jobs := (table_addr, anchor, entries) :: !table_jobs
-                | Cfg.T_jmp_unresolved _ -> raise (Unsupported "indirect jump")))
+                | Cfg.T_jmp_unresolved _ -> raise (Unsupported "indirect jump"));
+               Builder.end_point b)
             next_of;
           (* P2 trampolines: taken-edge guard, then the real transfer *)
           List.iter
             (fun (tramp, cc, bv, target, live) ->
                Chain.label b.Builder.chain tramp;
+               Builder.begin_point b ~addr:0L ~desc:("p2 trampoline " ^ tramp)
+                 ~live ~flags_live:false ~defs:R.empty;
                Predicates.taken_guard b ~live ~cc bv;
-               Builder.branch b ~live ~cc:None ~target)
+               Builder.branch b ~live ~cc:None ~target;
+               Builder.end_point b)
             (List.rev !trampolines);
           Ok ()
         with
@@ -431,12 +497,51 @@ let rewrite_function (s : session) fname : func_result =
               m.Chain.offsets []
             |> List.sort compare
           in
+          let layout = m.Chain.layout in
+          let audit_points =
+            List.map
+              (fun (p : Builder.point) ->
+                 { Audit.p_addr = p.Builder.pt_addr;
+                   p_desc = p.Builder.pt_desc;
+                   p_live = p.Builder.pt_live;
+                   p_flags_live = p.Builder.pt_flags_live;
+                   p_defs = p.Builder.pt_defs;
+                   p_borrowed = p.Builder.pt_borrowed;
+                   p_slots =
+                     Array.sub layout p.Builder.pt_start
+                       (p.Builder.pt_stop - p.Builder.pt_start) })
+              (Builder.points b)
+          in
+          let fa =
+            { Audit.f_name = fname;
+              f_sym_addr = sym.Image.sym_addr;
+              f_sym_size = sym.Image.sym_size;
+              f_stub_len = Bytes.length stub;
+              f_chain_base = base;
+              f_chain_len = Bytes.length m.Chain.bytes;
+              f_layout = layout;
+              f_labels =
+                Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Chain.offsets [];
+              f_points = audit_points;
+              f_tables =
+                List.map
+                  (fun (table_addr, anchor, entries) ->
+                     (table_addr, anchor,
+                      List.map Builder.block_label entries))
+                  !table_jobs;
+              f_p1 =
+                (match s.config.Config.p1 with
+                 | Some p1 when p1_array <> 0L ->
+                   Some (p1_array, p1, p1_class_a)
+                 | _ -> None) }
+          in
           Ok
-            { fs_points = b.Builder.program_points;
-              fs_chain_bytes = Bytes.length m.Chain.bytes;
-              fs_chain_addr = base;
-              fs_blocks = List.length order;
-              fs_block_offsets = block_offsets }
+            ({ fs_points = b.Builder.program_points;
+               fs_chain_bytes = Bytes.length m.Chain.bytes;
+               fs_chain_addr = base;
+               fs_blocks = List.length order;
+               fs_block_offsets = block_offsets },
+             fa)
         end
     end
 
@@ -478,8 +583,11 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
   in
   let s = { s with funcret_gadget = funcret } in
   Pool.reset_stats pool;   (* the funcret request should not skew Table III *)
-  let funcs =
+  let raw =
     List.map (fun fname -> (fname, rewrite_function s fname)) functions
+  in
+  let funcs =
+    List.map (fun (fname, r) -> (fname, Result.map fst r)) raw
   in
   (* append synthesized gadgets to .text and create the .rop section *)
   let pool_bytes = Pool.emitted_bytes pool in
@@ -490,4 +598,23 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
        ~data:(Buffer.to_bytes rop_buf) ~writable:true ~executable:false);
   Image.add_symbol img ~name:"__ss" ~addr:ss_addr ~size:(8 * 64) ();
   let uses, uniq = Pool.stats pool in
-  { image = img; funcs; total_gadget_uses = uses; unique_gadgets = uniq }
+  let audit =
+    { Audit.a_ss_addr = ss_addr;
+      a_funcret = funcret;
+      a_pool_lo = pool_base;
+      a_pool_hi = Int64.add pool_base (Int64.of_int (Bytes.length pool_bytes));
+      a_gadgets =
+        List.map
+          (fun (e : Pool.entry) ->
+             { Audit.g_addr = e.Pool.gadget.Gadget.addr;
+               g_gadget = e.Pool.gadget;
+               g_prefix = e.Pool.prefix;
+               g_found = e.Pool.is_found })
+          (Pool.all_gadgets pool);
+      a_funcs =
+        List.filter_map
+          (fun (_, r) -> match r with Ok (_, fa) -> Some fa | Error _ -> None)
+          raw }
+  in
+  { image = img; funcs; total_gadget_uses = uses; unique_gadgets = uniq;
+    audit }

@@ -58,6 +58,9 @@ type config = {
   name : string;
   rop : Ropc.Config.t option;                  (* None: skip the ROP leg *)
   vm : (int * Vmobf.implicit_layers) option;   (* None: skip the VM leg *)
+  verify : bool;    (* run the static chain verifier on the ROP leg; an
+                       error-severity diagnostic fails the build like an
+                       obfuscator crash would *)
   interp_fuel : int;
   native_fuel : int;
   rop_fuel : int;
@@ -73,6 +76,7 @@ let default_config =
   { name = "default";
     rop = Some (Ropc.Config.rop_k ~seed:1 1.0);
     vm = Some (1, Vmobf.Imp_none);
+    verify = false;
     interp_fuel = 2_000_000;
     native_fuel = 2_000_000;
     rop_fuel = 20_000_000;
@@ -88,6 +92,7 @@ let configs =
       rop = Some (Ropc.Config.rop_k ~seed:1 ~p2:true 1.0) };
     { default_config with name = "rop-confusion";
       rop = Some (Ropc.Config.rop_k ~seed:1 ~confusion:true 1.0) };
+    { default_config with name = "rop-verified"; verify = true };
     { default_config with name = "2vm"; vm = Some (2, Vmobf.Imp_none);
       vm_fuel = 200_000_000 };
     { default_config with name = "2vm-implast";
@@ -130,7 +135,19 @@ let prepare (cfg : config) (case : Gen.t) : prepared =
            | Some (Ok _) -> true
            | Some (Error _) | None -> false
          in
-         (Some (Ok (r.Ropc.Rewriter.image, rewritten)),
+         let verify_err =
+           if not cfg.verify then None
+           else
+             match Verify.Diag.errors (Verify.Check.check r) with
+             | [] -> None
+             | d :: _ as ds ->
+               Some
+                 (Printf.sprintf "static verification: %d error(s), first: %s"
+                    (List.length ds) (Verify.Diag.render d))
+         in
+         ((match verify_err with
+           | Some msg -> Some (Error msg)
+           | None -> Some (Ok (r.Ropc.Rewriter.image, rewritten))),
           r.Ropc.Rewriter.total_gadget_uses, r.Ropc.Rewriter.unique_gadgets)
        | exception e -> (Some (Error (Printexc.to_string e)), 0, 0))
   in

@@ -6,16 +6,31 @@
    at distinct addresses, optionally prefixed with dynamically-dead
    instructions over registers the requester declared clobberable — and picks
    one at random per use.  Found gadgets (from the finder) are preferred when
-   their body matches a request exactly. *)
+   their body matches a request exactly.
+
+   Variants are shared across requests with the same body, but a variant
+   carrying a dead prefix is only dead *for requesters whose clobberable set
+   covers the prefix registers*; [request] filters candidates accordingly, so
+   a prefix over a register that is live at some other use site is never
+   served there.  The static verifier (lib/verify) re-checks this invariant
+   against liveness after the fact. *)
 
 open X86.Isa
 
+(* Synthesized gadgets remember which registers their diversification prefix
+   writes ([prefix] is empty for found gadgets and prefix-free variants). *)
+type entry = {
+  gadget : Gadget.t;
+  prefix : reg list;
+  is_found : bool;
+}
+
 type t = {
   rng : Util.Rng.t;
-  found : (Gadget.key, Gadget.t list) Hashtbl.t;
-  synthesized : (Gadget.key, Gadget.t list) Hashtbl.t;
+  found : (Gadget.key, entry list) Hashtbl.t;
+  synthesized : (Gadget.key, entry list) Hashtbl.t;
   mutable next_addr : int64;            (* where the next synthetic gadget goes *)
-  mutable emitted : Gadget.t list;      (* reversed *)
+  mutable emitted : entry list;         (* reversed *)
   variants : int;                       (* max variants kept per key *)
   dead_prefix_prob : int;               (* percent chance of a dead prefix *)
   (* usage statistics (Table III) *)
@@ -29,7 +44,8 @@ let create ?(variants = 3) ?(dead_prefix_prob = 40) ~rng ~next_addr found_list =
     (fun g ->
        let k = Gadget.key g in
        let prev = Option.value (Hashtbl.find_opt found k) ~default:[] in
-       Hashtbl.replace found k (g :: prev))
+       Hashtbl.replace found k
+         ({ gadget = g; prefix = []; is_found = true } :: prev))
     found_list;
   { rng; found; synthesized = Hashtbl.create 256; next_addr; emitted = [];
     variants; dead_prefix_prob; uses = 0; used_addrs = Hashtbl.create 256 }
@@ -38,29 +54,38 @@ let create ?(variants = 3) ?(dead_prefix_prob = 40) ~rng ~next_addr found_list =
    register.  They concur to nothing, diversifying the byte pattern. *)
 let dead_prefix t ~clobberable =
   match clobberable with
-  | [] -> []
+  | [] -> ([], [])
   | regs when Util.Rng.int t.rng 100 < t.dead_prefix_prob ->
     let r = Util.Rng.choose t.rng regs in
-    (match Util.Rng.int t.rng 4 with
-     | 0 -> [ Mov (W64, Reg r, Imm (Int64.of_int (Util.Rng.int t.rng 4096))) ]
-     | 1 -> [ Alu (Xor, W64, Reg r, Reg r) ]
-     | 2 -> [ Unary (Not, W64, Reg r) ]
-     | _ -> [ Lea (r, { base = Some r; index = None; disp = 0L }) ])
-  | _ -> []
+    let ins =
+      match Util.Rng.int t.rng 4 with
+      | 0 -> [ Mov (W64, Reg r, Imm (Int64.of_int (Util.Rng.int t.rng 4096))) ]
+      | 1 -> [ Alu (Xor, W64, Reg r, Reg r) ]
+      | 2 -> [ Unary (Not, W64, Reg r) ]
+      | _ -> [ Lea (r, { base = Some r; index = None; disp = 0L }) ]
+    in
+    (ins, [ r ])
+  | _ -> ([], [])
 
 let synthesize t ~ending ~clobberable body =
-  let prefix = dead_prefix t ~clobberable in
+  let prefix_ins, prefix = dead_prefix t ~clobberable in
   let g =
-    { Gadget.addr = t.next_addr; body = prefix @ body; ending }
+    { Gadget.addr = t.next_addr; body = prefix_ins @ body; ending }
   in
   t.next_addr <- Int64.add t.next_addr (Int64.of_int (Gadget.length g));
-  t.emitted <- g :: t.emitted;
-  g
+  let e = { gadget = g; prefix; is_found = false } in
+  t.emitted <- e :: t.emitted;
+  e
 
-let record_use t g =
+let record_use t e =
   t.uses <- t.uses + 1;
-  Hashtbl.replace t.used_addrs g.Gadget.addr ();
-  g.Gadget.addr
+  Hashtbl.replace t.used_addrs e.gadget.Gadget.addr ();
+  e.gadget.Gadget.addr
+
+(* A cached variant is only usable when every register its diversification
+   prefix writes is clobberable at *this* use site. *)
+let usable ~clobberable e =
+  List.for_all (fun r -> List.mem r clobberable) e.prefix
 
 (* Request a ret-ending gadget whose body is exactly [body].  [clobberable]
    lists registers that are dead at the use site, allowed to appear in
@@ -68,32 +93,39 @@ let record_use t g =
 let request ?(clobberable = []) t (body : instr list) : int64 =
   let key : Gadget.key = body in
   let candidates =
-    Option.value (Hashtbl.find_opt t.found key) ~default:[]
-    @ Option.value (Hashtbl.find_opt t.synthesized key) ~default:[]
+    List.filter (usable ~clobberable)
+      (Option.value (Hashtbl.find_opt t.found key) ~default:[]
+       @ Option.value (Hashtbl.find_opt t.synthesized key) ~default:[])
   in
-  let g =
+  let e =
     if candidates = [] || List.length candidates < t.variants
        && Util.Rng.int t.rng 100 < 30
     then begin
-      let g = synthesize t ~ending:Gadget.E_ret ~clobberable body in
+      let e = synthesize t ~ending:Gadget.E_ret ~clobberable body in
       let prev = Option.value (Hashtbl.find_opt t.synthesized key) ~default:[] in
-      Hashtbl.replace t.synthesized key (g :: prev);
-      g
+      Hashtbl.replace t.synthesized key (e :: prev);
+      e
     end
     else Util.Rng.choose t.rng candidates
   in
-  record_use t g
+  record_use t e
 
 (* Request a JOP gadget (ends with jmp reg, no ret). *)
 let request_jop ?(clobberable = []) t (body : instr list) : int64 =
   let key : Gadget.key = body in
-  match Hashtbl.find_opt t.synthesized key with
-  | Some (g :: _) -> record_use t g
-  | Some [] | None ->
-    let g = synthesize t ~ending:(Gadget.E_jop RAX) ~clobberable body in
+  let cached =
+    match Hashtbl.find_opt t.synthesized key with
+    | Some es -> List.find_opt (usable ~clobberable) es
+    | None -> None
+  in
+  match cached with
+  | Some e -> record_use t e
+  | None ->
+    let e = synthesize t ~ending:(Gadget.E_jop RAX) ~clobberable body in
     (* ending reg is informational; body already contains the jmp *)
-    Hashtbl.replace t.synthesized key [ g ];
-    record_use t g
+    let prev = Option.value (Hashtbl.find_opt t.synthesized key) ~default:[] in
+    Hashtbl.replace t.synthesized key (e :: prev);
+    record_use t e
 
 (* Bytes of all synthesized gadgets, in address order, for appending to
    .text.  The first gadget's address must equal the pool's [next_addr] at
@@ -101,8 +133,14 @@ let request_jop ?(clobberable = []) t (body : instr list) : int64 =
 let emitted_bytes t =
   let gs = List.rev t.emitted in
   let buf = Buffer.create 1024 in
-  List.iter (fun g -> Buffer.add_bytes buf (Gadget.encode g)) gs;
+  List.iter (fun e -> Buffer.add_bytes buf (Gadget.encode e.gadget)) gs;
   Buffer.to_bytes buf
+
+(* Every gadget the pool knows about — scanned and synthesized — with its
+   prefix provenance, for the static verifier's address -> semantics map. *)
+let all_gadgets t : entry list =
+  let found = Hashtbl.fold (fun _ es acc -> es @ acc) t.found [] in
+  found @ List.rev t.emitted
 
 let stats t = (t.uses, Hashtbl.length t.used_addrs)
 

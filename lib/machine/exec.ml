@@ -232,12 +232,12 @@ let exec_muldiv cpu o src =
     (match S.divmod_u128 rdx rax v with
      | q, r -> Cpu.set cpu RAX q; Cpu.set cpu RDX r
      | exception Division_by_zero -> raise (Exec_fault "divide by zero")
-     | exception Failure _ -> raise (Exec_fault "divide overflow"))
+     | exception S.Div_overflow -> raise (Exec_fault "divide overflow"))
   | Idiv ->
     (match S.divmod_s128 rdx rax v with
      | q, r -> Cpu.set cpu RAX q; Cpu.set cpu RDX r
      | exception Division_by_zero -> raise (Exec_fault "divide by zero")
-     | exception Failure _ -> raise (Exec_fault "divide overflow"))
+     | exception S.Div_overflow -> raise (Exec_fault "divide overflow"))
 
 (* Execute [i]; [cpu.rip] has already been advanced past the instruction. *)
 let exec_instr cpu i =

@@ -73,12 +73,18 @@ let mulhi_s a b =
   let h = if Int64.compare a 0L < 0 then Int64.sub h b else h in
   if Int64.compare b 0L < 0 then Int64.sub h a else h
 
+(* Quotient does not fit in 64 bits.  Like Division_by_zero this is a typed
+   condition the stepper converts into a machine fault (#DE), so it reaches
+   the difftest oracle as a termination class instead of escaping as a bare
+   Failure. *)
+exception Div_overflow
+
 (* 128-by-64 unsigned division of hi:lo by d.  Returns (quotient, remainder).
-   Raises Division_by_zero when d = 0 and Failure on quotient overflow, which
-   the stepper converts into a machine fault (#DE). *)
+   Raises Division_by_zero when d = 0 and Div_overflow on quotient
+   overflow. *)
 let divmod_u128 hi lo d =
   if d = 0L then raise Division_by_zero;
-  if Int64.unsigned_compare hi d >= 0 then failwith "divide overflow";
+  if Int64.unsigned_compare hi d >= 0 then raise Div_overflow;
   (* bit-by-bit long division *)
   let q = ref 0L and r = ref hi in
   for i = 63 downto 0 do
@@ -112,8 +118,8 @@ let divmod_s128 hi lo d =
   let r = if num_neg then Int64.neg r else r in
   (* overflow check: signed quotient must fit 64 bits *)
   if num_neg <> d_neg then begin
-    if Int64.compare q 0L > 0 then failwith "divide overflow"
-  end else if Int64.compare q 0L < 0 then failwith "divide overflow";
+    if Int64.compare q 0L > 0 then raise Div_overflow
+  end else if Int64.compare q 0L < 0 then raise Div_overflow;
   (q, r)
 
 (* Evaluate a condition code against a flag record. *)

@@ -1,0 +1,95 @@
+(* Typed diagnostics for the static chain verifier.
+
+   Every finding carries a severity, a machine-matchable kind (the negative
+   tests assert on kinds, not message strings), the function and image/chain
+   position it anchors to, and a human rendering. *)
+
+type severity = Error | Warning | Info
+
+type kind =
+  (* pass 1: gadget summaries *)
+  | Gadget_decode_mismatch    (* image bytes do not decode to the claimed body *)
+  | Gadget_bad_ending         (* recorded ending class vs decoded terminal instr *)
+  | Gadget_prefix_unsafe      (* diversification prefix breaks the body's flag use *)
+  | Gadget_outside_pool       (* synthesized gadget not inside the pool range *)
+  (* pass 2: chain typechecking *)
+  | Chain_bad_slot            (* execution lands on a non-gadget slot *)
+  | Chain_stack_mismatch      (* pops/skips disagree with the slot layout *)
+  | Chain_unknown_gadget      (* gadget-address slot resolves to no known gadget *)
+  | Chain_byte_mismatch       (* materialized bytes disagree with the slot value *)
+  | Chain_bad_disp            (* displacement labels missing or target not a gadget *)
+  | Chain_p1_invariant        (* P1 opaque-array cell breaks its class residue *)
+  | Chain_unreachable_slot    (* gadget slot no abstract walk reaches *)
+  (* pass 3: clobber validation *)
+  | Clobber_live_reg          (* roplet clobbers a live register *)
+  | Clobber_live_flags        (* roplet leaves flags dirty while they are live *)
+  (* pass 4: image layout *)
+  | Layout_section_overlap
+  | Layout_stub_overflow      (* pivot stub larger than the function body *)
+  | Layout_stub_mismatch      (* installed stub bytes are not the pivot stub *)
+  | Layout_table_entry        (* jump-table entry off target or out of range *)
+  | Layout_chain_bounds       (* chain not inside the .rop section *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  func : string option;       (* rewritten function the finding belongs to *)
+  addr : int64 option;        (* absolute image address, when meaningful *)
+  chain_off : int option;     (* offset within the function's chain *)
+  msg : string;
+}
+
+let make ?(severity = Error) ?func ?addr ?chain_off kind msg =
+  { severity; kind; func; addr; chain_off; msg }
+
+let severity_str = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let kind_str = function
+  | Gadget_decode_mismatch -> "gadget-decode-mismatch"
+  | Gadget_bad_ending -> "gadget-bad-ending"
+  | Gadget_prefix_unsafe -> "gadget-prefix-unsafe"
+  | Gadget_outside_pool -> "gadget-outside-pool"
+  | Chain_bad_slot -> "chain-bad-slot"
+  | Chain_stack_mismatch -> "chain-stack-mismatch"
+  | Chain_unknown_gadget -> "chain-unknown-gadget"
+  | Chain_byte_mismatch -> "chain-byte-mismatch"
+  | Chain_bad_disp -> "chain-bad-disp"
+  | Chain_p1_invariant -> "chain-p1-invariant"
+  | Chain_unreachable_slot -> "chain-unreachable-slot"
+  | Clobber_live_reg -> "clobber-live-reg"
+  | Clobber_live_flags -> "clobber-live-flags"
+  | Layout_section_overlap -> "layout-section-overlap"
+  | Layout_stub_overflow -> "layout-stub-overflow"
+  | Layout_stub_mismatch -> "layout-stub-mismatch"
+  | Layout_table_entry -> "layout-table-entry"
+  | Layout_chain_bounds -> "layout-chain-bounds"
+
+let render d =
+  let where =
+    (match d.func with Some f -> [ f ] | None -> [])
+    @ (match d.addr with Some a -> [ Printf.sprintf "@%Lx" a ] | None -> [])
+    @ (match d.chain_off with
+       | Some o -> [ Printf.sprintf "chain+%d" o ]
+       | None -> [])
+  in
+  let where = match where with [] -> "" | ws -> String.concat " " ws ^ ": " in
+  Printf.sprintf "%s[%s] %s%s"
+    (severity_str d.severity) (kind_str d.kind) where d.msg
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let render_all ds = String.concat "\n" (List.map render ds)
+
+(* Count per severity: (errors, warnings, infos). *)
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+       match d.severity with
+       | Error -> (e + 1, w, i)
+       | Warning -> (e, w + 1, i)
+       | Info -> (e, w, i + 1))
+    (0, 0, 0) ds

@@ -100,6 +100,119 @@ let test_liveness_param () =
       (Analysis.Regset.mem_reg out X86.Isa.RDI)
   | [] -> Alcotest.fail "empty entry block"
 
+(* --- hand-built fixtures -------------------------------------------------- *)
+
+(* Tiny raw-assembly functions make the expected live sets checkable by eye,
+   unlike compiler output where the answer depends on codegen choices. *)
+
+let link_fn name items =
+  Asm.link { Asm.u_functions = [ (name, items) ]; Asm.u_data = [] }
+
+(* Address of the first instruction in the function satisfying [p]. *)
+let find_instr cfg p =
+  let found = ref None in
+  List.iter
+    (fun a ->
+       let b = Analysis.Cfg.block_exn cfg a in
+       List.iter
+         (fun (bi : Analysis.Cfg.binstr) ->
+            if !found = None && p bi.Analysis.Cfg.instr then
+              found := Some bi.Analysis.Cfg.addr)
+         b.Analysis.Cfg.b_instrs)
+    cfg.Analysis.Cfg.order;
+  match !found with
+  | Some a -> a
+  | None -> Alcotest.fail "fixture instruction not found"
+
+(* cmp feeding a jcc: flags live exactly between them, dead past the join *)
+let test_fixture_jcc_flags () =
+  let open X86.Isa in
+  let img =
+    link_fn "f"
+      [ Asm.Ins (Alu (Cmp, W64, Reg RDI, Imm 5L));
+        Asm.Jcc_l (E, "yes");
+        Asm.Ins (Mov (W64, Reg RAX, Imm 1L));
+        Asm.Ins Ret;
+        Asm.Label "yes";
+        Asm.Ins (Mov (W64, Reg RAX, Imm 2L));
+        Asm.Ins Ret ]
+  in
+  let cfg = Analysis.Cfg.of_image img "f" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let live = Analysis.Liveness.compute cfg in
+  let cmp_addr =
+    find_instr cfg (function Alu (Cmp, _, _, _) -> true | _ -> false)
+  in
+  let mov1_addr =
+    find_instr cfg (function Mov (_, _, Imm 1L) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "flags live after cmp" true
+    (Analysis.Liveness.flags_live_after live cmp_addr);
+  Alcotest.(check bool) "flags dead past the branch" false
+    (Analysis.Liveness.flags_live_after live mov1_addr);
+  (* rdi fed the cmp; once both arms only return constants it is dead *)
+  Alcotest.(check bool) "rdi dead in ret arm" false
+    (Analysis.Regset.mem_reg
+       (Analysis.Liveness.live_out_at live mov1_addr) X86.Isa.RDI)
+
+(* a jump out of the function is a tail call: argument registers must be
+   treated as live at it, unlike at a plain ret *)
+let test_fixture_tail_args () =
+  let open X86.Isa in
+  let img =
+    link_fn "caller"
+      [ Asm.Ins (Mov (W64, Reg RDI, Imm 7L));
+        Asm.Ins (Mov (W64, Reg RAX, Imm 0L));
+        (* out-of-bounds rel32: classified T_tail, target irrelevant *)
+        Asm.Ins (Jmp (J_rel 0x100)) ]
+  in
+  let cfg = Analysis.Cfg.of_image img "caller" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let live = Analysis.Liveness.compute cfg in
+  let mov_rdi =
+    find_instr cfg
+      (function Mov (_, Reg RDI, _) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "rdi (arg) live through the tail call" true
+    (Analysis.Regset.mem_reg
+       (Analysis.Liveness.live_out_at live mov_rdi) X86.Isa.RDI)
+
+(* a register read only inside the loop body must stay live across the
+   back edge: one forward sweep gets this wrong, the fixpoint does not *)
+let test_fixture_loop_backedge () =
+  let open X86.Isa in
+  let img =
+    link_fn "loopf"
+      [ Asm.Ins (Mov (W64, Reg RAX, Imm 0L));
+        Asm.Label "head";
+        Asm.Ins (Alu (Add, W64, Reg RAX, Reg RDI));
+        Asm.Ins (Unary (Dec, W64, Reg RCX));
+        Asm.Jcc_l (NE, "head");
+        Asm.Ins Ret ]
+  in
+  let cfg = Analysis.Cfg.of_image img "loopf" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let live = Analysis.Liveness.compute cfg in
+  let dec_addr =
+    find_instr cfg (function Unary (Dec, _, _) -> true | _ -> false)
+  in
+  let out = Analysis.Liveness.live_out_at live dec_addr in
+  (* rdi is only read at the top of the loop: it reaches the bottom's
+     live-out exclusively around the back edge *)
+  Alcotest.(check bool) "rdi live around back edge" true
+    (Analysis.Regset.mem_reg out X86.Isa.RDI);
+  Alcotest.(check bool) "rcx live around back edge" true
+    (Analysis.Regset.mem_reg out X86.Isa.RCX);
+  Alcotest.(check bool) "flags live into jcc" true
+    (Analysis.Liveness.flags_live_after live dec_addr);
+  (* and the loop-carried uses propagate to the function entry *)
+  let entry_mov =
+    find_instr cfg (function Mov (_, Reg RAX, _) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "rdi live at entry" true
+    (Analysis.Regset.mem_reg
+       (Analysis.Liveness.live_out_at live entry_mov) X86.Isa.RDI)
+
 let test_cfg_randomfuns () =
   (* CFG reconstruction succeeds on the whole corpus *)
   let corpus = Minic.Randomfuns.corpus () in
@@ -118,4 +231,10 @@ let () =
          Alcotest.test_case "randomfuns corpus" `Slow test_cfg_randomfuns ]);
       ("liveness",
        [ Alcotest.test_case "flags live before jcc" `Quick test_liveness_flags;
-         Alcotest.test_case "param live at entry" `Quick test_liveness_param ]) ]
+         Alcotest.test_case "param live at entry" `Quick test_liveness_param;
+         Alcotest.test_case "fixture: jcc flag window" `Quick
+           test_fixture_jcc_flags;
+         Alcotest.test_case "fixture: tail-call args" `Quick
+           test_fixture_tail_args;
+         Alcotest.test_case "fixture: loop back edge" `Quick
+           test_fixture_loop_backedge ]) ]

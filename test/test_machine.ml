@@ -104,6 +104,29 @@ let test_div_by_zero_faults () =
   | Machine.Exec.Fault _ -> ()
   | st -> Alcotest.failf "expected fault, got %a" Machine.Exec.pp_exit st
 
+(* A quotient wider than 64 bits raises #DE on real hardware; the emulator
+   must turn the typed Div_overflow into a CPU fault, not an OCaml crash. *)
+let test_div_overflow_faults () =
+  let t =
+    machine_of
+      [ Mov (W64, Reg RAX, Imm 0L);
+        Mov (W64, Reg RDX, Imm 1L);      (* rdx:rax = 2^64 *)
+        Mov (W64, Reg RCX, Imm 1L);
+        MulDiv (Div, Reg RCX);           (* quotient 2^64 does not fit *)
+        Hlt ]
+  in
+  match Machine.Exec.run ~fuel:1000 t with
+  | Machine.Exec.Fault m ->
+    Alcotest.(check string) "fault class" "divide overflow" m
+  | st -> Alcotest.failf "expected fault, got %a" Machine.Exec.pp_exit st
+
+let test_divmod_overflow_exception () =
+  Alcotest.check_raises "unsigned overflow" S.Div_overflow (fun () ->
+      ignore (S.divmod_u128 1L 0L 1L));
+  (* INT64_MIN / -1: the only signed overflow with a nonzero divisor *)
+  Alcotest.check_raises "signed overflow" S.Div_overflow (fun () ->
+      ignore (S.divmod_s128 (-1L) Int64.min_int (-1L)))
+
 let test_jcc_loop () =
   (* sum 1..10 with a dec/jnz loop *)
   let body =
@@ -276,6 +299,9 @@ let () =
          Alcotest.test_case "cmov" `Quick test_cmov;
          Alcotest.test_case "div" `Quick test_div;
          Alcotest.test_case "div by zero" `Quick test_div_by_zero_faults;
+         Alcotest.test_case "div overflow" `Quick test_div_overflow_faults;
+         Alcotest.test_case "divmod overflow exception" `Quick
+           test_divmod_overflow_exception;
          Alcotest.test_case "jcc loop" `Quick test_jcc_loop;
          Alcotest.test_case "unmapped fault" `Quick test_unmapped_faults;
          Alcotest.test_case "figure-1 ROP chain" `Quick test_figure1_chain ]);

@@ -121,9 +121,22 @@ let bench_casestudy =
            (Runner.call_exn ~fuel:100_000_000 rop ~func:"b64_check"
               ~args:[ Minic.Programs.secret_arg ])))
 
+(* lib/jobs: fixed cost of the pool itself — fork, dispatch, marshal both
+   ways, reap — measured on trivial tasks so the scheduler overhead is the
+   whole signal.  Worth watching: every experiment cell pays this once. *)
+let bench_jobs =
+  Test.make ~name:"jobs: 8-task round-trip on a 2-worker pool"
+    (Staged.stage (fun () ->
+         ignore
+           (Jobs.Pool.map
+              { Jobs.Pool.default with Jobs.Pool.jobs = 2 }
+              ~key:string_of_int
+              ~f:(fun i -> i * i)
+              (List.init 8 Fun.id))))
+
 let tests =
   [ bench_table2; bench_fig5; bench_table3; bench_table4; bench_efficacy;
-    bench_ropaware; bench_coverage; bench_casestudy ]
+    bench_ropaware; bench_coverage; bench_casestudy; bench_jobs ]
 
 let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:None () in
@@ -155,4 +168,8 @@ let () =
   Harness.Experiments.ropaware ();
   Harness.Experiments.efficacy ~budget_s:4.0 ();
   Harness.Experiments.casestudy ~budget_s:6.0 ();
-  ignore (Harness.Experiments.table2 ~scale:Harness.Experiments.quick_scale ())
+  (* the big matrix goes through the worker pool, as bin/experiments does *)
+  ignore
+    (Harness.Experiments.table2
+       ~pool:{ Jobs.Pool.default with Jobs.Pool.jobs = 2 }
+       ~scale:Harness.Experiments.quick_scale ())

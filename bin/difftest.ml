@@ -1,6 +1,6 @@
 (* Differential fuzzer CLI.
 
-     difftest --cases 500 --seed 42 --config default
+     difftest --cases 500 --seed 42 --config default --jobs 4
 
    generates [cases] deterministic mini-C programs from [seed], runs each one
    through the four-way oracle stack (reference interpreter, compiled native
@@ -9,6 +9,12 @@
    case to a minimal reproducer.  The run ends with coverage counters and a
    one-line replay artifact per failure.
 
+   --jobs N fans cases out across N forked workers (lib/jobs); every case is
+   a pure function of (seed, index, config) and results are merged in case
+   order, so the stdout report is byte-identical to a serial run — replay
+   artifacts stay valid whatever the parallelism was.  Timing diagnostics
+   (the N slowest cases, the live progress line) go to stderr.
+
      difftest --seed 42 --replay 137 --config default
 
    regenerates case 137 of that run bit-for-bit, prints it, and re-runs the
@@ -16,12 +22,6 @@
 
 open Cmdliner
 open Diffuzz
-
-let progress_tick cases i =
-  if cases >= 50 && (i + 1) mod 50 = 0 then begin
-    Printf.eprintf "\r[%d/%d]%!" (i + 1) cases;
-    if i + 1 = cases then Printf.eprintf "\n%!"
-  end
 
 let replay_case cfg ~seed ~index ~shrink =
   let case = Gen.case ~seed index in
@@ -39,14 +39,27 @@ let replay_case cfg ~seed ~index ~shrink =
     print_string (Driver.failure_report s f);
     1
 
-let fuzz cfg ~seed ~cases ~shrink =
-  let summary =
-    Driver.run ~progress:(progress_tick cases) ~shrink cfg ~seed ~cases ()
+let fuzz cfg ~seed ~cases ~shrink ~pool ~slowest_n =
+  let summary, times, pool_errors =
+    Driver.run_jobs ~pool ~shrink cfg ~seed ~cases ()
   in
   print_string (Driver.report summary);
-  if summary.Driver.s_failures = [] then 0 else 1
+  List.iter
+    (fun (i, m) -> Printf.eprintf "case %d: pool failure: %s\n" i m)
+    pool_errors;
+  if slowest_n > 0 && times <> [] then begin
+    Printf.eprintf "slowest cases (budget-tuning input):\n";
+    List.iter
+      (fun (ct : Driver.case_time) ->
+         Printf.eprintf "  #%-5d %.3fs\n" ct.Driver.ct_index
+           ct.Driver.ct_seconds)
+      (Driver.slowest slowest_n times);
+    flush stderr
+  end;
+  if summary.Driver.s_failures = [] && pool_errors = [] then 0 else 1
 
-let main cases seed config_name replay no_shrink show_fingerprint verify =
+let main cases seed config_name replay no_shrink show_fingerprint verify jobs
+    slowest_n manifest =
   match Oracle.find_config config_name with
   | None ->
     Printf.eprintf "unknown config %s; available: %s\n" config_name
@@ -64,7 +77,14 @@ let main cases seed config_name replay no_shrink show_fingerprint verify =
     else
       (match replay with
        | Some index -> replay_case cfg ~seed ~index ~shrink
-       | None -> fuzz cfg ~seed ~cases ~shrink)
+       | None ->
+         Jobs.Pool.with_manifest manifest (fun m ->
+             let pool =
+               { Jobs.Pool.default with
+                 Jobs.Pool.jobs; manifest = Some m;
+                 progress = Unix.isatty Unix.stderr }
+             in
+             fuzz cfg ~seed ~cases ~shrink ~pool ~slowest_n))
 
 let cases =
   Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N"
@@ -96,11 +116,26 @@ let verify =
          ~doc:"Also run the static chain verifier on every ROP leg; an \
                error-severity diagnostic counts as a build failure.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Forked worker processes; the report stays byte-identical \
+               to a serial run.")
+
+let slowest =
+  Arg.(value & opt int 5 & info [ "slowest" ] ~docv:"K"
+         ~doc:"Report the K slowest cases with wall times on stderr \
+               (0 disables).")
+
+let manifest =
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+         ~doc:"Write a JSON run manifest (per-case timing, worker \
+               utilization) to $(docv).")
+
 let cmd =
   let doc = "differential fuzzing of the obfuscation pipeline" in
   Cmd.v
     (Cmd.info "difftest" ~doc)
     Term.(const main $ cases $ seed $ config $ replay $ no_shrink $ fingerprint
-          $ verify)
+          $ verify $ jobs $ slowest $ manifest)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,34 +8,74 @@
      experiments ropaware            §VII-A.2 (ROPMEMU / ROPDissector)
      experiments coverage            §VII-C1 (corpus rewrite coverage)
      experiments casestudy           §VII-C3 (base64 memory models)
-     experiments all [--full]        everything *)
+     experiments all [--full]        everything
+
+   Matrix experiments (table2, fig5, table3, casestudy) fan their cells out
+   across a lib/jobs worker pool (--jobs N) with an on-disk result cache
+   keyed by cell identity and executable digest: re-running a matrix skips
+   every cell already computed by this build.  --no-cache recomputes,
+   `rm -rf _jobs_cache` invalidates, --manifest records the run as JSON.
+   SIGINT kills and reaps all workers, flushes the partial manifest, and
+   exits 130. *)
 
 open Cmdliner
 
-let run_one full name =
+let run_one pool full name =
   match name with
   | "table2" ->
     ignore
-      (Harness.Experiments.table2
+      (Harness.Experiments.table2 ~pool
          ~scale:(if full then Harness.Experiments.full_scale
                  else Harness.Experiments.quick_scale)
          ())
-  | "fig5" -> ignore (Harness.Experiments.fig5 ())
-  | "table3" -> ignore (Harness.Experiments.table3 ())
+  | "fig5" -> ignore (Harness.Experiments.fig5 ~pool ())
+  | "table3" -> ignore (Harness.Experiments.table3 ~pool ())
   | "table4" -> Harness.Experiments.table4 ()
   | "efficacy" -> Harness.Experiments.efficacy ()
   | "ropaware" -> Harness.Experiments.ropaware ()
   | "coverage" -> ignore (Harness.Experiments.coverage ())
-  | "casestudy" -> Harness.Experiments.casestudy ()
+  | "casestudy" -> Harness.Experiments.casestudy ~pool ()
   | other -> Printf.eprintf "unknown experiment: %s\n" other; exit 2
 
 let all_names =
   [ "table4"; "table3"; "fig5"; "coverage"; "ropaware"; "efficacy";
     "casestudy"; "table2" ]
 
-let main name full =
-  if name = "all" then List.iter (run_one full) all_names
-  else run_one full name
+let main name full jobs no_cache cache_dir manifest timeout only =
+  let names = if name = "all" then all_names else [ name ] in
+  let names =
+    match only with
+    | None -> names
+    | Some sel ->
+      let sel = String.split_on_char ',' sel in
+      (match List.filter (fun s -> not (List.mem s all_names)) sel with
+       | [] -> ()
+       | bad ->
+         Printf.eprintf "unknown experiment(s) in --only: %s\n"
+           (String.concat ", " bad);
+         exit 2);
+      List.filter (fun n -> List.mem n sel) names
+  in
+  if names = [] then begin
+    Printf.eprintf "--only selected nothing to run\n";
+    exit 2
+  end;
+  Jobs.Pool.with_manifest manifest (fun m ->
+      let cache =
+        if no_cache then None
+        else Some (Jobs.Cache.create ~dir:cache_dir ())
+      in
+      let pool =
+        { Jobs.Pool.jobs; timeout_s = timeout; retries = 1; cache;
+          manifest = Some m; progress = Unix.isatty Unix.stderr }
+      in
+      List.iter (run_one pool full) names;
+      (match cache with
+       | Some c ->
+         Printf.printf "\ncache: %d hits, %d misses (%s)\n"
+           c.Jobs.Cache.hits c.Jobs.Cache.misses cache_dir
+       | None -> ());
+      0)
 
 let name_arg =
   let doc = "Experiment id: table2, fig5, table3, table4, efficacy, ropaware, coverage, casestudy, all." in
@@ -45,8 +85,39 @@ let full_arg =
   let doc = "Run the full-scale (slow) version of the experiment." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let jobs_arg =
+  let doc = "Worker processes for matrix experiments (1 = in-process)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc = "Recompute every cell, ignoring the on-disk result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc = "Result-cache directory." in
+  Arg.(value & opt string Jobs.Cache.default_dir
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let manifest_arg =
+  let doc = "Write a JSON run manifest (per-cell timing, cache hits, worker \
+             utilization) to $(docv)." in
+  Arg.(value
+       & opt (some string) (Some "_jobs_cache/experiments-manifest.json")
+       & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let timeout_arg =
+  let doc = "Per-cell wall-clock timeout in seconds (forked mode only)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+
+let only_arg =
+  let doc = "Comma-separated experiment ids to keep; everything else is \
+             skipped (e.g. --only table2,table3)." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS" ~doc)
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const main $ name_arg $ full_arg)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const main $ name_arg $ full_arg $ jobs_arg $ no_cache_arg
+          $ cache_dir_arg $ manifest_arg $ timeout_arg $ only_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,14 @@
    without executing any rewritten code.  Exits nonzero if any error-severity
    diagnostic is reported; CI runs this over the full matrix (dune @check).
 
+   The program × configuration matrix is embarrassingly parallel: --jobs N
+   runs it on N forked workers (lib/jobs), each returning its rendered
+   findings as a string that the parent prints in matrix order, so the
+   output is identical to a serial run.  SIGINT reaps all workers and exits
+   nonzero.
+
      ropcheck                       # whole corpus, whole config matrix
+     ropcheck --jobs 4              # same, on 4 workers
      ropcheck --program fasta       # one program
      ropcheck --config rop1.0+p2   # one configuration
      ropcheck --verbose             # also print warnings and per-run stats *)
@@ -36,6 +43,8 @@ let targets () =
          (name, (fun () -> Minic.Codegen.compile prog), fns))
       Minic.Clbg.all
 
+(* One matrix cell, executed in a worker: returns (errors, warnings,
+   rendered output) as plain data so the parent can print deterministically. *)
 let check_one ~verbose name cfg_name config build fns =
   let img = build () in
   let r = Ropc.Rewriter.rewrite img ~functions:fns ~config in
@@ -49,20 +58,17 @@ let check_one ~verbose name cfg_name config build fns =
   in
   let diags = Verify.Check.check r in
   let errs, warns, _ = Verify.Diag.counts diags in
+  let buf = Buffer.create 256 in
   if errs > 0 || (verbose && (warns > 0 || skipped <> [])) then begin
-    Printf.printf "== %s / %s ==\n" name cfg_name;
+    Printf.bprintf buf "== %s / %s ==\n" name cfg_name;
     List.iter
-      (fun (f, why) -> Printf.printf "  (skipped %s: %s)\n" f why)
+      (fun (f, why) -> Printf.bprintf buf "  (skipped %s: %s)\n" f why)
       skipped;
-    List.iter
-      (fun d ->
-         if d.Verify.Diag.severity = Verify.Diag.Error || verbose then
-           Printf.printf "  %s\n" (Verify.Diag.render d))
-      diags
+    Buffer.add_string buf (Verify.Diag.render_report ~verbose diags)
   end;
-  (errs, warns)
+  (errs, warns, Buffer.contents buf)
 
-let main seed program config verbose =
+let main seed program config verbose jobs manifest =
   let matrix =
     match config with
     | None -> config_matrix seed
@@ -74,7 +80,7 @@ let main seed program config verbose =
            (String.concat ", " (List.map fst (config_matrix seed)));
          exit 2)
   in
-  let targets =
+  let targets_l =
     match program with
     | None -> targets ()
     | Some p ->
@@ -88,20 +94,52 @@ let main seed program config verbose =
          exit 2
        | ts -> ts)
   in
-  let runs = ref 0 and errs = ref 0 and warns = ref 0 in
-  List.iter
-    (fun (name, build, fns) ->
-       List.iter
-         (fun (cfg_name, cfg) ->
-            incr runs;
-            let e, w = check_one ~verbose name cfg_name cfg build fns in
-            errs := !errs + e;
-            warns := !warns + w)
-         matrix)
-    targets;
-  Printf.printf "ropcheck: %d runs, %d errors, %d warnings\n" !runs !errs
-    !warns;
-  if !errs > 0 then exit 1
+  let cells =
+    List.concat_map
+      (fun (name, _, _) -> List.map (fun (cn, _) -> (name, cn)) matrix)
+      targets_l
+  in
+  let f (tname, cfg_name) =
+    (* rebuild target and config from their names: both lookups are
+       deterministic, so a worker computes exactly the serial cell *)
+    let (_, build, fns) =
+      List.find (fun (n, _, _) -> n = tname) (targets ())
+    in
+    let cfg = List.assoc cfg_name (config_matrix seed) in
+    check_one ~verbose tname cfg_name cfg build fns
+  in
+  Jobs.Pool.with_manifest manifest (fun m ->
+      let pool =
+        { Jobs.Pool.default with
+          Jobs.Pool.jobs; manifest = Some m;
+          progress = Unix.isatty Unix.stderr }
+      in
+      let results =
+        Jobs.Pool.map ~label:"ropcheck" pool
+          ~key:(fun (t, c) -> Printf.sprintf "ropcheck/seed=%d/%s/%s" seed t c)
+          ~f cells
+      in
+      let runs = ref 0 and errs = ref 0 and warns = ref 0 in
+      List.iter2
+        (fun (tname, cfg_name) (r : _ Jobs.Pool.result) ->
+           incr runs;
+           match r.Jobs.Pool.outcome with
+           | Jobs.Pool.Done (e, w, out) ->
+             print_string out;
+             errs := !errs + e;
+             warns := !warns + w
+           | Jobs.Pool.Failed msg ->
+             Printf.printf "== %s / %s ==\n  harness failure: %s\n" tname
+               cfg_name msg;
+             incr errs
+           | Jobs.Pool.Timed_out t ->
+             Printf.printf "== %s / %s ==\n  timed out after %.0fs\n" tname
+               cfg_name t;
+             incr errs)
+        cells results;
+      Printf.printf "ropcheck: %d runs, %d errors, %d warnings\n" !runs !errs
+        !warns;
+      if !errs > 0 then 1 else 0)
 
 let cmd =
   let seed =
@@ -120,9 +158,19 @@ let cmd =
          & info [ "verbose"; "v" ]
              ~doc:"Print warnings and skipped functions too.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Forked worker processes for the program x config matrix.")
+  in
+  let manifest =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"FILE"
+             ~doc:"Write a JSON run manifest to $(docv).")
+  in
   Cmd.v
     (Cmd.info "ropcheck"
        ~doc:"Statically verify rewritten images without executing them")
-    Term.(const main $ seed $ program $ config $ verbose)
+    Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,9 @@ dune runtest
 echo "== static chain verification (full corpus, Table I/II matrix) =="
 dune build @check
 
+echo "== parallel smoke (@jobs: difftest --jobs 3 + ropcheck --jobs 4) =="
+dune build @jobs
+
 echo "== difftest smoke (200 cases, seed 42, verifier on) =="
 dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify
 

@@ -61,9 +61,29 @@ let add_prepared t (p : Oracle.prepared) =
   | Some (Ok _) -> t.vm_built <- t.vm_built + 1
   | Some (Error _) | None -> ()
 
+(* Fold the counters of [src] into [t]: parallel runs count coverage
+   per-case in the worker and merge back here.  Addition is commutative, so
+   the merged totals are independent of completion order. *)
+let merge t (src : t) =
+  Hashtbl.iter
+    (fun m n ->
+       Hashtbl.replace t.opcodes m
+         (n + Option.value (Hashtbl.find_opt t.opcodes m) ~default:0))
+    src.opcodes;
+  t.gadget_uses <- t.gadget_uses + src.gadget_uses;
+  t.gadget_unique <- t.gadget_unique + src.gadget_unique;
+  t.rop_rewritten <- t.rop_rewritten + src.rop_rewritten;
+  t.rop_declined <- t.rop_declined + src.rop_declined;
+  t.vm_built <- t.vm_built + src.vm_built
+
+(* Count-descending, ties broken by mnemonic: fully deterministic, so a
+   merged parallel report is byte-identical to a serial one (Hashtbl fold
+   order never leaks into the output). *)
 let opcode_list t =
   let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.opcodes [] in
-  List.sort (fun (_, a) (_, b) -> compare b a) l
+  List.sort
+    (fun (ma, a) (mb, b) -> if a <> b then compare b a else compare ma mb)
+    l
 
 let report t : string =
   let buf = Buffer.create 256 in

@@ -68,6 +68,57 @@ let run ?(progress = fun _ -> ()) ?(shrink = true) ?(max_shrink_tests = 1500)
   { s_config = cfg; s_seed = seed; s_cases = cases;
     s_failures = List.rev !failures; s_coverage = coverage }
 
+(* --- pooled runs ----------------------------------------------------------- *)
+
+type case_time = { ct_index : int; ct_seconds : float }
+
+(* Run through the lib/jobs pool, one job per case.  Each case is a pure
+   function of (seed, index, config), results come back in case order, and
+   per-case coverage is merged with the deterministic Coverage.merge, so the
+   summary — and the report printed from it — is byte-identical to a serial
+   run at the same seed, whatever [pool.jobs] is.  Pool-level failures (a
+   worker crash is a harness bug, not an oracle discrepancy) are returned
+   separately, as is the per-case wall time for budget tuning. *)
+let run_jobs ?(pool = Jobs.Pool.default) ?(shrink = true)
+    ?(max_shrink_tests = 1500) (cfg : Oracle.config) ~seed ~cases () :
+  summary * case_time list * (int * string) list =
+  let f i =
+    let coverage = Coverage.create () in
+    let fail = run_case ~shrink ~max_shrink_tests cfg ~seed i ~coverage in
+    (fail, coverage)
+  in
+  let key i =
+    Printf.sprintf "difftest/%s/seed=%d/shrink=%b/case=%d"
+      cfg.Oracle.name seed shrink i
+  in
+  let results =
+    Jobs.Pool.map ~label:"difftest" pool ~key ~f (List.init cases Fun.id)
+  in
+  let coverage = Coverage.create () in
+  let failures = ref [] and errors = ref [] and times = ref [] in
+  List.iteri
+    (fun i (r : _ Jobs.Pool.result) ->
+       times := { ct_index = i; ct_seconds = r.Jobs.Pool.time_s } :: !times;
+       match r.Jobs.Pool.outcome with
+       | Jobs.Pool.Done (fail, cov) ->
+         Coverage.merge coverage cov;
+         (match fail with Some f -> failures := f :: !failures | None -> ())
+       | Jobs.Pool.Failed m -> errors := (i, m) :: !errors
+       | Jobs.Pool.Timed_out t ->
+         errors := (i, Printf.sprintf "timed out after %.1fs" t) :: !errors)
+    results;
+  ({ s_config = cfg; s_seed = seed; s_cases = cases;
+     s_failures = List.rev !failures; s_coverage = coverage },
+   List.rev !times, List.rev !errors)
+
+(* The [n] slowest cases of a run, slowest first (stable on ties, so the
+   listing is deterministic up to the measured times themselves). *)
+let slowest n times =
+  let sorted =
+    List.stable_sort (fun a b -> compare b.ct_seconds a.ct_seconds) times
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
 (* Digest of every generated case: two runs with the same (seed, cases) must
    produce the same hex string, byte for byte.  This is the determinism
    guarantee the replay artifact rests on, checked in the smoke tier. *)

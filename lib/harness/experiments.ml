@@ -58,6 +58,18 @@ let gen_corpus scale ~point_test ~coverage_probes =
 let budget_of scale =
   { E.default_budget with wall_seconds = scale.budget_s; solver_evals = 80_000 }
 
+(* Cache identity of a scale: every field that changes a cell's value must
+   appear here, because "scale_key / cell name" is the cell's address in
+   the lib/jobs result cache (the executable-digest salt covers the code
+   version). *)
+let scale_key s =
+  Printf.sprintf "budget=%g/loop=%d/seeds=%s/sizes=%s/controls=%s/nconf=%d"
+    s.budget_s s.loop_size
+    (String.concat "," (List.map string_of_int s.seeds))
+    (String.concat "," (List.map string_of_int s.input_sizes))
+    (String.concat "," (List.map string_of_int s.controls))
+    (List.length s.configs)
+
 (* Probes reachable natively, by concrete enumeration/sampling. *)
 let reachable_probes (t : Minic.Randomfuns.t) =
   let img = Minic.Codegen.compile t.prog in
@@ -98,58 +110,77 @@ type table2_row = {
   t2_covered : int;            (* targets with 100% of reachable probes *)
 }
 
-let table2 ?(scale = quick_scale) () =
+let table2 ?(pool = Jobs.Pool.default) ?(scale = quick_scale) () =
   let corpus_g1 = gen_corpus scale ~point_test:true ~coverage_probes:false in
   let corpus_g2 = gen_corpus scale ~point_test:false ~coverage_probes:true in
   let budget = budget_of scale in
+  (* one pool job per configuration: the whole corpus sweep for that column
+     runs in a worker and comes back as a plain-data row *)
+  let row_of ({ Configs.name; obf } : Configs.named) =
+    (* G1: secret finding *)
+    let found = ref 0 and time_sum = ref 0.0 in
+    List.iter
+      (fun (t : Minic.Randomfuns.t) ->
+         match Configs.apply obf t.prog ~funcs:[ "target" ] with
+         | exception Configs.Obfuscation_failed _ -> ()
+         | img ->
+           let tgt =
+             { E.img; func = "target";
+               n_inputs = t.params.Minic.Randomfuns.input_size }
+           in
+           let r = E.dse ~goal:E.G_secret ~budget tgt in
+           (match r.E.secret_input with
+            | Some _ ->
+              incr found;
+              time_sum := !time_sum +. r.E.time
+            | None -> ()))
+      corpus_g1;
+    (* G2: coverage *)
+    let covered = ref 0 in
+    List.iter
+      (fun (t : Minic.Randomfuns.t) ->
+         match Configs.apply obf t.prog ~funcs:[ "target" ] with
+         | exception Configs.Obfuscation_failed _ -> ()
+         | img ->
+           let reachable = reachable_probes t in
+           let tgt =
+             { E.img; func = "target";
+               n_inputs = t.params.Minic.Randomfuns.input_size }
+           in
+           let r = E.dse ~goal:E.G_coverage ~budget tgt in
+           let all =
+             Hashtbl.fold
+               (fun k () acc -> acc && Hashtbl.mem r.E.covered k)
+               reachable true
+           in
+           if all && Hashtbl.length reachable > 0 then incr covered)
+      corpus_g2;
+    { t2_config = name;
+      t2_found = !found;
+      t2_total = List.length corpus_g1;
+      t2_avg_time =
+        (if !found = 0 then 0.0 else !time_sum /. float_of_int !found);
+      t2_covered = !covered }
+  in
+  let skey = scale_key scale in
+  let results =
+    Jobs.Pool.map ~label:"table2" pool
+      ~key:(fun (c : Configs.named) ->
+          Printf.sprintf "table2/%s/%s" skey c.Configs.name)
+      ~f:row_of scale.configs
+  in
   let rows =
-    List.map
-      (fun { Configs.name; obf } ->
-         (* G1: secret finding *)
-         let found = ref 0 and time_sum = ref 0.0 in
-         List.iter
-           (fun (t : Minic.Randomfuns.t) ->
-              match Configs.apply obf t.prog ~funcs:[ "target" ] with
-              | exception Configs.Obfuscation_failed _ -> ()
-              | img ->
-                let tgt =
-                  { E.img; func = "target";
-                    n_inputs = t.params.Minic.Randomfuns.input_size }
-                in
-                let r = E.dse ~goal:E.G_secret ~budget tgt in
-                (match r.E.secret_input with
-                 | Some _ ->
-                   incr found;
-                   time_sum := !time_sum +. r.E.time
-                 | None -> ()))
-           corpus_g1;
-         (* G2: coverage *)
-         let covered = ref 0 in
-         List.iter
-           (fun (t : Minic.Randomfuns.t) ->
-              match Configs.apply obf t.prog ~funcs:[ "target" ] with
-              | exception Configs.Obfuscation_failed _ -> ()
-              | img ->
-                let reachable = reachable_probes t in
-                let tgt =
-                  { E.img; func = "target";
-                    n_inputs = t.params.Minic.Randomfuns.input_size }
-                in
-                let r = E.dse ~goal:E.G_coverage ~budget tgt in
-                let all =
-                  Hashtbl.fold
-                    (fun k () acc -> acc && Hashtbl.mem r.E.covered k)
-                    reachable true
-                in
-                if all && Hashtbl.length reachable > 0 then incr covered)
-           corpus_g2;
-         { t2_config = name;
-           t2_found = !found;
-           t2_total = List.length corpus_g1;
-           t2_avg_time =
-             (if !found = 0 then 0.0 else !time_sum /. float_of_int !found);
-           t2_covered = !covered })
-      scale.configs
+    List.map2
+      (fun ({ Configs.name; _ } : Configs.named) (r : _ Jobs.Pool.result) ->
+         match r.Jobs.Pool.outcome with
+         | Jobs.Pool.Done row -> row
+         | Jobs.Pool.Failed m ->
+           { t2_config = name ^ " [failed: " ^ m ^ "]"; t2_found = 0;
+             t2_total = 0; t2_avg_time = 0.0; t2_covered = 0 }
+         | Jobs.Pool.Timed_out t ->
+           { t2_config = Printf.sprintf "%s [timed out %.0fs]" name t;
+             t2_found = 0; t2_total = 0; t2_avg_time = 0.0; t2_covered = 0 })
+      scale.configs results
   in
   Report.table ~title:"Table II: successful DSE attacks within budget"
     ~headers:[ "CONFIGURATION"; "SECRET FOUND"; "AVG TIME"; "100% COVERAGE" ]
@@ -171,43 +202,58 @@ type fig5_row = {
   f5_rop_slowdown : (float * float) list;   (* k, slowdown vs native *)
 }
 
-let fig5 () =
+let fig5 ?(pool = Jobs.Pool.default) () =
+  let row_of (name, prog, fns, n) =
+    let steps_of img =
+      (Runner.call_exn ~fuel:2_000_000_000 img ~func:"bench" ~args:[ n ])
+        .Runner.steps
+    in
+    let native = steps_of (Minic.Codegen.compile prog) in
+    (* the VM baseline is measured at a smaller size: its slowdown is a
+       per-instruction multiplier, so the ratio carries over *)
+    let n_vm = List.assoc name Minic.Clbg.vm_args in
+    let steps_small img =
+      (Runner.call_exn ~fuel:2_000_000_000 img ~func:"bench" ~args:[ n_vm ])
+        .Runner.steps
+    in
+    let native_small = steps_small (Minic.Codegen.compile prog) in
+    let vm_ratio =
+      float_of_int
+        (steps_small
+           (Configs.apply (Configs.Vm (2, Vmobf.Imp_last)) prog ~funcs:fns))
+      /. float_of_int native_small
+    in
+    let rop =
+      List.map
+        (fun k ->
+           let img = Configs.apply (Configs.Rop k) prog ~funcs:fns in
+           (k, float_of_int (steps_of img) /. float_of_int native))
+        Configs.rop_ks
+    in
+    { f5_bench = name;
+      f5_native_steps = native;
+      f5_vm_slowdown = vm_ratio;
+      f5_rop_slowdown = rop }
+  in
+  let results =
+    Jobs.Pool.map ~label:"fig5" pool
+      ~key:(fun (name, _, _, n) -> Printf.sprintf "fig5/%s/n=%Ld" name n)
+      ~f:row_of Minic.Clbg.all
+  in
   let rows =
-    List.map
-      (fun (name, prog, fns, n) ->
-         let steps_of img =
-           (Runner.call_exn ~fuel:2_000_000_000 img ~func:"bench" ~args:[ n ])
-             .Runner.steps
-         in
-         let native = steps_of (Minic.Codegen.compile prog) in
-         (* the VM baseline is measured at a smaller size: its slowdown is a
-            per-instruction multiplier, so the ratio carries over *)
-         let n_vm = List.assoc name Minic.Clbg.vm_args in
-         let steps_small img =
-           (Runner.call_exn ~fuel:2_000_000_000 img ~func:"bench" ~args:[ n_vm ])
-             .Runner.steps
-         in
-         let native_small = steps_small (Minic.Codegen.compile prog) in
-         let vm_ratio =
-           float_of_int
-             (steps_small
-                (Configs.apply (Configs.Vm (2, Vmobf.Imp_last)) prog ~funcs:fns))
-           /. float_of_int native_small
-         in
-         let rop =
-           List.map
-             (fun k ->
-                let img =
-                  Configs.apply (Configs.Rop k) prog ~funcs:fns
-                in
-                (k, float_of_int (steps_of img) /. float_of_int native))
-             Configs.rop_ks
-         in
-         { f5_bench = name;
-           f5_native_steps = native;
-           f5_vm_slowdown = vm_ratio;
-           f5_rop_slowdown = rop })
-      Minic.Clbg.all
+    List.map2
+      (fun (name, _, _, _) (r : _ Jobs.Pool.result) ->
+         match r.Jobs.Pool.outcome with
+         | Jobs.Pool.Done row -> row
+         | Jobs.Pool.Failed m ->
+           { f5_bench = name ^ " [failed: " ^ m ^ "]"; f5_native_steps = 0;
+             f5_vm_slowdown = 1.0;
+             f5_rop_slowdown = List.map (fun k -> (k, 0.0)) Configs.rop_ks }
+         | Jobs.Pool.Timed_out _ ->
+           { f5_bench = name ^ " [timed out]"; f5_native_steps = 0;
+             f5_vm_slowdown = 1.0;
+             f5_rop_slowdown = List.map (fun k -> (k, 0.0)) Configs.rop_ks })
+      Minic.Clbg.all results
   in
   Report.table
     ~title:"Figure 5: run-time overhead (slowdown vs native; baseline 2VM-IMPlast)"
@@ -230,33 +276,48 @@ type table3_row = {
   t3_rows : (float * int * int * int * float) list;  (* k, N, A, B, C *)
 }
 
-let table3 () =
+let table3 ?(pool = Jobs.Pool.default) () =
+  let row_of (name, prog, fns, _) =
+    let per_k =
+      List.map
+        (fun k ->
+           let img = Minic.Codegen.compile prog in
+           let r =
+             Ropc.Rewriter.rewrite img ~functions:fns
+               ~config:(Ropc.Config.rop_k k)
+           in
+           let n =
+             List.fold_left
+               (fun acc (_, res) ->
+                  match res with
+                  | Ok st -> acc + st.Ropc.Rewriter.fs_points
+                  | Error _ -> acc)
+               0 r.Ropc.Rewriter.funcs
+           in
+           let a = r.Ropc.Rewriter.total_gadget_uses in
+           let b = r.Ropc.Rewriter.unique_gadgets in
+           (k, n, a, b, float_of_int a /. float_of_int (max n 1)))
+        Configs.rop_ks
+    in
+    { t3_bench = name; t3_rows = per_k }
+  in
+  let results =
+    Jobs.Pool.map ~label:"table3" pool
+      ~key:(fun (name, _, _, _) -> "table3/" ^ name)
+      ~f:row_of Minic.Clbg.all
+  in
   let rows =
-    List.map
-      (fun (name, prog, fns, _) ->
-         let per_k =
-           List.map
-             (fun k ->
-                let img = Minic.Codegen.compile prog in
-                let r =
-                  Ropc.Rewriter.rewrite img ~functions:fns
-                    ~config:(Ropc.Config.rop_k k)
-                in
-                let n =
-                  List.fold_left
-                    (fun acc (_, res) ->
-                       match res with
-                       | Ok st -> acc + st.Ropc.Rewriter.fs_points
-                       | Error _ -> acc)
-                    0 r.Ropc.Rewriter.funcs
-                in
-                let a = r.Ropc.Rewriter.total_gadget_uses in
-                let b = r.Ropc.Rewriter.unique_gadgets in
-                (k, n, a, b, float_of_int a /. float_of_int (max n 1)))
-             Configs.rop_ks
-         in
-         { t3_bench = name; t3_rows = per_k })
-      Minic.Clbg.all
+    List.map2
+      (fun (name, _, _, _) (r : _ Jobs.Pool.result) ->
+         match r.Jobs.Pool.outcome with
+         | Jobs.Pool.Done row -> row
+         | Jobs.Pool.Failed m ->
+           { t3_bench = name ^ " [failed: " ^ m ^ "]";
+             t3_rows = List.map (fun k -> (k, 0, 0, 0, 0.0)) Configs.rop_ks }
+         | Jobs.Pool.Timed_out _ ->
+           { t3_bench = name ^ " [timed out]";
+             t3_rows = List.map (fun k -> (k, 0, 0, 0, 0.0)) Configs.rop_ks })
+      Minic.Clbg.all results
   in
   Report.table
     ~title:"Table III: rewriter statistics (N program points; A gadget uses; B unique gadgets; C = A/N)"
@@ -443,7 +504,7 @@ let coverage () =
 
 (* --- §VII-C3: base64 case study ------------------------------------------------ *)
 
-let casestudy ?(budget_s = 10.0) () =
+let casestudy ?(pool = Jobs.Pool.default) ?(budget_s = 10.0) () =
   let prog = Minic.Programs.base64_program () in
   let funcs = [ "b64_check"; "b64_encode" ] in
   let budget = { E.default_budget with wall_seconds = budget_s } in
@@ -451,27 +512,44 @@ let casestudy ?(budget_s = 10.0) () =
     let tgt = { E.img; func = "b64_check"; n_inputs = 6 } in
     E.dse ~toa ~goal:E.G_secret ~budget tgt
   in
+  let row_of (name, obf) =
+    match Configs.apply obf prog ~funcs with
+    | exception Configs.Obfuscation_failed m ->
+      [ name; "rewrite failed: " ^ m; "-"; "-" ]
+    | img ->
+      let conc = attack ~toa:false img in
+      let toa = attack ~toa:true img in
+      let fmt (r : E.result) =
+        match r.E.secret_input with
+        | Some _ -> Printf.sprintf "found %.1fs" r.E.time
+        | None -> Printf.sprintf "timeout (%d paths)" r.E.stats.E.states
+      in
+      [ name; fmt conc; fmt toa;
+        string_of_int
+          (Runner.call_exn ~fuel:1_000_000_000 img ~func:"b64_check"
+             ~args:[ Minic.Programs.secret_arg ]).Runner.steps ]
+  in
+  let cells =
+    [ ("native", Configs.Native);
+      ("ROP_0 (P1)", Configs.Rop 0.0);
+      ("ROP_0.25", Configs.Rop 0.25);
+      ("2VM-IMPlast", Configs.Vm (2, Vmobf.Imp_last)) ]
+  in
+  let results =
+    Jobs.Pool.map ~label:"casestudy" pool
+      ~key:(fun (name, _) ->
+          Printf.sprintf "casestudy/budget=%g/%s" budget_s name)
+      ~f:row_of cells
+  in
   let rows =
-    List.map
-      (fun (name, obf) ->
-         match Configs.apply obf prog ~funcs with
-         | exception Configs.Obfuscation_failed m -> [ name; "rewrite failed: " ^ m; "-"; "-" ]
-         | img ->
-           let conc = attack ~toa:false img in
-           let toa = attack ~toa:true img in
-           let fmt (r : E.result) =
-             match r.E.secret_input with
-             | Some _ -> Printf.sprintf "found %.1fs" r.E.time
-             | None -> Printf.sprintf "timeout (%d paths)" r.E.stats.E.states
-           in
-           [ name; fmt conc; fmt toa;
-             string_of_int
-               (Runner.call_exn ~fuel:1_000_000_000 img ~func:"b64_check"
-                  ~args:[ Minic.Programs.secret_arg ]).Runner.steps ])
-      [ ("native", Configs.Native);
-        ("ROP_0 (P1)", Configs.Rop 0.0);
-        ("ROP_0.25", Configs.Rop 0.25);
-        ("2VM-IMPlast", Configs.Vm (2, Vmobf.Imp_last)) ]
+    List.map2
+      (fun (name, _) (r : _ Jobs.Pool.result) ->
+         match r.Jobs.Pool.outcome with
+         | Jobs.Pool.Done row -> row
+         | Jobs.Pool.Failed m -> [ name; "pool failure: " ^ m; "-"; "-" ]
+         | Jobs.Pool.Timed_out t ->
+           [ name; Printf.sprintf "pool timeout %.0fs" t; "-"; "-" ])
+      cells results
   in
   Report.table
     ~title:"§VII-C3: base64 case study (DSE memory models; 6-byte secret)"

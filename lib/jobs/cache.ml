@@ -1,0 +1,78 @@
+(* Content-addressed on-disk result cache for lib/jobs.
+
+   A cache entry is the marshalled result of one job, filed under
+   MD5(salt || key), where [key] is the job's stable identity string (it
+   must encode every parameter that affects the result: experiment id,
+   configuration name, seed, scale, ...) and [salt] defaults to a digest of
+   the running executable, so rebuilding the code invalidates every entry
+   without any version bookkeeping.
+
+   Entries are written to a temp file in the cache directory and renamed
+   into place, so concurrent runs sharing a cache directory never observe a
+   partial entry.  [find] unmarshals to whatever type the caller expects;
+   the executable-digest salt is what makes that cast sound — an entry can
+   only be read back by the build that wrote it (unless the caller opts
+   into an explicit cross-build salt, in which case the stability of its
+   result type is the caller's contract). *)
+
+type t = {
+  dir : string;
+  salt : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_dir = "_jobs_cache"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* One digest of the executable per process: ~ms, paid on first use. *)
+let code_salt =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unsalted")
+
+let create ?salt ?(dir = default_dir) () =
+  let salt = match salt with Some s -> s | None -> Lazy.force code_salt in
+  mkdir_p dir;
+  { dir; salt; hits = 0; misses = 0 }
+
+(* The content address of a job key: stable across runs for a fixed salt. *)
+let key t k = Digest.to_hex (Digest.string (t.salt ^ "\x00" ^ k))
+
+let path t k = Filename.concat t.dir (key t k)
+
+let find t k =
+  match
+    let ic = open_in_bin (path t k) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Marshal.from_channel ic)
+  with
+  | v ->
+    t.hits <- t.hits + 1;
+    Some v
+  | exception _ ->
+    t.misses <- t.misses + 1;
+    None
+
+let store t k v =
+  match Marshal.to_string v [] with
+  | exception Invalid_argument _ -> ()   (* functional value: not cacheable *)
+  | s ->
+    let tmp = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc s;
+    close_out oc;
+    Sys.rename tmp (path t k)
+
+(* Invalidate by removing every entry (the directory is flat). *)
+let clear ?(dir = default_dir) () =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)

@@ -1,0 +1,474 @@
+(* Forked worker pool with marshalled task/result channels.
+
+   [map opts ~key ~f tasks] evaluates [f] over [tasks] on [opts.jobs] worker
+   processes and returns the outcomes in input order.  Each worker is a
+   [Unix.fork] of the parent: it inherits [f] (and everything [f] closes
+   over) through the fork, so only task and result *values* ever cross a
+   pipe, each as one marshalled message.  The scheme buys three properties
+   a thread pool cannot give this codebase:
+
+   - crash isolation: a worker that raises returns a structured [Failed];
+     a worker that dies outright (segfault, OOM kill, [Unix._exit] deep in
+     a consumer) is detected by EOF on its result pipe, the job is
+     re-dispatched up to [opts.retries] times, and the pool keeps going;
+   - per-job wall-clock timeouts: a worker past its deadline is SIGKILLed,
+     the job is marked [Timed_out], and a fresh worker is forked in its
+     place — one pathological DSE query no longer hangs a whole matrix;
+   - determinism: jobs are dispatched in input order to whichever worker is
+     idle, but results are keyed by input position, so the returned list —
+     and anything printed from it — is byte-identical to a serial run.
+     Per-job randomness should come from [Util.Rng.of_key] on the job key,
+     which is schedule-independent by construction.
+
+   Serial mode ([opts.jobs <= 1]) runs [f] in-process: exceptions are still
+   isolated per job, but timeouts are not enforced (there is no worker to
+   kill) and a crash of [f] is a crash of the caller.  Both modes share the
+   result cache and manifest bookkeeping, so a serial and a parallel run of
+   the same matrix are interchangeable.
+
+   SIGINT: during [map], a handler records the signal; the pool SIGKILLs
+   and reaps every worker (no orphans), files a partial run record in the
+   manifest (marked interrupted), restores the previous handler, and raises
+   [Interrupted] for the CLI to turn into a nonzero exit. *)
+
+exception Interrupted
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of string       (* worker exception or worker death *)
+  | Timed_out of float     (* seconds the job ran before SIGKILL *)
+
+type 'r result = {
+  outcome : 'r outcome;
+  time_s : float;          (* worker-side wall time; parent-side on timeout *)
+  attempts : int;          (* dispatches consumed; 0 for a cache hit *)
+  cached : bool;
+}
+
+type opts = {
+  jobs : int;              (* worker processes; <= 1 runs in-process *)
+  timeout_s : float option;(* per-job wall budget (forked mode only) *)
+  retries : int;           (* extra dispatches after a worker *death*;
+                              a clean exception is deterministic and is
+                              never retried *)
+  cache : Cache.t option;
+  manifest : Manifest.t option;
+  progress : bool;         (* live progress line on stderr *)
+}
+
+let default =
+  { jobs = 1; timeout_s = None; retries = 1; cache = None; manifest = None;
+    progress = false }
+
+(* --- worker side ----------------------------------------------------------- *)
+
+(* The worker marshals its result to a string itself, so an unmarshallable
+   result (a closure smuggled into a result type) degrades to a [Failed]
+   instead of desynchronizing the pipe protocol. *)
+type reply = R_ok of string | R_exn of string
+
+let worker_loop (f : 'a -> 'b) ic oc =
+  let rec loop () =
+    let (idx, task) = (Marshal.from_channel ic : int * 'a) in
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      match f task with
+      | r ->
+        (try R_ok (Marshal.to_string r [])
+         with Invalid_argument m -> R_exn ("unmarshallable result: " ^ m))
+      | exception e -> R_exn (Printexc.to_string e)
+    in
+    Marshal.to_channel oc (idx, reply, Unix.gettimeofday () -. t0) [];
+    flush oc;
+    loop ()
+  in
+  (try loop () with End_of_file | Sys_error _ -> ());
+  Unix._exit 0
+
+type worker = {
+  w_pid : int;
+  w_oc : out_channel;      (* parent -> worker: (index, task) *)
+  w_ic : in_channel;       (* worker -> parent: (index, reply, seconds) *)
+  w_recv : Unix.file_descr;
+  (* job index, attempt, dispatch time, deadline (infinity if no timeout) *)
+  mutable w_job : (int * int * float * float) option;
+}
+
+let spawn ~inherited f =
+  (* anything buffered now would be flushed a second time by the child's
+     stdio if it ever wrote; keep the child's buffers empty *)
+  flush stdout;
+  flush stderr;
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* Drop every parent-side descriptor, including the pipes of sibling
+       workers forked earlier: a sibling can only see the parent's EOF if
+       no other process still holds the write end. *)
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      inherited;
+    Unix.close task_w;
+    Unix.close res_r;
+    (* the parent owns shutdown: it SIGKILLs workers deterministically *)
+    Sys.set_signal Sys.sigint Sys.Signal_ignore;
+    worker_loop f
+      (Unix.in_channel_of_descr task_r)
+      (Unix.out_channel_of_descr res_w)
+  | pid ->
+    Unix.close task_r;
+    Unix.close res_w;
+    { w_pid = pid;
+      w_oc = Unix.out_channel_of_descr task_w;
+      w_ic = Unix.in_channel_of_descr res_r;
+      w_recv = res_r;
+      w_job = None }
+
+(* --- parent side ----------------------------------------------------------- *)
+
+let interrupted = ref false
+
+let with_signals k =
+  interrupted := false;
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> interrupted := true))
+  in
+  let old_pipe =
+    (* a worker dying mid-dispatch must surface as EPIPE, not kill us *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Sys.set_signal Sys.sigint old_int;
+        match old_pipe with
+        | Some b -> Sys.set_signal Sys.sigpipe b
+        | None -> ())
+    k
+
+type counters = {
+  mutable ok : int;
+  mutable failed : int;
+  mutable timed_out : int;
+  mutable cache_hits : int;
+  mutable busy_s : float;
+}
+
+let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
+    (tasks : 'a list) : 'b result list =
+  let tasks = Array.of_list tasks in
+  let keys = Array.map key tasks in
+  let n = Array.length tasks in
+  let results : 'b result option array = Array.make n None in
+  let t_start = Unix.gettimeofday () in
+  let c = { ok = 0; failed = 0; timed_out = 0; cache_hits = 0; busy_s = 0.0 } in
+  let max_workers = ref 1 in
+  let last_line = ref 0.0 in
+  let progress ?(force = false) () =
+    if o.progress && n > 0 then begin
+      let now = Unix.gettimeofday () in
+      if force || now -. !last_line >= 0.1 then begin
+        last_line := now;
+        Printf.eprintf
+          "\r[%s] %d/%d  ok %d  failed %d  timeout %d  cached %d  %.1fs%!"
+          label
+          (c.ok + c.failed + c.timed_out)
+          n c.ok c.failed c.timed_out c.cache_hits (now -. t_start)
+      end
+    end
+  in
+  let resolve i (r : 'b result) =
+    results.(i) <- Some r;
+    (match r.outcome with
+     | Done _ -> c.ok <- c.ok + 1
+     | Failed _ -> c.failed <- c.failed + 1
+     | Timed_out _ -> c.timed_out <- c.timed_out + 1);
+    if r.cached then c.cache_hits <- c.cache_hits + 1;
+    progress ()
+  in
+  let finalize ~interrupted:intr =
+    progress ~force:true ();
+    if o.progress && n > 0 then prerr_newline ();
+    match o.manifest with
+    | None -> ()
+    | Some m ->
+      let wall = Unix.gettimeofday () -. t_start in
+      let entries =
+        List.filter_map Fun.id
+          (Array.to_list
+             (Array.mapi
+                (fun i r ->
+                   Option.map
+                     (fun (r : 'b result) ->
+                        { Manifest.e_key = keys.(i);
+                          e_status =
+                            (match r.outcome with
+                             | Done _ -> "ok"
+                             | Failed _ -> "failed"
+                             | Timed_out _ -> "timed-out");
+                          e_time_s = r.time_s;
+                          e_attempts = r.attempts;
+                          e_cached = r.cached })
+                     r)
+                results))
+      in
+      Manifest.add m
+        { Manifest.r_label = label;
+          r_jobs = o.jobs;
+          r_total = n;
+          r_ok = c.ok;
+          r_failed = c.failed;
+          r_timed_out = c.timed_out;
+          r_cache_hits = c.cache_hits;
+          r_cache_misses = n - c.cache_hits;
+          r_wall_s = wall;
+          r_utilization =
+            (if wall <= 0.0 then 0.0
+             else c.busy_s /. (wall *. float_of_int (max 1 !max_workers)));
+          r_interrupted = intr;
+          r_entries = entries }
+  in
+  let interrupted_exit () =
+    finalize ~interrupted:true;
+    raise Interrupted
+  in
+  (* resolve cache hits up front; only misses are ever dispatched *)
+  let pending = Queue.create () in
+  Array.iteri
+    (fun i _ ->
+       match o.cache with
+       | Some cache ->
+         (match Cache.find cache keys.(i) with
+          | Some v ->
+            resolve i
+              { outcome = Done v; time_s = 0.0; attempts = 0; cached = true }
+          | None -> Queue.add (i, 1) pending)
+       | None -> Queue.add (i, 1) pending)
+    tasks;
+  let finish_job i reply dt attempts =
+    let outcome =
+      match reply with
+      | R_ok s ->
+        let v : 'b = Marshal.from_string s 0 in
+        (match o.cache with
+         | Some cache -> Cache.store cache keys.(i) v
+         | None -> ());
+        Done v
+      | R_exn m -> Failed m
+    in
+    resolve i { outcome; time_s = dt; attempts; cached = false }
+  in
+
+  let run_serial () =
+    while not (Queue.is_empty pending) do
+      if !interrupted then interrupted_exit ();
+      let (i, attempt) = Queue.pop pending in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match f tasks.(i) with
+        | v ->
+          (match o.cache with
+           | Some cache -> Cache.store cache keys.(i) v
+           | None -> ());
+          Done v
+        | exception e -> Failed (Printexc.to_string e)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      c.busy_s <- c.busy_s +. dt;
+      resolve i { outcome; time_s = dt; attempts = attempt; cached = false }
+    done;
+    if !interrupted then interrupted_exit ()
+  in
+
+  let run_parallel () =
+    let workers = ref [] in
+    let spawn_one () =
+      let inherited =
+        List.concat_map
+          (fun w ->
+             [ Unix.descr_of_out_channel w.w_oc; w.w_recv ])
+          !workers
+      in
+      let w = spawn ~inherited f in
+      workers := !workers @ [ w ];
+      max_workers := max !max_workers (List.length !workers)
+    in
+    let reap w =
+      match Unix.waitpid [] w.w_pid with
+      | (_, Unix.WEXITED code) -> Printf.sprintf "exit %d" code
+      | (_, Unix.WSIGNALED s) -> Printf.sprintf "signal %d" s
+      | (_, Unix.WSTOPPED s) -> Printf.sprintf "stopped %d" s
+      | exception Unix.Unix_error _ -> "unknown"
+    in
+    let retire w =
+      close_out_noerr w.w_oc;
+      close_in_noerr w.w_ic;
+      workers := List.filter (fun x -> x != w) !workers
+    in
+    let kill_all () =
+      List.iter
+        (fun w -> try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+        !workers;
+      List.iter (fun w -> ignore (reap w)) !workers;
+      List.iter
+        (fun w -> close_out_noerr w.w_oc; close_in_noerr w.w_ic)
+        !workers;
+      workers := []
+    in
+    let requeue_or_fail i attempt msg dt =
+      if attempt <= o.retries then Queue.add (i, attempt + 1) pending
+      else
+        resolve i
+          { outcome = Failed msg; time_s = dt; attempts = attempt;
+            cached = false }
+    in
+    let dispatch () =
+      List.iter
+        (fun w ->
+           if not (Queue.is_empty pending) then begin
+             let (i, attempt) = Queue.pop pending in
+             match
+               Marshal.to_channel w.w_oc (i, tasks.(i)) [ Marshal.Closures ];
+               flush w.w_oc
+             with
+             | () ->
+               let now = Unix.gettimeofday () in
+               let deadline =
+                 match o.timeout_s with
+                 | Some t -> now +. t
+                 | None -> infinity
+               in
+               w.w_job <- Some (i, attempt, now, deadline)
+             | exception _ ->
+               (* the worker died before accepting the task *)
+               (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+               let st = reap w in
+               retire w;
+               requeue_or_fail i attempt
+                 (Printf.sprintf "worker died before accepting task (%s)" st)
+                 0.0
+           end)
+        (List.filter (fun w -> w.w_job = None) !workers)
+    in
+    let handle_reply w =
+      match w.w_job with
+      | None -> ()
+      | Some (i, attempt, started, _) ->
+        (match (Marshal.from_channel w.w_ic : int * reply * float) with
+         | (_, reply, dt) ->
+           w.w_job <- None;
+           c.busy_s <- c.busy_s +. (Unix.gettimeofday () -. started);
+           finish_job i reply dt attempt
+         | exception (End_of_file | Sys_error _ | Failure _) ->
+           c.busy_s <- c.busy_s +. (Unix.gettimeofday () -. started);
+           let st = reap w in
+           retire w;
+           requeue_or_fail i attempt
+             (Printf.sprintf "worker died (%s)" st)
+             (Unix.gettimeofday () -. started))
+    in
+    let rec loop () =
+      if c.ok + c.failed + c.timed_out < n then begin
+        if !interrupted then begin
+          kill_all ();
+          interrupted_exit ()
+        end;
+        (* keep the pool sized to the outstanding work, respawning after
+           deaths and timeouts *)
+        let busy_count =
+          List.length (List.filter (fun w -> w.w_job <> None) !workers)
+        in
+        let want = min o.jobs (Queue.length pending + busy_count) in
+        for _ = List.length !workers + 1 to want do spawn_one () done;
+        dispatch ();
+        let busy = List.filter (fun w -> w.w_job <> None) !workers in
+        (match busy with
+         | [] -> ()   (* every worker died pre-dispatch; loop respawns *)
+         | busy ->
+           let now = Unix.gettimeofday () in
+           let next_deadline =
+             List.fold_left
+               (fun acc w ->
+                  match w.w_job with
+                  | Some (_, _, _, dl) -> Float.min acc dl
+                  | None -> acc)
+               infinity busy
+           in
+           (* cap the tick so the SIGINT flag is polled even when idle *)
+           let select_t =
+             if next_deadline = infinity then 0.5
+             else Float.max 0.0 (Float.min 0.5 (next_deadline -. now))
+           in
+           let ready, _, _ =
+             try Unix.select (List.map (fun w -> w.w_recv) busy) [] [] select_t
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+           in
+           List.iter
+             (fun fd ->
+                match List.find_opt (fun w -> w.w_recv = fd) busy with
+                | Some w -> handle_reply w
+                | None -> ())
+             ready;
+           let now = Unix.gettimeofday () in
+           List.iter
+             (fun w ->
+                match w.w_job with
+                | Some (i, attempt, started, dl)
+                  when now >= dl && List.memq w !workers ->
+                  (try Unix.kill w.w_pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  ignore (reap w);
+                  retire w;
+                  c.busy_s <- c.busy_s +. (now -. started);
+                  resolve i
+                    { outcome = Timed_out (now -. started);
+                      time_s = now -. started; attempts = attempt;
+                      cached = false }
+                | _ -> ())
+             busy;
+           progress ());
+        loop ()
+      end
+    in
+    loop ();
+    (* closing the task pipe is the idle workers' EOF; then reap them all *)
+    List.iter (fun w -> close_out_noerr w.w_oc) !workers;
+    List.iter (fun w -> ignore (reap w); close_in_noerr w.w_ic) !workers;
+    workers := []
+  in
+
+  with_signals (fun () ->
+      if not (Queue.is_empty pending) then
+        if o.jobs <= 1 then run_serial ()
+        else begin
+          max_workers := min o.jobs (Queue.length pending);
+          run_parallel ()
+        end
+      else if !interrupted then interrupted_exit ());
+  finalize ~interrupted:false;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> { outcome = Failed "job never resolved"; time_s = 0.0;
+                     attempts = 0; cached = false })
+       results)
+
+(* Run [k] with a fresh manifest accumulator and write it to [path] (when
+   given) on normal completion *and* on pool interruption, so a Ctrl-C still
+   leaves a partial run manifest behind.  Returns the process exit code;
+   interruption maps to 130 (128 + SIGINT). *)
+let with_manifest path k =
+  let m = Manifest.create () in
+  let write () =
+    match path with Some p -> Manifest.write m p | None -> ()
+  in
+  match k m with
+  | code -> write (); code
+  | exception Interrupted ->
+    write ();
+    Printf.eprintf "interrupted: workers killed and reaped%s\n%!"
+      (match path with
+       | Some p -> Printf.sprintf "; partial manifest in %s" p
+       | None -> "");
+    130

@@ -55,3 +55,16 @@ let shuffle t xs =
 let split t =
   let s = next64 t in
   { state = s }
+
+(* Derive a stream from a master seed and a stable string key (a job's
+   cache key, a table cell id, ...).  Unlike [split], the result does not
+   depend on how many draws preceded it, so a parallel worker gets exactly
+   the stream a serial run would — randomness keyed by *what* the job is,
+   not *when* it runs. *)
+let of_key ~seed key =
+  let d = Digest.string (Printf.sprintf "%d\x00%s" seed key) in
+  let s = ref 0L in
+  for i = 0 to 7 do
+    s := Int64.logor (Int64.shift_left !s 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  { state = !s }

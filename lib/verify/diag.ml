@@ -84,6 +84,15 @@ let warnings ds = List.filter (fun d -> d.severity = Warning) ds
 
 let render_all ds = String.concat "\n" (List.map render ds)
 
+(* Render for a driver report: errors always, the rest only when [verbose];
+   one indented line per finding.  Drivers that run checks in worker
+   processes (bin/ropcheck --jobs) build their output from this instead of
+   printing, so the parent can emit results in deterministic order. *)
+let render_report ?(verbose = false) ds =
+  List.filter (fun d -> d.severity = Error || verbose) ds
+  |> List.map (fun d -> "  " ^ render d ^ "\n")
+  |> String.concat ""
+
 (* Count per severity: (errors, warnings, infos). *)
 let counts ds =
   List.fold_left

@@ -1,0 +1,236 @@
+(* lib/jobs: forked worker pool, result cache, determinism.
+
+   The pool's contract is behavioral, so every test drives the real thing:
+   real forks, real SIGKILLs, a real on-disk cache in a temp directory. *)
+
+let tmpdir () =
+  let d = Filename.temp_file "jobs_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let get (r : _ Jobs.Pool.result) =
+  match r.Jobs.Pool.outcome with
+  | Jobs.Pool.Done v -> v
+  | Jobs.Pool.Failed m -> Alcotest.failf "unexpected Failed: %s" m
+  | Jobs.Pool.Timed_out t -> Alcotest.failf "unexpected Timed_out %.2f" t
+
+(* --- cache ----------------------------------------------------------------- *)
+
+let test_cache_key_stability () =
+  let d1 = tmpdir () and d2 = tmpdir () in
+  let c1 = Jobs.Cache.create ~salt:"s1" ~dir:d1 () in
+  let c2 = Jobs.Cache.create ~salt:"s1" ~dir:d2 () in
+  let c3 = Jobs.Cache.create ~salt:"s2" ~dir:d1 () in
+  (* the content address depends only on (salt, key) — never on the
+     directory, the process, or anything drawn from the environment *)
+  Alcotest.(check string) "same salt+key -> same address"
+    (Jobs.Cache.key c1 "table2/x") (Jobs.Cache.key c2 "table2/x");
+  Alcotest.(check bool) "different salt -> different address" false
+    (Jobs.Cache.key c1 "table2/x" = Jobs.Cache.key c3 "table2/x");
+  Alcotest.(check bool) "different key -> different address" false
+    (Jobs.Cache.key c1 "table2/x" = Jobs.Cache.key c1 "table2/y")
+
+let test_cache_roundtrip () =
+  let dir = tmpdir () in
+  let c = Jobs.Cache.create ~salt:"t" ~dir () in
+  Alcotest.(check (option (list int))) "miss on empty" None
+    (Jobs.Cache.find c "k");
+  Jobs.Cache.store c "k" [ 1; 2; 3 ];
+  Alcotest.(check (option (list int))) "roundtrip" (Some [ 1; 2; 3 ])
+    (Jobs.Cache.find c "k");
+  Alcotest.(check int) "one hit" 1 c.Jobs.Cache.hits;
+  Alcotest.(check int) "one miss" 1 c.Jobs.Cache.misses;
+  (* a second cache over the same directory and salt sees the entry: this
+     is the across-runs stability the experiment matrix relies on *)
+  let c' = Jobs.Cache.create ~salt:"t" ~dir () in
+  Alcotest.(check (option (list int))) "second run hits" (Some [ 1; 2; 3 ])
+    (Jobs.Cache.find c' "k");
+  Jobs.Cache.clear ~dir ();
+  Alcotest.(check (option (list int))) "cleared" None (Jobs.Cache.find c' "k")
+
+(* --- determinism ----------------------------------------------------------- *)
+
+let test_rng_of_key () =
+  let a = Util.Rng.of_key ~seed:7 "cell" in
+  let b = Util.Rng.of_key ~seed:7 "cell" in
+  Alcotest.(check (list int)) "same seed+key -> same stream"
+    (List.init 8 (fun _ -> Util.Rng.int a 1000))
+    (List.init 8 (fun _ -> Util.Rng.int b 1000));
+  let c = Util.Rng.of_key ~seed:7 "other-cell" in
+  let d = Util.Rng.of_key ~seed:8 "cell" in
+  Alcotest.(check bool) "different key -> different stream" false
+    (List.init 8 (fun _ -> Util.Rng.int c 1000)
+     = List.init 8 (fun _ -> Util.Rng.int d 1000))
+
+let test_serial_parallel_identical () =
+  (* per-job randomness comes from the job key, so scheduling order cannot
+     leak into results: a 4-worker run must equal the in-process run *)
+  let f i =
+    let rng = Util.Rng.of_key ~seed:42 (string_of_int i) in
+    List.init 5 (fun _ -> Util.Rng.range rng 0 100_000)
+  in
+  let run jobs =
+    Jobs.Pool.map
+      { Jobs.Pool.default with Jobs.Pool.jobs }
+      ~key:string_of_int ~f (List.init 12 Fun.id)
+  in
+  Alcotest.(check (list (list int))) "serial = parallel"
+    (List.map get (run 1)) (List.map get (run 4))
+
+(* --- fault tolerance ------------------------------------------------------- *)
+
+let test_exception_isolation () =
+  let f i = if i = 1 then failwith "boom" else i * 10 in
+  let rs =
+    Jobs.Pool.map
+      { Jobs.Pool.default with Jobs.Pool.jobs = 3 }
+      ~key:string_of_int ~f (List.init 5 Fun.id)
+  in
+  List.iteri
+    (fun i (r : _ Jobs.Pool.result) ->
+       match (i, r.Jobs.Pool.outcome) with
+       | (1, Jobs.Pool.Failed m) ->
+         Alcotest.(check bool) "exception text surfaces" true
+           (String.length m > 0);
+         (* a deterministic exception is never retried *)
+         Alcotest.(check int) "single attempt" 1 r.Jobs.Pool.attempts
+       | (1, _) -> Alcotest.fail "job 1 should have failed"
+       | (_, _) -> Alcotest.(check int) "others unaffected" (i * 10) (get r))
+    rs
+
+let test_worker_death_isolation () =
+  (* [Unix._exit] skips the result protocol entirely: the parent sees EOF,
+     must report a structured failure, and the pool must keep going *)
+  let f i = if i = 2 then Unix._exit 9 else i + 100 in
+  let rs =
+    Jobs.Pool.map
+      { Jobs.Pool.default with Jobs.Pool.jobs = 3; retries = 0 }
+      ~key:string_of_int ~f (List.init 6 Fun.id)
+  in
+  List.iteri
+    (fun i (r : _ Jobs.Pool.result) ->
+       match (i, r.Jobs.Pool.outcome) with
+       | (2, Jobs.Pool.Failed m) ->
+         Alcotest.(check bool) "death is reported as such" true
+           (String.length m > 0)
+       | (2, _) -> Alcotest.fail "job 2 should have failed"
+       | (i, _) -> Alcotest.(check int) "pool survived" (i + 100) (get r))
+    rs
+
+let test_retry_after_death () =
+  let dir = tmpdir () in
+  let marker = Filename.concat dir "first-attempt-done" in
+  (* dies on the first attempt, succeeds on the redispatch: exactly the
+     flaky-worker scenario bounded retries exist for *)
+  let f i =
+    if i = 0 && not (Sys.file_exists marker) then begin
+      let oc = open_out marker in
+      close_out oc;
+      Unix._exit 3
+    end
+    else i + 7
+  in
+  let rs =
+    Jobs.Pool.map
+      { Jobs.Pool.default with Jobs.Pool.jobs = 2; retries = 1 }
+      ~key:string_of_int ~f (List.init 3 Fun.id)
+  in
+  let r0 = List.nth rs 0 in
+  Alcotest.(check int) "retried job succeeds" 7 (get r0);
+  Alcotest.(check int) "second dispatch consumed" 2 r0.Jobs.Pool.attempts
+
+let test_timeout_kill () =
+  let f i = if i = 0 then (Unix.sleepf 30.0; 0) else i in
+  let t0 = Unix.gettimeofday () in
+  let rs =
+    Jobs.Pool.map
+      { Jobs.Pool.default with
+        Jobs.Pool.jobs = 2; timeout_s = Some 0.3; retries = 0 }
+      ~key:string_of_int ~f (List.init 4 Fun.id)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match (List.nth rs 0).Jobs.Pool.outcome with
+   | Jobs.Pool.Timed_out t ->
+     Alcotest.(check bool) "ran at least the budget" true (t >= 0.29)
+   | _ -> Alcotest.fail "job 0 should have timed out");
+  List.iteri
+    (fun i (r : _ Jobs.Pool.result) ->
+       if i > 0 then Alcotest.(check int) "others completed" i (get r))
+    rs;
+  (* the sleeper was SIGKILLed, not waited out *)
+  Alcotest.(check bool) "pool did not wait for the sleeper" true
+    (elapsed < 10.0)
+
+(* --- cache + pool + manifest ----------------------------------------------- *)
+
+let test_cache_skips_recompute () =
+  let dir = tmpdir () in
+  let m = Jobs.Manifest.create () in
+  let f i = i * i in
+  let run () =
+    (* a fresh Cache.t per invocation models a fresh process over the same
+       cache directory *)
+    Jobs.Pool.map ~label:"squares"
+      { Jobs.Pool.default with
+        Jobs.Pool.jobs = 2;
+        cache = Some (Jobs.Cache.create ~salt:"v" ~dir ());
+        manifest = Some m }
+      ~key:string_of_int ~f (List.init 8 Fun.id)
+  in
+  let first = run () in
+  List.iter
+    (fun (r : _ Jobs.Pool.result) ->
+       Alcotest.(check bool) "first run computes" false r.Jobs.Pool.cached)
+    first;
+  let second = run () in
+  List.iteri
+    (fun i (r : _ Jobs.Pool.result) ->
+       Alcotest.(check bool) "second run is served from cache" true
+         r.Jobs.Pool.cached;
+       Alcotest.(check int) "cached value is the computed one" (i * i) (get r))
+    second;
+  (* the manifest records both runs, with the hit counts an operator would
+     check to confirm the matrix was not recomputed *)
+  (match m.Jobs.Manifest.runs with
+   | [ r1; r2 ] ->
+     Alcotest.(check int) "no hits on first run" 0 r1.Jobs.Manifest.r_cache_hits;
+     Alcotest.(check int) "all hits on second run" 8 r2.Jobs.Manifest.r_cache_hits;
+     Alcotest.(check int) "ok counts cover the matrix" 8 r2.Jobs.Manifest.r_ok
+   | rs -> Alcotest.failf "expected 2 manifest runs, got %d" (List.length rs));
+  let path = Filename.concat dir "manifest.json" in
+  Jobs.Manifest.write m path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "manifest JSON names the run" true
+    (contains ~sub:"\"label\":\"squares\"" s);
+  Alcotest.(check bool) "manifest JSON reports cache hits" true
+    (contains ~sub:"\"cache_hits\":8" s)
+
+let () =
+  Alcotest.run "jobs"
+    [ ("cache",
+       [ Alcotest.test_case "key stability" `Quick test_cache_key_stability;
+         Alcotest.test_case "roundtrip + second run" `Quick
+           test_cache_roundtrip ]);
+      ("determinism",
+       [ Alcotest.test_case "rng of_key" `Quick test_rng_of_key;
+         Alcotest.test_case "serial = parallel" `Quick
+           test_serial_parallel_identical ]);
+      ("fault-tolerance",
+       [ Alcotest.test_case "exception isolation" `Quick
+           test_exception_isolation;
+         Alcotest.test_case "worker death isolation" `Quick
+           test_worker_death_isolation;
+         Alcotest.test_case "retry after death" `Quick test_retry_after_death;
+         Alcotest.test_case "timeout SIGKILL" `Quick test_timeout_kill ]);
+      ("cache+pool",
+       [ Alcotest.test_case "cache skips recompute" `Quick
+           test_cache_skips_recompute ]) ]

@@ -138,13 +138,15 @@ let tests =
   [ bench_table2; bench_fig5; bench_table3; bench_table4; bench_efficacy;
     bench_ropaware; bench_coverage; bench_casestudy; bench_jobs ]
 
-let run_benchmarks () =
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:None () in
+(* Returns [(name, ns_per_run option)] so --json can embed the estimates. *)
+let run_benchmarks ?(quota = 1.5) ?(limit = 200) () =
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   Printf.printf "== Bechamel micro-benchmarks (one per table/figure) ==\n%!";
+  let out = ref [] in
   List.iter
     (fun test ->
        let results = Benchmark.all cfg instances test in
@@ -153,13 +155,243 @@ let run_benchmarks () =
          (fun name ols_result ->
             match Analyze.OLS.estimates ols_result with
             | Some [ est ] ->
-              Printf.printf "%-45s %12.0f ns/run\n%!" name est
-            | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+              Printf.printf "%-45s %12.0f ns/run\n%!" name est;
+              out := (name, Some est) :: !out
+            | Some _ | None ->
+              Printf.printf "%-45s (no estimate)\n%!" name;
+              out := (name, None) :: !out)
          results)
-    tests
+    tests;
+  List.rev !out
 
-let () =
-  run_benchmarks ();
+(* --- emulator perf-trajectory benchmark (--json) -------------------------- *)
+
+(* Measures the three generations of the execution engine on the Fig. 5
+   workloads: the seed per-instruction stepper as it existed before the
+   fast-engine work (reproduced bench-only in [Seed_ref]: polymorphic-hash
+   int64 Hashtbl pages, per-byte memory loops), the current in-tree
+   reference stepper, and the block-translating fast engine.  Engines are
+   interleaved round-robin in one process and the best round per engine is
+   reported, so machine noise cannot manufacture a speedup. *)
+
+type workload = {
+  w_name : string;
+  w_img : Image.t;
+  w_func : string;
+  w_args : int64 list;
+  w_fuel : int;
+}
+
+let make_workloads () =
+  let fannkuch =
+    let _, prog, fns, _ = List.nth Minic.Clbg.all 1 in
+    let img = Minic.Codegen.compile prog in
+    let rop =
+      (Ropc.Rewriter.rewrite img ~functions:fns
+         ~config:(Ropc.Config.rop_k 0.05)).Ropc.Rewriter.image
+    in
+    { w_name = "fannkuch_rop_0.05"; w_img = rop; w_func = "bench";
+      w_args = [ 6L ]; w_fuel = 100_000_000 }
+  in
+  let base64 =
+    let img = Minic.Codegen.compile (Minic.Programs.base64_program ()) in
+    let rop =
+      (Ropc.Rewriter.rewrite img ~functions:[ "b64_check"; "b64_encode" ]
+         ~config:(Ropc.Config.rop_k 0.25)).Ropc.Rewriter.image
+    in
+    { w_name = "base64_rop_0.25"; w_img = rop; w_func = "b64_check";
+      w_args = [ Minic.Programs.secret_arg ]; w_fuel = 100_000_000 }
+  in
+  [ fannkuch; base64 ]
+
+(* One observation: termination class + rax + retired steps + wall seconds
+   of the run itself (setup and memory cloning stay untimed). *)
+type obs = { o_status : string; o_rax : int64; o_steps : int; o_dt : float }
+
+let run_machine_engine eng w mem0 =
+  let t =
+    Runner.setup ~engine:eng ~mem:(Machine.Memory.copy mem0) w.w_img
+      ~func:w.w_func ~args:w.w_args
+  in
+  let t0 = Unix.gettimeofday () in
+  let status = Machine.Exec.run ~fuel:w.w_fuel t in
+  let dt = Unix.gettimeofday () -. t0 in
+  let cpu = t.Machine.Exec.cpu in
+  { o_status =
+      (match status with
+       | Machine.Exec.Halted -> "halted"
+       | Machine.Exec.Fault _ -> "fault"
+       | Machine.Exec.Out_of_fuel -> "out-of-fuel");
+    o_rax = Machine.Cpu.get cpu X86.Isa.RAX;
+    o_steps = cpu.Machine.Cpu.steps;
+    o_dt = dt }
+
+let run_seed_engine w mem0 =
+  let t = Seed_ref.setup w.w_img ~mem:mem0 ~func:w.w_func ~args:w.w_args in
+  let t0 = Unix.gettimeofday () in
+  let status = Seed_ref.run ~fuel:w.w_fuel t in
+  let dt = Unix.gettimeofday () -. t0 in
+  let c = t.Seed_ref.cpu in
+  { o_status =
+      (match status with
+       | Seed_ref.Halted -> "halted"
+       | Seed_ref.Fault _ -> "fault"
+       | Seed_ref.Out_of_fuel -> "out-of-fuel");
+    o_rax = Seed_ref.rget c X86.Isa.RAX;
+    o_steps = c.Seed_ref.steps;
+    o_dt = dt }
+
+type engine_result = { name : string; ns_per_step : float; steps : int }
+
+type workload_result = {
+  wr_name : string;
+  wr_steps : int;
+  wr_engines : engine_result list;   (* seed, ref, fast *)
+  wr_equal : (unit, string) result;  (* cross-engine observable equality *)
+}
+
+let ns_per_step (o : obs) = o.o_dt /. float_of_int (max 1 o.o_steps) *. 1e9
+
+let bench_workload ~rounds w : workload_result =
+  let mem0 = Image.load w.w_img in
+  let engines =
+    [ ("seed", fun () -> run_seed_engine w mem0);
+      ("ref", fun () -> run_machine_engine Machine.Exec.Ref w mem0);
+      ("fast", fun () -> run_machine_engine Machine.Exec.Fast w mem0) ]
+  in
+  (* warm-up + equality check in one pass *)
+  let first = List.map (fun (n, f) -> (n, f ())) engines in
+  let _, fast0 = List.nth first 2 in
+  let wr_equal =
+    List.fold_left
+      (fun acc (n, o) ->
+         match acc with
+         | Error _ -> acc
+         | Ok () ->
+           if o.o_status <> fast0.o_status then
+             Error (Printf.sprintf "%s status %s vs fast %s" n o.o_status
+                      fast0.o_status)
+           else if o.o_rax <> fast0.o_rax then
+             Error (Printf.sprintf "%s rax %Ld vs fast %Ld" n o.o_rax
+                      fast0.o_rax)
+           else if o.o_steps <> fast0.o_steps then
+             Error (Printf.sprintf "%s steps %d vs fast %d" n o.o_steps
+                      fast0.o_steps)
+           else acc)
+      (Ok ()) first
+  in
+  let best = Array.make (List.length engines) infinity in
+  for _ = 1 to rounds do
+    List.iteri
+      (fun i (_, f) ->
+         let ns = ns_per_step (f ()) in
+         if ns < best.(i) then best.(i) <- ns)
+      engines
+  done;
+  { wr_name = w.w_name;
+    wr_steps = fast0.o_steps;
+    wr_engines =
+      List.mapi
+        (fun i (n, _) ->
+           { name = n; ns_per_step = best.(i); steps = fast0.o_steps })
+        engines;
+    wr_equal }
+
+(* Hand-rolled JSON, same idiom as lib/jobs/manifest.ml. *)
+let json_of_results ~quick (wrs : workload_result list)
+    (micro : (string * float option) list) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let jstr s =
+    let e = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string e "\\\""
+        | '\\' -> Buffer.add_string e "\\\\"
+        | '\n' -> Buffer.add_string e "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string e (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char e c)
+      s;
+    Buffer.contents e
+  in
+  let speedup wr a bname =
+    let find n = List.find (fun (e : engine_result) -> e.name = n) wr.wr_engines in
+    (find a).ns_per_step /. (find bname).ns_per_step
+  in
+  pf "{\n";
+  pf "  \"schema\": \"bench_emulator/v1\",\n";
+  pf "  \"quick\": %b,\n" quick;
+  pf "  \"workloads\": [\n";
+  List.iteri
+    (fun i wr ->
+       pf "    {\n";
+       pf "      \"name\": \"%s\",\n" (jstr wr.wr_name);
+       pf "      \"steps\": %d,\n" wr.wr_steps;
+       pf "      \"engines\": {\n";
+       List.iteri
+         (fun j (e : engine_result) ->
+            pf "        \"%s\": { \"ns_per_step\": %.2f, \"steps_per_sec\": %.0f }%s\n"
+              (jstr e.name) e.ns_per_step
+              (1e9 /. e.ns_per_step)
+              (if j = List.length wr.wr_engines - 1 then "" else ","))
+         wr.wr_engines;
+       pf "      },\n";
+       pf "      \"speedup_fast_vs_seed\": %.2f,\n" (speedup wr "seed" "fast");
+       pf "      \"speedup_fast_vs_ref\": %.2f,\n" (speedup wr "ref" "fast");
+       pf "      \"equality\": \"%s\"\n"
+         (match wr.wr_equal with
+          | Ok () -> "ok"
+          | Error m -> jstr ("mismatch: " ^ m));
+       pf "    }%s\n" (if i = List.length wrs - 1 then "" else ",")
+    )
+    wrs;
+  pf "  ],\n";
+  let fk = List.find (fun wr -> wr.wr_name = "fannkuch_rop_0.05") wrs in
+  pf "  \"acceptance\": {\n";
+  pf "    \"criterion\": \"fast >= 3x steps/sec vs the seed stepper on fannkuch_rop_0.05\",\n";
+  pf "    \"speedup_fast_vs_seed\": %.2f,\n" (speedup fk "seed" "fast");
+  pf "    \"pass\": %b\n" (speedup fk "seed" "fast" >= 3.0);
+  pf "  },\n";
+  pf "  \"microbench_ns_per_run\": [\n";
+  List.iteri
+    (fun i (n, est) ->
+       pf "    { \"name\": \"%s\", \"ns\": %s }%s\n" (jstr n)
+         (match est with Some e -> Printf.sprintf "%.0f" e | None -> "null")
+         (if i = List.length micro - 1 then "" else ","))
+    micro;
+  pf "  ]\n";
+  pf "}\n";
+  Buffer.contents b
+
+let run_json ~quick ~path =
+  let rounds = if quick then 2 else 5 in
+  let quota = if quick then 0.4 else 1.5 in
+  let limit = if quick then 50 else 200 in
+  let wrs = List.map (bench_workload ~rounds) (make_workloads ()) in
+  Printf.printf "== Emulator perf trajectory (best of %d rounds) ==\n" rounds;
+  List.iter
+    (fun wr ->
+       Printf.printf "%s (%d steps):\n" wr.wr_name wr.wr_steps;
+       List.iter
+         (fun (e : engine_result) ->
+            Printf.printf "  %-5s %8.1f ns/step  %12.0f steps/sec\n" e.name
+              e.ns_per_step (1e9 /. e.ns_per_step))
+         wr.wr_engines;
+       (match wr.wr_equal with
+        | Ok () -> Printf.printf "  engines agree (status, rax, steps)\n%!"
+        | Error m -> Printf.printf "  ENGINE MISMATCH: %s\n%!" m))
+    wrs;
+  let micro = run_benchmarks ~quota ~limit () in
+  let json = json_of_results ~quick wrs micro in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  if List.exists (fun wr -> wr.wr_equal <> Ok ()) wrs then exit 1
+
+let run_full () =
+  ignore (run_benchmarks ());
   Printf.printf "\n== Quick-scale regeneration of every table and figure ==\n%!";
   Harness.Experiments.table4 ();
   ignore (Harness.Experiments.table3 ());
@@ -173,3 +405,16 @@ let () =
     (Harness.Experiments.table2
        ~pool:{ Jobs.Pool.default with Jobs.Pool.jobs = 2 }
        ~scale:Harness.Experiments.quick_scale ())
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let rec json_path = function
+    | [] -> None
+    | "--json" :: p :: _ when String.length p > 0 && p.[0] <> '-' -> Some p
+    | "--json" :: _ -> Some "BENCH_emulator.json"
+    | _ :: rest -> json_path rest
+  in
+  match json_path argv with
+  | Some path -> run_json ~quick ~path
+  | None -> run_full ()

@@ -1,0 +1,492 @@
+(* Baseline rung of the emulator perf-trajectory benchmark: a faithful
+   snapshot of the per-instruction stepper as it stood before the fast
+   execution engine landed (polymorphic-Hashtbl page table keyed by boxed
+   int64, byte-at-a-time memory accesses, Buffer-built fetch windows, decode
+   cache keyed by boxed rip, registers in an int64 array).
+
+   Kept under bench/ only: nothing in the product links against it.  It
+   exists so that BENCH_emulator.json can report speedups against the engine
+   this work replaced, measured in the same process on the same images,
+   rather than against numbers archived from old builds.  The flag/width
+   formulas are shared with the live engines through [Machine.Semantics],
+   which keeps the baseline semantically honest (and, if anything, slightly
+   flatters it: it inherits the table-driven parity helper). *)
+
+open X86.Isa
+module S = Machine.Semantics
+
+exception Exec_fault of string
+
+type exit_status = Halted | Fault of string | Out_of_fuel
+
+(* --- seed memory: (int64, bytes) pages, byte-loop accesses --------------- *)
+
+module Mem = struct
+  exception Fault of int64 * string
+
+  let page_bits = 12
+  let page_size = 1 lsl page_bits
+
+  type t = { pages : (int64, bytes) Hashtbl.t }
+
+  let page_of addr = Int64.shift_right_logical addr page_bits
+  let offset_of addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
+
+  (* Snapshot a live machine memory into seed-layout pages.  The live page
+     index is the address's top 52 bits as an OCaml int, so the seed's boxed
+     key is just its re-widening. *)
+  let of_machine (m : Machine.Memory.t) =
+    let pages = Hashtbl.create 64 in
+    Util.Itbl.iter
+      (fun idx (p : Machine.Memory.page) ->
+         Hashtbl.replace pages (Int64.of_int idx) (Bytes.copy p.Machine.Memory.data))
+      m.Machine.Memory.pages;
+    { pages }
+
+  let get_page_opt t addr = Hashtbl.find_opt t.pages (page_of addr)
+
+  let get_page_for_write t addr =
+    let p = page_of addr in
+    match Hashtbl.find_opt t.pages p with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages p b;
+      b
+
+  let read_u8 t addr =
+    match get_page_opt t addr with
+    | Some b -> Char.code (Bytes.get b (offset_of addr))
+    | None -> raise (Fault (addr, "read of unmapped address"))
+
+  let read_u8_opt t addr =
+    match get_page_opt t addr with
+    | Some b -> Some (Char.code (Bytes.get b (offset_of addr)))
+    | None -> None
+
+  let write_u8 t addr v =
+    let b = get_page_for_write t addr in
+    Bytes.set b (offset_of addr) (Char.chr (v land 0xff))
+
+  let read t addr n =
+    let r = ref 0L in
+    for i = n - 1 downto 0 do
+      let byte = read_u8 t (Int64.add addr (Int64.of_int i)) in
+      r := Int64.logor (Int64.shift_left !r 8) (Int64.of_int byte)
+    done;
+    !r
+
+  let write t addr n v =
+    for i = 0 to n - 1 do
+      let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+      write_u8 t (Int64.add addr (Int64.of_int i)) byte
+    done
+
+  let read_u64 t addr = read t addr 8
+  let write_u64 t addr v = write t addr 8 v
+
+  let read_bytes_avail t addr n =
+    let buf = Buffer.create n in
+    let rec go i =
+      if i >= n then ()
+      else
+        match read_u8_opt t (Int64.add addr (Int64.of_int i)) with
+        | Some v -> Buffer.add_char buf (Char.chr v); go (i + 1)
+        | None -> ()
+    in
+    go 0;
+    Buffer.to_bytes buf
+end
+
+(* --- seed cpu: int64 array registers, mutable boxed rip ------------------ *)
+
+type cpu = {
+  regs : int64 array;
+  mutable rip : int64;
+  mutable cf : bool;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable o_f : bool;
+  mutable pf : bool;
+  mem : Mem.t;
+  mutable halted : bool;
+  mutable steps : int;
+}
+
+let cpu_create mem = {
+  regs = Array.make 16 0L;
+  rip = 0L;
+  cf = false; zf = false; sf = false; o_f = false; pf = false;
+  mem;
+  halted = false;
+  steps = 0;
+}
+
+let rget c r = c.regs.(reg_index r)
+let rset c r v = c.regs.(reg_index r) <- v
+
+let cc_holds c = function
+  | O -> c.o_f | NO -> not c.o_f
+  | B -> c.cf | AE -> not c.cf
+  | E -> c.zf | NE -> not c.zf
+  | BE -> c.cf || c.zf | A -> not (c.cf || c.zf)
+  | S -> c.sf | NS -> not c.sf
+  | P -> c.pf | NP -> not c.pf
+  | L -> c.sf <> c.o_f | GE -> c.sf = c.o_f
+  | LE -> c.zf || c.sf <> c.o_f | G -> not c.zf && c.sf = c.o_f
+
+(* --- operand access, flags, per-instruction execution -------------------- *)
+
+let ea c (m : mem) =
+  let b = match m.base with Some r -> rget c r | None -> 0L in
+  let i =
+    match m.index with
+    | Some (r, sc) -> Int64.mul (rget c r) (Int64.of_int sc)
+    | None -> 0L
+  in
+  Int64.add (Int64.add b i) m.disp
+
+let read_operand c w = function
+  | Reg r -> S.truncate w (rget c r)
+  | Imm v -> S.truncate w v
+  | Mem m -> Mem.read c.mem (ea c m) (width_bytes w)
+
+let write_reg c w r v =
+  match w with
+  | W64 -> rset c r v
+  | W32 -> rset c r (Int64.logand v 0xFFFFFFFFL)
+  | W16 ->
+    let old = rget c r in
+    rset c r (Int64.logor (Int64.logand old (-65536L)) (Int64.logand v 0xFFFFL))
+  | W8 ->
+    let old = rget c r in
+    rset c r (Int64.logor (Int64.logand old (-256L)) (Int64.logand v 0xFFL))
+
+let write_operand c w op v =
+  match op with
+  | Reg r -> write_reg c w r v
+  | Mem m -> Mem.write c.mem (ea c m) (width_bytes w) v
+  | Imm _ -> raise (Exec_fault "write to immediate")
+
+let set_zsp c w r =
+  let zf, sf, pf = S.flags_zsp w r in
+  c.zf <- zf; c.sf <- sf; c.pf <- pf
+
+let flags_add c w a b r =
+  c.cf <- S.carry_out w a b r;
+  c.o_f <- S.overflow_add w a b r;
+  set_zsp c w r
+
+let flags_sub c w a b r =
+  c.cf <- S.borrow_out w a b r;
+  c.o_f <- S.overflow_sub w a b r;
+  set_zsp c w r
+
+let flags_logic c w r =
+  c.cf <- false;
+  c.o_f <- false;
+  set_zsp c w r
+
+let push64 c v =
+  let sp = Int64.sub (rget c RSP) 8L in
+  rset c RSP sp;
+  Mem.write_u64 c.mem sp v
+
+let pop64 c =
+  let sp = rget c RSP in
+  let v = Mem.read_u64 c.mem sp in
+  rset c RSP (Int64.add sp 8L);
+  v
+
+let exec_alu c o w d s =
+  let a = read_operand c w d in
+  let b = read_operand c w s in
+  match o with
+  | Add ->
+    let r = S.truncate w (Int64.add a b) in
+    flags_add c w a b r;
+    write_operand c w d r
+  | Adc ->
+    let cin = if c.cf then 1L else 0L in
+    let r = S.truncate w (Int64.add (Int64.add a b) cin) in
+    flags_add c w a b r;
+    write_operand c w d r
+  | Sub ->
+    let r = S.truncate w (Int64.sub a b) in
+    flags_sub c w a b r;
+    write_operand c w d r
+  | Sbb ->
+    let cin = if c.cf then 1L else 0L in
+    let r = S.truncate w (Int64.sub (Int64.sub a b) cin) in
+    flags_sub c w a b r;
+    write_operand c w d r
+  | Cmp ->
+    let r = S.truncate w (Int64.sub a b) in
+    flags_sub c w a b r
+  | And ->
+    let r = Int64.logand a b in
+    flags_logic c w r;
+    write_operand c w d r
+  | Or ->
+    let r = Int64.logor a b in
+    flags_logic c w r;
+    write_operand c w d r
+  | Xor ->
+    let r = Int64.logxor a b in
+    flags_logic c w r;
+    write_operand c w d r
+  | Test ->
+    let r = Int64.logand a b in
+    flags_logic c w r
+
+let exec_unary c o w d =
+  let a = read_operand c w d in
+  match o with
+  | Neg ->
+    let r = S.truncate w (Int64.neg a) in
+    flags_sub c w 0L a r;
+    write_operand c w d r
+  | Not -> write_operand c w d (S.truncate w (Int64.lognot a))
+  | Inc ->
+    let r = S.truncate w (Int64.add a 1L) in
+    c.o_f <- S.overflow_add w a 1L r;
+    set_zsp c w r;
+    write_operand c w d r
+  | Dec ->
+    let r = S.truncate w (Int64.sub a 1L) in
+    c.o_f <- S.overflow_sub w a 1L r;
+    set_zsp c w r;
+    write_operand c w d r
+
+let exec_shift c o w d count =
+  let a = read_operand c w d in
+  let n =
+    match count with
+    | S_imm n -> n
+    | S_cl -> Int64.to_int (Int64.logand (rget c RCX) 0xFFL)
+  in
+  let n = n land (if w = W64 then 63 else 31) in
+  if n = 0 then ()
+  else begin
+    let bits = width_bits w in
+    match o with
+    | Shl ->
+      let r = S.truncate w (Int64.shift_left a n) in
+      c.cf <-
+        (n <= bits && Int64.logand (Int64.shift_right_logical a (bits - n)) 1L = 1L);
+      c.o_f <- S.sign_bit w r <> c.cf;
+      set_zsp c w r;
+      write_operand c w d r
+    | Shr ->
+      let r = Int64.shift_right_logical a n in
+      c.cf <- Int64.logand (Int64.shift_right_logical a (n - 1)) 1L = 1L;
+      c.o_f <- S.sign_bit w a;
+      set_zsp c w r;
+      write_operand c w d r
+    | Sar ->
+      let r = S.truncate w (Int64.shift_right (S.sign_extend w a) n) in
+      c.cf <-
+        Int64.logand (Int64.shift_right (S.sign_extend w a) (min 63 (n - 1))) 1L = 1L;
+      c.o_f <- false;
+      set_zsp c w r;
+      write_operand c w d r
+    | Rol ->
+      let n = n mod bits in
+      let r =
+        if n = 0 then a
+        else
+          S.truncate w
+            (Int64.logor (Int64.shift_left a n)
+               (Int64.shift_right_logical (S.truncate w a) (bits - n)))
+      in
+      c.cf <- Int64.logand r 1L = 1L;
+      write_operand c w d r
+    | Ror ->
+      let n = n mod bits in
+      let r =
+        if n = 0 then a
+        else
+          S.truncate w
+            (Int64.logor (Int64.shift_right_logical (S.truncate w a) n)
+               (Int64.shift_left a (bits - n)))
+      in
+      c.cf <- S.sign_bit w r;
+      write_operand c w d r
+  end
+
+let exec_muldiv c o src =
+  let v = read_operand c W64 src in
+  let rax = rget c RAX in
+  let rdx = rget c RDX in
+  match o with
+  | Mul ->
+    let lo = Int64.mul rax v in
+    let hi = S.mulhi_u rax v in
+    rset c RAX lo;
+    rset c RDX hi;
+    let cf = hi <> 0L in
+    c.cf <- cf; c.o_f <- cf
+  | Imul1 ->
+    let lo = Int64.mul rax v in
+    let hi = S.mulhi_s rax v in
+    rset c RAX lo;
+    rset c RDX hi;
+    let cf = hi <> Int64.shift_right lo 63 in
+    c.cf <- cf; c.o_f <- cf
+  | Div ->
+    (match S.divmod_u128 rdx rax v with
+     | q, r -> rset c RAX q; rset c RDX r
+     | exception Division_by_zero -> raise (Exec_fault "divide by zero")
+     | exception S.Div_overflow -> raise (Exec_fault "divide overflow"))
+  | Idiv ->
+    (match S.divmod_s128 rdx rax v with
+     | q, r -> rset c RAX q; rset c RDX r
+     | exception Division_by_zero -> raise (Exec_fault "divide by zero")
+     | exception S.Div_overflow -> raise (Exec_fault "divide overflow"))
+
+let exec_instr c i =
+  match i with
+  | Nop -> ()
+  | Hlt -> c.halted <- true
+  | Lahf ->
+    let b =
+      (if c.sf then 0x80 else 0)
+      lor (if c.zf then 0x40 else 0)
+      lor (if c.pf then 0x04 else 0)
+      lor 0x02
+      lor (if c.cf then 0x01 else 0)
+    in
+    let old = rget c RAX in
+    rset c RAX
+      (Int64.logor (Int64.logand old (Int64.lognot 0xFF00L)) (Int64.of_int (b lsl 8)))
+  | Sahf ->
+    let b = Int64.to_int (Int64.shift_right_logical (rget c RAX) 8) land 0xFF in
+    c.sf <- b land 0x80 <> 0;
+    c.zf <- b land 0x40 <> 0;
+    c.pf <- b land 0x04 <> 0;
+    c.cf <- b land 0x01 <> 0
+  | Mov (w, d, s) ->
+    let v = read_operand c w s in
+    write_operand c w d v
+  | Movzx (dw, sw, r, s) ->
+    let v = read_operand c sw s in
+    write_reg c dw r v
+  | Movsx (dw, sw, r, s) ->
+    let v = S.sign_extend sw (read_operand c sw s) in
+    write_reg c dw r (S.truncate dw v)
+  | Lea (r, m) -> rset c r (ea c m)
+  | Push a ->
+    let v = read_operand c W64 a in
+    push64 c v
+  | Pop d ->
+    let v = pop64 c in
+    write_operand c W64 d v
+  | Alu (o, w, d, s) -> exec_alu c o w d s
+  | Unary (o, w, d) -> exec_unary c o w d
+  | Imul2 (w, r, s) ->
+    let a = S.truncate w (rget c r) in
+    let b = read_operand c w s in
+    let full = Int64.mul (S.sign_extend w a) (S.sign_extend w b) in
+    let r64 = S.truncate w full in
+    let cf = S.sign_extend w r64 <> full in
+    c.cf <- cf; c.o_f <- cf;
+    set_zsp c w r64;
+    write_reg c w r r64
+  | MulDiv (o, s) -> exec_muldiv c o s
+  | Shift (o, w, d, cnt) -> exec_shift c o w d cnt
+  | Cmov (cc, r, s) ->
+    let v = read_operand c W64 s in
+    if cc_holds c cc then rset c r v
+  | Setcc (cc, d) ->
+    let v = if cc_holds c cc then 1L else 0L in
+    write_operand c W8 d v
+  | Jmp (J_rel d) -> c.rip <- Int64.add c.rip (Int64.of_int d)
+  | Jmp (J_op a) -> c.rip <- read_operand c W64 a
+  | Jcc (cc, d) ->
+    if cc_holds c cc then c.rip <- Int64.add c.rip (Int64.of_int d)
+  | Call (J_rel d) ->
+    push64 c c.rip;
+    c.rip <- Int64.add c.rip (Int64.of_int d)
+  | Call (J_op a) ->
+    let target = read_operand c W64 a in
+    push64 c c.rip;
+    c.rip <- target
+  | Ret -> c.rip <- pop64 c
+  | Leave ->
+    rset c RSP (rget c RBP);
+    rset c RBP (pop64 c)
+  | Xchg (w, a, b) ->
+    let va = read_operand c w a in
+    let vb = read_operand c w b in
+    write_operand c w a vb;
+    write_operand c w b va
+
+(* --- fetch/decode with the seed's boxed-key cache, and the run loop ------ *)
+
+type t = { cpu : cpu; decode_cache : (int64, instr * int) Hashtbl.t }
+
+let make cpu = { cpu; decode_cache = Hashtbl.create 1024 }
+
+let fetch t rip =
+  match Hashtbl.find_opt t.decode_cache rip with
+  | Some r -> Some r
+  | None ->
+    let window = Mem.read_bytes_avail t.cpu.mem rip X86.Encode.max_instr_len in
+    (match X86.Decode.decode window 0 with
+     | Some (i, len) ->
+       Hashtbl.replace t.decode_cache rip (i, len);
+       Some (i, len)
+     | None -> None)
+
+let step t =
+  let c = t.cpu in
+  let rip = c.rip in
+  match fetch t rip with
+  | None -> raise (Exec_fault (Printf.sprintf "invalid instruction at 0x%Lx" rip))
+  | Some (i, len) ->
+    c.rip <- Int64.add rip (Int64.of_int len);
+    exec_instr c i;
+    c.steps <- c.steps + 1
+
+let run ?(fuel = max_int) t =
+  let rec go fuel =
+    if t.cpu.halted then Halted
+    else if fuel <= 0 then Out_of_fuel
+    else
+      match step t with
+      | () -> go (fuel - 1)
+      | exception Exec_fault m -> Fault m
+      | exception Mem.Fault (addr, m) -> Fault (Printf.sprintf "%s (0x%Lx)" m addr)
+  in
+  go fuel
+
+(* --- Runner.call equivalent over a pre-loaded machine memory ------------- *)
+
+type result = { status : exit_status; rax : int64; steps : int }
+
+let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
+
+(* Mirror of [Runner.setup] over a pre-loaded machine memory; the page
+   conversion happens here so benchmark loops can keep it out of the timed
+   region. *)
+let setup img ~mem ~func ~args =
+  let c = cpu_create (Mem.of_machine mem) in
+  let entry = Image.symbol_addr img func in
+  List.iteri
+    (fun i a ->
+       match List.nth_opt arg_regs i with
+       | Some r -> rset c r a
+       | None -> invalid_arg "Seed_ref: more than 6 arguments")
+    args;
+  let sp = Int64.sub Image.stack_top 64L in
+  rset c RSP sp;
+  let sp = Int64.sub sp 8L in
+  Mem.write_u64 c.mem sp Image.exit_stub_addr;
+  rset c RSP sp;
+  c.rip <- entry;
+  make c
+
+let call ?(fuel = 50_000_000) img ~mem ~func ~args =
+  let t = setup img ~mem ~func ~args in
+  let status = run ~fuel t in
+  { status; rax = rget t.cpu RAX; steps = t.cpu.steps }

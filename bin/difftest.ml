@@ -58,8 +58,8 @@ let fuzz cfg ~seed ~cases ~shrink ~pool ~slowest_n =
   end;
   if summary.Driver.s_failures = [] && pool_errors = [] then 0 else 1
 
-let main cases seed config_name replay no_shrink show_fingerprint verify jobs
-    slowest_n manifest =
+let main cases seed config_name engine replay no_shrink show_fingerprint verify
+    jobs slowest_n manifest =
   match Oracle.find_config config_name with
   | None ->
     Printf.eprintf "unknown config %s; available: %s\n" config_name
@@ -67,6 +67,7 @@ let main cases seed config_name replay no_shrink show_fingerprint verify jobs
     2
   | Some cfg ->
     let cfg = if verify then { cfg with Oracle.verify = true } else cfg in
+    let cfg = { cfg with Oracle.engine } in
     let shrink = not no_shrink in
     if show_fingerprint then begin
       (* generation digest only: no oracle run, so two invocations are a
@@ -97,6 +98,21 @@ let seed =
 let config =
   Arg.(value & opt string "default" & info [ "config" ] ~docv:"NAME"
          ~doc:"Oracle configuration (which ROP / VM legs to run).")
+
+let engine =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Oracle.engine_mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))),
+        fun ppf m -> Format.pp_print_string ppf (Oracle.engine_mode_name m) )
+  in
+  Arg.(value & opt engine_conv Oracle.E_fast & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine for the machine legs: $(b,fast) (block \
+               translation), $(b,ref) (per-instruction stepper), or \
+               $(b,both) (cross-engine oracle: run every leg under both \
+               engines and report any divergence).")
 
 let replay =
   Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"INDEX"
@@ -135,7 +151,7 @@ let cmd =
   let doc = "differential fuzzing of the obfuscation pipeline" in
   Cmd.v
     (Cmd.info "difftest" ~doc)
-    Term.(const main $ cases $ seed $ config $ replay $ no_shrink $ fingerprint
-          $ verify $ jobs $ slowest $ manifest)
+    Term.(const main $ cases $ seed $ config $ engine $ replay $ no_shrink
+          $ fingerprint $ verify $ jobs $ slowest $ manifest)
 
 let () = exit (Cmd.eval' cmd)

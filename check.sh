@@ -17,7 +17,10 @@ dune build @check
 echo "== parallel smoke (@jobs: difftest --jobs 3 + ropcheck --jobs 4) =="
 dune build @jobs
 
-echo "== difftest smoke (200 cases, seed 42, verifier on) =="
-dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify
+echo "== difftest smoke (200 cases, seed 42, verifier on, cross-engine oracle) =="
+dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify --engine both
+
+echo "== emulator bench smoke (fast vs reference stepper, @bench) =="
+dune build @bench
 
 echo "== OK =="

@@ -25,6 +25,7 @@ type outcome =
   | Fault of string                       (* fault class; message is FYI *)
   | Timeout                               (* fuel / step budget exhausted *)
   | Build_error of string                 (* obfuscation pipeline crashed *)
+  | Engine_split of string                (* fast and ref engines disagreed *)
 
 type backend = Interp | Native | Rop | Vm
 
@@ -37,22 +38,40 @@ let outcome_str = function
   | Fault m -> Printf.sprintf "fault (%s)" m
   | Timeout -> "timeout"
   | Build_error m -> Printf.sprintf "build error (%s)" m
+  | Engine_split m -> Printf.sprintf "engine split (%s)" m
 
 (* Coarse class of an outcome, used to pin a shrink to the original failure
    mode (a shrink that wanders from "wrong rax" to "build error" has found a
    different bug, not a smaller instance of the same one). *)
 let outcome_class = function
   | Ret _ -> "ret" | Fault _ -> "fault" | Timeout -> "timeout"
-  | Build_error _ -> "build-error"
+  | Build_error _ -> "build-error" | Engine_split _ -> "engine-split"
 
-(* Equality up to fault message. *)
+(* Equality up to fault message.  An engine split equals nothing, itself
+   included: the two execution engines disagreeing on one leg is always a
+   discrepancy, whatever the other legs did. *)
 let same_outcome a b =
   match (a, b) with
   | Ret a, Ret b -> a.rax = b.rax && a.mem = b.mem
   | Fault _, Fault _ -> true
   | Timeout, Timeout -> true
   | Build_error _, Build_error _ -> true
+  | Engine_split _, _ | _, Engine_split _ -> false
   | _ -> false
+
+(* Which execution engine runs the machine legs.  [E_both] is the
+   cross-engine oracle: every leg runs under the fast block-translating
+   engine AND the reference stepper, and any observable divergence —
+   termination class, fault message, rax, retired step count, global
+   buffer — is reported as an [Engine_split] discrepancy. *)
+type engine_mode = E_fast | E_ref | E_both
+
+let engine_mode_name = function
+  | E_fast -> "fast" | E_ref -> "ref" | E_both -> "both"
+
+let engine_mode_of_string = function
+  | "fast" -> Some E_fast | "ref" -> Some E_ref | "both" -> Some E_both
+  | _ -> None
 
 type config = {
   name : string;
@@ -61,6 +80,7 @@ type config = {
   verify : bool;    (* run the static chain verifier on the ROP leg; an
                        error-severity diagnostic fails the build like an
                        obfuscator crash would *)
+  engine : engine_mode;
   interp_fuel : int;
   native_fuel : int;
   rop_fuel : int;
@@ -77,6 +97,7 @@ let default_config =
     rop = Some (Ropc.Config.rop_k ~seed:1 1.0);
     vm = Some (1, Vmobf.Imp_none);
     verify = false;
+    engine = E_fast;
     interp_fuel = 2_000_000;
     native_fuel = 2_000_000;
     rop_fuel = 20_000_000;
@@ -187,39 +208,74 @@ let run_interp (cfg : config) (case : Gen.t) args : outcome =
      access raises Memory.Fault straight out of the interpreter *)
   | exception Machine.Memory.Fault (_, m) -> Fault m
 
-let run_machine ~fuel (case : Gen.t) img args : outcome =
-  let r = Runner.call ~fuel img ~func:case.Gen.fname ~args in
+let gbuf_snapshot img (r : Runner.result) =
+  match Image.find_symbol img Gen.gbuf with
+  | Some sym ->
+    Machine.Memory.read_string r.Runner.cpu.Machine.Cpu.mem
+      sym.Image.sym_addr Gen.gbuf_size
+  | None -> ""
+
+let outcome_of_result img (r : Runner.result) : outcome =
   match r.Runner.status with
-  | Machine.Exec.Halted ->
-    let mem =
-      match Image.find_symbol img Gen.gbuf with
-      | Some sym ->
-        Machine.Memory.read_string r.Runner.cpu.Machine.Cpu.mem
-          sym.Image.sym_addr Gen.gbuf_size
-      | None -> ""
-    in
-    Ret { rax = r.Runner.rax; mem }
+  | Machine.Exec.Halted -> Ret { rax = r.Runner.rax; mem = gbuf_snapshot img r }
   | Machine.Exec.Fault m -> Fault m
   | Machine.Exec.Out_of_fuel -> Timeout
+
+let run_machine ~fuel (cfg : config) (case : Gen.t) img args : outcome =
+  match cfg.engine with
+  | E_fast ->
+    outcome_of_result img
+      (Runner.call ~engine:Machine.Exec.Fast ~fuel img ~func:case.Gen.fname ~args)
+  | E_ref ->
+    outcome_of_result img
+      (Runner.call ~engine:Machine.Exec.Ref ~fuel img ~func:case.Gen.fname ~args)
+  | E_both ->
+    (* Cross-engine oracle: the comparison is strict — identical status
+       (message included), rax, retired step count and global buffer — since
+       the fast engine claims observational equivalence, not just
+       same-answer. *)
+    let rf =
+      Runner.call ~engine:Machine.Exec.Fast ~fuel img ~func:case.Gen.fname ~args
+    in
+    let rr =
+      Runner.call ~engine:Machine.Exec.Ref ~fuel img ~func:case.Gen.fname ~args
+    in
+    let sf = Format.asprintf "%a" Machine.Exec.pp_exit rf.Runner.status in
+    let sr = Format.asprintf "%a" Machine.Exec.pp_exit rr.Runner.status in
+    if sf <> sr then
+      Engine_split (Printf.sprintf "status: fast=%s ref=%s" sf sr)
+    else if rf.Runner.steps <> rr.Runner.steps then
+      Engine_split
+        (Printf.sprintf "steps: fast=%d ref=%d (%s)" rf.Runner.steps
+           rr.Runner.steps sf)
+    else if rf.Runner.rax <> rr.Runner.rax then
+      Engine_split
+        (Printf.sprintf "rax: fast=%Ld ref=%Ld" rf.Runner.rax rr.Runner.rax)
+    else begin
+      let mf = gbuf_snapshot img rf and mr = gbuf_snapshot img rr in
+      if mf <> mr then Engine_split "global buffer contents differ"
+      else outcome_of_result img rf
+    end
 
 (* Run one input vector through every configured backend. *)
 let run (cfg : config) (p : prepared) args : (backend * outcome) list =
   let interp = (Interp, run_interp cfg p.case args) in
   let native =
-    (Native, run_machine ~fuel:cfg.native_fuel p.case p.native_img args)
+    (Native, run_machine ~fuel:cfg.native_fuel cfg p.case p.native_img args)
   in
   let rop =
     match p.rop_img with
     | None -> []
     | Some (Error m) -> [ (Rop, Build_error m) ]
     | Some (Ok (img, _)) ->
-      [ (Rop, run_machine ~fuel:cfg.rop_fuel p.case img args) ]
+      [ (Rop, run_machine ~fuel:cfg.rop_fuel cfg p.case img args) ]
   in
   let vm =
     match p.vm_img with
     | None -> []
     | Some (Error m) -> [ (Vm, Build_error m) ]
-    | Some (Ok img) -> [ (Vm, run_machine ~fuel:cfg.vm_fuel p.case img args) ]
+    | Some (Ok img) ->
+      [ (Vm, run_machine ~fuel:cfg.vm_fuel cfg p.case img args) ]
   in
   (interp :: native :: rop) @ vm
 

@@ -15,8 +15,10 @@ type result = {
 let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
 
 (* Prepare a machine with RIP at [func]'s entry and the stack set up for a
-   call with [args]; does not run it. *)
-let setup ?mem img ~func ~args =
+   call with [args]; does not run it.  [engine] picks the execution engine
+   (default: the block-translating fast engine; [Machine.Exec.Ref] is the
+   per-instruction reference stepper the fast engine is tested against). *)
+let setup ?engine ?mem img ~func ~args =
   let mem = match mem with Some m -> m | None -> Image.load img in
   let cpu = Machine.Cpu.create mem in
   let entry = Image.symbol_addr img func in
@@ -32,18 +34,18 @@ let setup ?mem img ~func ~args =
   let sp = Int64.sub sp 8L in
   Machine.Memory.write_u64 mem sp Image.exit_stub_addr;
   Machine.Cpu.set cpu RSP sp;
-  cpu.Machine.Cpu.rip <- entry;
-  Machine.Exec.make cpu
+  Machine.Cpu.set_rip cpu entry;
+  Machine.Exec.make ?engine cpu
 
-let call ?(fuel = 50_000_000) ?mem img ~func ~args =
-  let t = setup ?mem img ~func ~args in
+let call ?engine ?(fuel = 50_000_000) ?mem img ~func ~args =
+  let t = setup ?engine ?mem img ~func ~args in
   let status = Machine.Exec.run ~fuel t in
   let cpu = t.Machine.Exec.cpu in
   { status; rax = Machine.Cpu.get cpu RAX; steps = cpu.Machine.Cpu.steps; cpu }
 
 (* Call and insist on a clean return; fails with the exit status otherwise. *)
-let call_exn ?fuel ?mem img ~func ~args =
-  let r = call ?fuel ?mem img ~func ~args in
+let call_exn ?engine ?fuel ?mem img ~func ~args =
+  let r = call ?engine ?fuel ?mem img ~func ~args in
   match r.status with
   | Machine.Exec.Halted -> r
   | st ->

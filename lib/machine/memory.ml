@@ -3,72 +3,135 @@
    Pages are allocated on first write (or on explicit [map]).  Reading an
    unmapped byte raises {!Fault}: wild chain executions (e.g. the intentional
    RSP corruption of predicate P2 under blind branch flipping) must terminate
-   the enclosing exploration rather than silently read zeros. *)
+   the enclosing exploration rather than silently read zeros.
+
+   Two execution-speed mechanisms live here because every consumer of the
+   machine benefits from them:
+
+   - Accesses that stay inside one page resolve the page once — through a
+     one-entry last-page cache, then a specialized int-keyed table — and use
+     the [Bytes] little-endian accessors instead of a byte-at-a-time loop.
+     Page-straddling and odd-sized accesses fall back to the byte loop.
+   - [code_version] counts writes into pages the executor has decoded
+     instructions from ([note_code]).  {!Exec} snapshots the counter when it
+     fills its decode/translation caches and flushes them when it moves, so
+     self-modifying or patched code (rewriter immediates, P1 residues,
+     difftest wild stores) executes the new bytes instead of stale decodes.
+     Code marks are sticky for the lifetime of the memory: clearing them on
+     flush would silently break any second executor sharing this memory. *)
 
 exception Fault of int64 * string
 
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = {
-  pages : (int64, bytes) Hashtbl.t;
-  mutable mapped_ranges : (int64 * int64) list;  (* inclusive start, exclusive end *)
+type page = {
+  data : bytes;
+  mutable is_code : bool;   (* instructions were decoded from this page *)
 }
 
-let create () = { pages = Hashtbl.create 64; mapped_ranges = [] }
+module Itbl = Util.Itbl
+
+type t = {
+  pages : page Itbl.t;                           (* keyed by page index *)
+  mutable mapped_ranges : (int64 * int64) list;  (* inclusive start, exclusive end *)
+  mutable code_version : int;   (* bumped on every write into a code page *)
+  mutable last_idx : int;       (* one-entry page cache; min_int = empty *)
+  mutable last_page : page;
+}
+
+let dummy_page = { data = Bytes.create 0; is_code = false }
+
+let create () =
+  { pages = Itbl.create 64; mapped_ranges = [];
+    code_version = 0; last_idx = min_int; last_page = dummy_page }
 
 let copy t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) t.pages;
-  { pages; mapped_ranges = t.mapped_ranges }
+  let pages = Itbl.create (Itbl.length t.pages) in
+  Itbl.iter
+    (fun k p -> Itbl.replace pages k { data = Bytes.copy p.data; is_code = p.is_code })
+    t.pages;
+  { pages; mapped_ranges = t.mapped_ranges; code_version = t.code_version;
+    last_idx = min_int; last_page = dummy_page }
 
-let page_of addr = Int64.shift_right_logical addr page_bits
+(* The page index is the address's top 52 bits: exact as an OCaml int even
+   for addresses with the sign bit set, and injective over all of them. *)
+let page_idx addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
 let offset_of addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 1)))
 
-let get_page_opt t addr = Hashtbl.find_opt t.pages (page_of addr)
+let code_version t = t.code_version
 
-let get_page_for_write t addr =
-  let p = page_of addr in
-  match Hashtbl.find_opt t.pages p with
-  | Some b -> b
+(* Resolve the page of [addr] for reading; fills the one-entry cache.
+   Kept out of the fast paths so they inline to a compare plus field load. *)
+let read_page_slow t idx addr =
+  match Itbl.find_opt t.pages idx with
+  | Some p -> t.last_idx <- idx; t.last_page <- p; p
+  | None -> raise (Fault (addr, "read of unmapped address"))
+
+let read_page t addr =
+  let idx = page_idx addr in
+  if t.last_idx = idx then t.last_page else read_page_slow t idx addr
+
+(* Same, but allocate a fresh zero page when unmapped (writes map lazily). *)
+let write_page_slow t idx =
+  match Itbl.find_opt t.pages idx with
+  | Some p -> t.last_idx <- idx; t.last_page <- p; p
   | None ->
-    let b = Bytes.make page_size '\000' in
-    Hashtbl.replace t.pages p b;
-    b
+    let p = { data = Bytes.make page_size '\000'; is_code = false } in
+    Itbl.replace t.pages idx p;
+    t.last_idx <- idx; t.last_page <- p;
+    p
+
+let write_page t addr =
+  let idx = page_idx addr in
+  if t.last_idx = idx then t.last_page else write_page_slow t idx
+
+let get_page_opt t addr =
+  let idx = page_idx addr in
+  if t.last_idx = idx then Some t.last_page else Itbl.find_opt t.pages idx
 
 (* Pre-map [len] bytes starting at [addr] as zero-filled readable memory. *)
 let map t addr len =
   if len > 0 then begin
-    let first = page_of addr in
-    let last = page_of (Int64.add addr (Int64.of_int (len - 1))) in
-    let p = ref first in
-    while Int64.compare !p last <= 0 do
-      (match Hashtbl.find_opt t.pages !p with
-       | Some _ -> ()
-       | None -> Hashtbl.replace t.pages !p (Bytes.make page_size '\000'));
-      p := Int64.add !p 1L
+    let first = page_idx addr in
+    let last = page_idx (Int64.add addr (Int64.of_int (len - 1))) in
+    for p = first to last do
+      if not (Itbl.mem t.pages p) then
+        Itbl.replace t.pages p { data = Bytes.make page_size '\000'; is_code = false }
     done;
     t.mapped_ranges <- (addr, Int64.add addr (Int64.of_int len)) :: t.mapped_ranges
   end
 
 let is_mapped t addr = get_page_opt t addr <> None
 
+(* Mark the pages holding [addr, addr+len) as code: subsequent writes into
+   them bump [code_version].  Only mapped pages can hold decoded bytes. *)
+let note_code t addr len =
+  let len = max len 1 in
+  let first = page_idx addr in
+  let last = page_idx (Int64.add addr (Int64.of_int (len - 1))) in
+  for p = first to last do
+    match Itbl.find_opt t.pages p with
+    | Some pg -> pg.is_code <- true
+    | None -> ()
+  done
+
 let read_u8 t addr =
-  match get_page_opt t addr with
-  | Some b -> Char.code (Bytes.get b (offset_of addr))
-  | None -> raise (Fault (addr, "read of unmapped address"))
+  let p = read_page t addr in
+  Char.code (Bytes.unsafe_get p.data (offset_of addr))
 
 let read_u8_opt t addr =
   match get_page_opt t addr with
-  | Some b -> Some (Char.code (Bytes.get b (offset_of addr)))
+  | Some p -> Some (Char.code (Bytes.get p.data (offset_of addr)))
   | None -> None
 
 let write_u8 t addr v =
-  let b = get_page_for_write t addr in
-  Bytes.set b (offset_of addr) (Char.chr (v land 0xff))
+  let p = write_page t addr in
+  if p.is_code then t.code_version <- t.code_version + 1;
+  Bytes.unsafe_set p.data (offset_of addr) (Char.unsafe_chr (v land 0xff))
 
-(* Little-endian load of [n] bytes (1, 2, 4 or 8). *)
-let read t addr n =
+(* Little-endian load of [n] bytes (1, 2, 4 or 8), byte-loop reference. *)
+let read_slow t addr n =
   let r = ref 0L in
   for i = n - 1 downto 0 do
     let byte = read_u8 t (Int64.add addr (Int64.of_int i)) in
@@ -76,35 +139,114 @@ let read t addr n =
   done;
   !r
 
-(* Little-endian store of the low [n] bytes of [v]. *)
-let write t addr n v =
+let read t addr n =
+  let off = offset_of addr in
+  if off + n <= page_size then
+    let p = read_page t addr in
+    match n with
+    | 8 -> Bytes.get_int64_le p.data off
+    | 4 ->
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_le p.data off)) 0xFFFFFFFFL
+    | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get p.data off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p.data off)
+    | _ -> read_slow t addr n
+  else read_slow t addr n
+
+(* Little-endian store of the low [n] bytes of [v], byte-loop reference. *)
+let write_slow t addr n v =
   for i = 0 to n - 1 do
     let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
     write_u8 t (Int64.add addr (Int64.of_int i)) byte
   done
 
-let read_u64 t addr = read t addr 8
-let write_u64 t addr v = write t addr 8 v
+let write t addr n v =
+  let off = offset_of addr in
+  if off + n <= page_size then begin
+    let p = write_page t addr in
+    if p.is_code then t.code_version <- t.code_version + 1;
+    match n with
+    | 8 -> Bytes.set_int64_le p.data off v
+    | 4 -> Bytes.set_int32_le p.data off (Int64.to_int32 v)
+    | 1 -> Bytes.unsafe_set p.data off (Char.unsafe_chr (Int64.to_int v land 0xff))
+    | 2 -> Bytes.set_uint16_le p.data off (Int64.to_int v land 0xffff)
+    | _ -> write_slow t addr n v
+  end
+  else write_slow t addr n v
 
-(* Copy a byte string into memory at [addr], mapping pages as needed. *)
+(* Cold continuations for the page-local fast paths that Exec compiles into
+   its stack-op closures.  They take the page index and intra-page offset as
+   immediate ints, so a hot caller whose address lives in an unboxed int64
+   register never has to materialize the boxed address just to have a slow
+   path to call; the faulting address is reconstructed exactly (the index is
+   the address's top 52 bits, the offset its low 12). *)
+let join_addr idx off =
+  Int64.logor (Int64.shift_left (Int64.of_int idx) page_bits) (Int64.of_int off)
+
+let read_page_cold t idx off =
+  match Itbl.find_opt t.pages idx with
+  | Some p -> t.last_idx <- idx; t.last_page <- p; p
+  | None -> raise (Fault (join_addr idx off, "read of unmapped address"))
+
+let read_straddle t idx off n = read_slow t (join_addr idx off) n
+let write_straddle t idx off n v = write_slow t (join_addr idx off) n v
+
+(* 8-byte accesses get dedicated entry points: they are the stack traffic of
+   every push/pop/call/ret, which under ROP rewriting is most retired
+   instructions, so they skip the size dispatch of [read]/[write] entirely. *)
+let read_u64 t addr =
+  let off = offset_of addr in
+  let idx = page_idx addr in
+  if off <= page_size - 8 then
+    let p = if t.last_idx = idx then t.last_page else read_page_cold t idx off in
+    Bytes.get_int64_le p.data off
+  else read_straddle t idx off 8
+
+let write_u64 t addr v =
+  let off = offset_of addr in
+  let idx = page_idx addr in
+  if off <= page_size - 8 then begin
+    let p = if t.last_idx = idx then t.last_page else write_page_slow t idx in
+    if p.is_code then t.code_version <- t.code_version + 1;
+    Bytes.set_int64_le p.data off v
+  end
+  else write_straddle t idx off 8 v
+
+(* Copy a byte string into memory at [addr], mapping pages as needed.
+   Blits page-sized chunks: image loading goes through here for every
+   section, and a byte loop made it the dominant cost of short runs. *)
 let store_bytes t addr (b : bytes) =
-  for i = 0 to Bytes.length b - 1 do
-    write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.get b i))
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = offset_of a in
+    let chunk = min (page_size - off) (len - !pos) in
+    let p = write_page t a in
+    if p.is_code then t.code_version <- t.code_version + 1;
+    Bytes.blit b !pos p.data off chunk;
+    pos := !pos + chunk
   done
 
 (* Read up to [n] contiguous mapped bytes starting at [addr]; stops early at
-   the first unmapped byte.  Used for instruction fetch windows. *)
+   the first unmapped byte.  Used for instruction fetch windows, so it blits
+   from at most two pages instead of probing the page table per byte. *)
 let read_bytes_avail t addr n =
-  let buf = Buffer.create n in
-  let rec go i =
-    if i >= n then ()
-    else
-      match read_u8_opt t (Int64.add addr (Int64.of_int i)) with
-      | Some v -> Buffer.add_char buf (Char.chr v); go (i + 1)
-      | None -> ()
-  in
-  go 0;
-  Buffer.to_bytes buf
+  let off = offset_of addr in
+  let first = min n (page_size - off) in
+  match get_page_opt t addr with
+  | None -> Bytes.create 0
+  | Some p ->
+    let buf = Bytes.create n in
+    Bytes.blit p.data off buf 0 first;
+    if first >= n then buf
+    else begin
+      let addr' = Int64.add addr (Int64.of_int first) in
+      match get_page_opt t addr' with
+      | Some p' ->
+        Bytes.blit p'.data 0 buf first (n - first);
+        buf
+      | None -> Bytes.sub buf 0 first
+    end
 
 let read_string t addr len =
   Bytes.to_string (read_bytes_avail t addr len)

@@ -26,11 +26,16 @@ let sign_extend w v =
     let shifted = Int64.shift_left v (64 - bits) in
     Int64.shift_right shifted (64 - bits)
 
+(* PF: even parity of the low byte.  The stepper updates PF on every ALU
+   retire, so the popcount loop is replaced by a 256-entry table computed
+   once at load time ('\001' = even parity). *)
+let parity_table =
+  String.init 256 (fun b ->
+      let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
+      if pop 0 b land 1 = 0 then '\001' else '\000')
+
 let parity v =
-  (* PF: even parity of the low byte. *)
-  let b = Int64.to_int (Int64.logand v 0xFFL) in
-  let rec pop acc b = if b = 0 then acc else pop (acc + (b land 1)) (b lsr 1) in
-  pop 0 b land 1 = 0
+  String.unsafe_get parity_table (Int64.to_int v land 0xFF) = '\001'
 
 type flags = { cf : bool; zf : bool; sf : bool; o_f : bool; pf : bool }
 

@@ -1,0 +1,25 @@
+(* Hashtable specialized to immediate [int] keys.
+
+   The stdlib's plain [Hashtbl] hashes every key through the polymorphic
+   [Hashtbl.hash], which walks the representation of the key — for the boxed
+   [int64] addresses the machine used to key its decode and page tables with,
+   that is a C call plus a traversal per probe.  Machine addresses fit
+   comfortably in OCaml's 63-bit immediates (the image tops out below 2^31,
+   and even a full 64-bit address keyed by page index needs only 52 bits), so
+   keying by [int] with a two-multiply avalanche makes a probe a handful of
+   inline instructions.
+
+   The mixer is the 64-bit variant of the splitmix64 finalizer (same family
+   as {!Rng}); [Hashtbl.Make] masks the result to non-negative itself. *)
+
+include Hashtbl.Make (struct
+    type t = int
+
+    let equal (a : int) (b : int) = a = b
+
+    let hash (x : int) =
+      let x = x * 0x9E3779B97F4A7C1 in
+      let x = x lxor (x lsr 29) in
+      let x = x * 0xBF58476D1CE4E5B in
+      x lxor (x lsr 32)
+  end)

@@ -13,7 +13,7 @@ let machine_of instrs =
   Machine.Memory.store_bytes mem code_base (X86.Encode.encode_list instrs);
   Machine.Memory.map mem (Int64.sub stack_top 65536L) 65536;
   let cpu = Machine.Cpu.create mem in
-  cpu.Machine.Cpu.rip <- code_base;
+  Machine.Cpu.set_rip cpu code_base;
   Machine.Cpu.set cpu RSP stack_top;
   Machine.Exec.make cpu
 
@@ -206,10 +206,10 @@ let test_figure1_chain () =
     Machine.Cpu.set cpu RAX rax_val;
     Machine.Cpu.set cpu RSP chain_base;  (* already pivoted *)
     (* kick off: ret into first gadget *)
-    cpu.Machine.Cpu.rip <- g "hlt";      (* place a ret... simpler: set rip to a ret *)
+    Machine.Cpu.set_rip cpu (g "hlt");      (* place a ret... simpler: set rip to a ret *)
     let t = Machine.Exec.make cpu in
     (* start by simulating the ret: pop first gadget into rip *)
-    cpu.Machine.Cpu.rip <- Machine.Memory.read_u64 cpu.Machine.Cpu.mem chain_base;
+    Machine.Cpu.set_rip cpu (Machine.Memory.read_u64 cpu.Machine.Cpu.mem chain_base);
     Machine.Cpu.set cpu RSP (Int64.add chain_base 8L);
     match Machine.Exec.run ~fuel:1000 t with
     | Machine.Exec.Halted -> Machine.Cpu.get cpu RDI

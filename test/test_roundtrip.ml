@@ -254,7 +254,7 @@ let run_flags instrs =
   Machine.Memory.store_bytes mem code_base (X86.Encode.encode_list instrs);
   Machine.Memory.map mem (Int64.sub stack_top 65536L) 65536;
   let cpu = Machine.Cpu.create mem in
-  cpu.Machine.Cpu.rip <- code_base;
+  Machine.Cpu.set_rip cpu code_base;
   Machine.Cpu.set cpu RSP stack_top;
   let t = Machine.Exec.make cpu in
   match Machine.Exec.run ~fuel:1000 t with

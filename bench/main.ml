@@ -364,8 +364,72 @@ let json_of_results ~quick (wrs : workload_result list)
   pf "}\n";
   Buffer.contents b
 
-let run_json ~quick ~path =
-  let rounds = if quick then 2 else 5 in
+(* --- baseline gate (--baseline FILE) --------------------------------------
+
+   Compares this run's fast-engine steps/sec per workload against a committed
+   BENCH_emulator.json and fails on a regression beyond 5%.  This is the
+   observability cost contract made executable: the metric/trace hooks are
+   compiled into the engines unconditionally, and the gate holds while they
+   stay disabled. *)
+
+let regression_floor = 0.95
+
+let check_baseline ~path (wrs : workload_result list) =
+  let module J = Obs.Json in
+  let doc =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match J.parse doc with
+  | Error e ->
+    Printf.printf "baseline %s: parse error: %s\n%!" path e;
+    false
+  | Ok root ->
+    let base_fast name =
+      match Option.bind (J.member "workloads" root) J.to_list with
+      | None -> None
+      | Some ws ->
+        List.find_map
+          (fun w ->
+             match J.member "name" w with
+             | Some (J.Str n) when n = name ->
+               (match J.path [ "engines"; "fast"; "steps_per_sec" ] w with
+                | Some (J.Num sps) -> Some sps
+                | _ -> None)
+             | _ -> None)
+          ws
+    in
+    Printf.printf "== Baseline gate (%s, fast engine within %.0f%%) ==\n" path
+      ((1.0 -. regression_floor) *. 100.0);
+    let ok =
+      List.for_all
+        (fun wr ->
+           let fast =
+             List.find (fun (e : engine_result) -> e.name = "fast")
+               wr.wr_engines
+           in
+           let cur = 1e9 /. fast.ns_per_step in
+           match base_fast wr.wr_name with
+           | None ->
+             Printf.printf "  %-20s no baseline entry; skipped\n" wr.wr_name;
+             true
+           | Some base ->
+             let ratio = cur /. base in
+             Printf.printf
+               "  %-20s %12.0f steps/sec vs baseline %12.0f  (%.2fx) %s\n"
+               wr.wr_name cur base ratio
+               (if ratio >= regression_floor then "ok" else "REGRESSION");
+             ratio >= regression_floor)
+        wrs
+    in
+    ok
+
+let run_json ~quick ~baseline ~path =
+  (* each round is a few ms per engine; 20 rounds keeps the best-of estimate
+     stable enough for the 5% baseline gate even in quick mode *)
+  let rounds = 20 in
   let quota = if quick then 0.4 else 1.5 in
   let limit = if quick then 50 else 200 in
   let wrs = List.map (bench_workload ~rounds) (make_workloads ()) in
@@ -388,7 +452,23 @@ let run_json ~quick ~path =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n%!" path;
-  if List.exists (fun wr -> wr.wr_equal <> Ok ()) wrs then exit 1
+  if List.exists (fun wr -> wr.wr_equal <> Ok ()) wrs then exit 1;
+  match baseline with
+  | None -> ()
+  | Some p ->
+    if not (check_baseline ~path:p wrs) then begin
+      (* transient container load can shave a few percent off one sample;
+         re-measure once with more rounds before calling it a regression *)
+      Printf.printf "baseline gate missed; re-measuring (%d rounds)\n%!"
+        (rounds * 2);
+      let wrs = List.map (bench_workload ~rounds:(rounds * 2)) (make_workloads ()) in
+      if not (check_baseline ~path:p wrs) then begin
+        Printf.printf
+          "baseline gate FAILED: fast engine regressed more than %.0f%%\n%!"
+          ((1.0 -. regression_floor) *. 100.0);
+        exit 1
+      end
+    end
 
 let run_full () =
   ignore (run_benchmarks ());
@@ -415,6 +495,11 @@ let () =
     | "--json" :: _ -> Some "BENCH_emulator.json"
     | _ :: rest -> json_path rest
   in
+  let rec baseline_path = function
+    | [] -> None
+    | "--baseline" :: p :: _ -> Some p
+    | _ :: rest -> baseline_path rest
+  in
   match json_path argv with
-  | Some path -> run_json ~quick ~path
+  | Some path -> run_json ~quick ~baseline:(baseline_path argv) ~path
   | None -> run_full ()

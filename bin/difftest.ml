@@ -59,7 +59,8 @@ let fuzz cfg ~seed ~cases ~shrink ~pool ~slowest_n =
   if summary.Driver.s_failures = [] && pool_errors = [] then 0 else 1
 
 let main cases seed config_name engine replay no_shrink show_fingerprint verify
-    jobs slowest_n manifest =
+    jobs slowest_n manifest trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   match Oracle.find_config config_name with
   | None ->
     Printf.eprintf "unknown config %s; available: %s\n" config_name
@@ -147,11 +148,22 @@ let manifest =
          ~doc:"Write a JSON run manifest (per-case timing, worker \
                utilization) to $(docv).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a chrome://tracing JSON profile of the run to $(docv). \
+               Spans from forked workers are not captured; use --jobs 1 for \
+               a complete flame view.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Dump the metrics registry to stderr on exit.")
+
 let cmd =
   let doc = "differential fuzzing of the obfuscation pipeline" in
   Cmd.v
     (Cmd.info "difftest" ~doc)
     Term.(const main $ cases $ seed $ config $ engine $ replay $ no_shrink
-          $ fingerprint $ verify $ jobs $ slowest $ manifest)
+          $ fingerprint $ verify $ jobs $ slowest $ manifest $ trace_arg
+          $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -41,7 +41,8 @@ let all_names =
   [ "table4"; "table3"; "fig5"; "coverage"; "ropaware"; "efficacy";
     "casestudy"; "table2" ]
 
-let main name full jobs no_cache cache_dir manifest timeout only =
+let main name full jobs no_cache cache_dir manifest timeout only trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   let names = if name = "all" then all_names else [ name ] in
   let names =
     match only with
@@ -114,10 +115,21 @@ let only_arg =
              skipped (e.g. --only table2,table3)." in
   Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS" ~doc)
 
+let trace_arg =
+  let doc = "Write a chrome://tracing JSON profile of the run to $(docv). \
+             Spans from forked workers are not captured; run with --jobs 1 \
+             for a complete flame view (metrics merge either way)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Dump the metrics registry to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(const main $ name_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ cache_dir_arg $ manifest_arg $ timeout_arg $ only_arg)
+          $ cache_dir_arg $ manifest_arg $ timeout_arg $ only_arg $ trace_arg
+          $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

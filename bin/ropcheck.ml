@@ -68,7 +68,8 @@ let check_one ~verbose name cfg_name config build fns =
   end;
   (errs, warns, Buffer.contents buf)
 
-let main seed program config verbose jobs manifest =
+let main seed program config verbose jobs manifest trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   let matrix =
     match config with
     | None -> config_matrix seed
@@ -168,9 +169,21 @@ let cmd =
          & info [ "manifest" ] ~docv:"FILE"
              ~doc:"Write a JSON run manifest to $(docv).")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a chrome://tracing JSON profile of the run to \
+                   $(docv). Spans from forked workers are not captured; use \
+                   --jobs 1 for a complete flame view.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Dump the metrics registry to stderr on exit.")
+  in
   Cmd.v
     (Cmd.info "ropcheck"
        ~doc:"Statically verify rewritten images without executing them")
-    Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest)
+    Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest
+          $ trace $ metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,12 +24,13 @@ let builtin_programs () =
       (fun (name, prog, fns, _) -> (name, (prog, fns, "bench")))
       Minic.Clbg.all
 
-let main prog_name k p2 confusion seed arg verify =
+let main prog_name k p2 confusion seed arg verify trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   match List.assoc_opt prog_name (builtin_programs ()) with
   | None ->
     Printf.eprintf "unknown program %s; available: %s\n" prog_name
       (String.concat ", " (List.map fst (builtin_programs ())));
-    exit 2
+    2
   | Some (prog, funcs, entry) ->
     let img = Minic.Codegen.compile prog in
     let native = Runner.call_exn ~fuel:2_000_000_000 img ~func:entry ~args:[ arg ] in
@@ -54,20 +55,27 @@ let main prog_name k p2 confusion seed arg verify =
       r.Ropc.Rewriter.funcs;
     Printf.printf "gadgets:    %d uses of %d unique gadgets\n"
       r.Ropc.Rewriter.total_gadget_uses r.Ropc.Rewriter.unique_gadgets;
-    if verify then begin
-      let diags = Verify.Check.check r in
-      let errs, warns, _ = Verify.Diag.counts diags in
-      List.iter (fun d -> Printf.printf "  %s\n" (Verify.Diag.render d)) diags;
-      Printf.printf "verify:     %d errors, %d warnings\n" errs warns;
-      if errs > 0 then exit 1
-    end;
-    let rop = Runner.call_exn ~fuel:2_000_000_000 r.Ropc.Rewriter.image ~func:entry ~args:[ arg ] in
-    Printf.printf "obfuscated: result=%Ld  (%d instructions, %.1fx)\n" rop.Runner.rax
-      rop.Runner.steps
-      (float_of_int rop.Runner.steps /. float_of_int (max native.Runner.steps 1));
-    if native.Runner.rax <> rop.Runner.rax then begin
-      Printf.eprintf "MISMATCH!\n";
-      exit 1
+    let verify_errs =
+      if not verify then 0
+      else begin
+        let diags = Verify.Check.check r in
+        let errs, warns, _ = Verify.Diag.counts diags in
+        List.iter (fun d -> Printf.printf "  %s\n" (Verify.Diag.render d)) diags;
+        Printf.printf "verify:     %d errors, %d warnings\n" errs warns;
+        errs
+      end
+    in
+    if verify_errs > 0 then 1
+    else begin
+      let rop = Runner.call_exn ~fuel:2_000_000_000 r.Ropc.Rewriter.image ~func:entry ~args:[ arg ] in
+      Printf.printf "obfuscated: result=%Ld  (%d instructions, %.1fx)\n" rop.Runner.rax
+        rop.Runner.steps
+        (float_of_int rop.Runner.steps /. float_of_int (max native.Runner.steps 1));
+      if native.Runner.rax <> rop.Runner.rax then begin
+        Printf.eprintf "MISMATCH!\n";
+        1
+      end
+      else 0
     end
 
 let cmd =
@@ -84,8 +92,18 @@ let cmd =
          & info [ "verify" ]
              ~doc:"Run the static chain verifier on the rewritten image.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a chrome://tracing JSON profile of the run to $(docv).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Dump the metrics registry to stderr on exit.")
+  in
   Cmd.v
     (Cmd.info "ropfuscator" ~doc:"Rewrite a program's functions into ROP chains")
-    Term.(const main $ prog $ k $ p2 $ confusion $ seed $ arg $ verify)
+    Term.(const main $ prog $ k $ p2 $ confusion $ seed $ arg $ verify $ trace
+          $ metrics)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,9 @@ dune build @check
 echo "== parallel smoke (@jobs: difftest --jobs 3 + ropcheck --jobs 4) =="
 dune build @jobs
 
+echo "== observability (@obs: lib/obs suite + schema-validated --trace smoke) =="
+dune build @obs
+
 echo "== difftest smoke (200 cases, seed 42, verifier on, cross-engine oracle) =="
 dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify --engine both
 

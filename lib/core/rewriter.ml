@@ -277,7 +277,9 @@ let live_for live_info (bi : Cfg.binstr) =
 
 let rewrite_function (s : session) fname
   : (func_stats * Audit.func, failure) Stdlib.result =
-  match Cfg.of_image s.img fname with
+  match Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.cfg"
+          (fun () -> Cfg.of_image s.img fname)
+  with
   | exception Cfg.Analysis_error _ -> Error F_cfg
   | cfg when cfg.Cfg.failed -> Error F_cfg
   | cfg ->
@@ -292,7 +294,10 @@ let rewrite_function (s : session) fname
     in
     if sym.Image.sym_size < pivot_stub_size then Error F_too_small
     else begin
-      let live_info = Analysis.Liveness.compute cfg in
+      let live_info =
+        Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.liveness"
+          (fun () -> Analysis.Liveness.compute cfg)
+      in
       (* per-function ABI data in .rop *)
       let spill_base = rop_alloc s (8 * s.config.Config.spill_slots) in
       let flags_spill = rop_alloc s 16 in
@@ -364,6 +369,8 @@ let rewrite_function (s : session) fname
         pairs order
       in
       let result =
+        Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.lower"
+        @@ fun () ->
         try
           List.iter
             (fun (addr, next) ->
@@ -462,9 +469,11 @@ let rewrite_function (s : session) fname
         let base = rop_cursor s in
         let rngj = Util.Rng.split s.rng in
         let m =
-          Chain.materialize
-            ~junk:(fun _ -> Util.Rng.int rngj 256)
-            ~base b.Builder.chain
+          Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.materialize"
+            (fun () ->
+               Chain.materialize
+                 ~junk:(fun _ -> Util.Rng.int rngj 256)
+                 ~base b.Builder.chain)
         in
         let addr = rop_emit s m.Chain.bytes in
         assert (addr = base);
@@ -553,14 +562,16 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
   let rng = Util.Rng.create config.Config.seed in
   (* found gadgets from parts left unobfuscated *)
   let found =
-    if found_gadget_scan then Finder.scan_image img ~excluding:functions
-    else []
+    Obs.Trace.with_span "rewrite.gadget_scan" (fun () ->
+        if found_gadget_scan then Finder.scan_image img ~excluding:functions
+        else [])
   in
   let text = Image.section_exn img ".text" in
   let pool_base = Image.section_end text in
   let pool =
-    Pool.create ~variants:config.Config.variants ~rng:(Util.Rng.split rng)
-      ~next_addr:pool_base found
+    Obs.Trace.with_span "rewrite.pool_build" (fun () ->
+        Pool.create ~variants:config.Config.variants ~rng:(Util.Rng.split rng)
+          ~next_addr:pool_base found)
   in
   let rop_buf = Buffer.create 4096 in
   let s =
@@ -584,7 +595,12 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
   let s = { s with funcret_gadget = funcret } in
   Pool.reset_stats pool;   (* the funcret request should not skew Table III *)
   let raw =
-    List.map (fun fname -> (fname, rewrite_function s fname)) functions
+    List.map
+      (fun fname ->
+         (fname,
+          Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.function"
+            (fun () -> rewrite_function s fname)))
+      functions
   in
   let funcs =
     List.map (fun (fname, r) -> (fname, Result.map fst r)) raw
@@ -598,6 +614,24 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
        ~data:(Buffer.to_bytes rop_buf) ~writable:true ~executable:false);
   Image.add_symbol img ~name:"__ss" ~addr:ss_addr ~size:(8 * 64) ();
   let uses, uniq = Pool.stats pool in
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c "rewrite.found_gadgets" (List.length found);
+    c "rewrite.gadget_uses" uses;
+    c "rewrite.unique_gadgets" uniq;
+    c "rewrite.pool_bytes" (Bytes.length pool_bytes);
+    c "rewrite.funcs_attempted" (List.length raw);
+    List.iter
+      (fun (_, r) ->
+         match r with
+         | Ok (fs, _) ->
+           c "rewrite.funcs_ok" 1;
+           c "rewrite.points" fs.fs_points;
+           c "rewrite.chain_bytes" fs.fs_chain_bytes;
+           Obs.Metrics.observe_named "rewrite.blocks_per_func" fs.fs_blocks
+         | Error _ -> c "rewrite.funcs_failed" 1)
+      raw
+  end;
   let audit =
     { Audit.a_ss_addr = ss_addr;
       a_funcret = funcret;

@@ -70,6 +70,16 @@ let scale_key s =
     (String.concat "," (List.map string_of_int s.controls))
     (List.length s.configs)
 
+(* Per-cell cost columns appended to every pooled table: worker-side wall
+   seconds (or "cache" when the cell came from the lib/jobs result cache)
+   and user+system CPU seconds from the worker's Unix.times deltas. *)
+let cost_headers = [ "CELL WALL"; "CELL CPU" ]
+
+let cell_cost (r : _ Jobs.Pool.result) =
+  [ (if r.Jobs.Pool.cached then "cache"
+     else Printf.sprintf "%.2fs" r.Jobs.Pool.time_s);
+    Printf.sprintf "%.2fs" (r.Jobs.Pool.utime_s +. r.Jobs.Pool.stime_s) ]
+
 (* Probes reachable natively, by concrete enumeration/sampling. *)
 let reachable_probes (t : Minic.Randomfuns.t) =
   let img = Minic.Codegen.compile t.prog in
@@ -183,14 +193,17 @@ let table2 ?(pool = Jobs.Pool.default) ?(scale = quick_scale) () =
       scale.configs results
   in
   Report.table ~title:"Table II: successful DSE attacks within budget"
-    ~headers:[ "CONFIGURATION"; "SECRET FOUND"; "AVG TIME"; "100% COVERAGE" ]
-    (List.map
-       (fun r ->
+    ~headers:
+      ([ "CONFIGURATION"; "SECRET FOUND"; "AVG TIME"; "100% COVERAGE" ]
+       @ cost_headers)
+    (List.map2
+       (fun r res ->
           [ r.t2_config;
             Printf.sprintf "%d/%d" r.t2_found r.t2_total;
             (if r.t2_found = 0 then "-" else Printf.sprintf "%.1fs" r.t2_avg_time);
-            Printf.sprintf "%d/%d" r.t2_covered r.t2_total ])
-       rows);
+            Printf.sprintf "%d/%d" r.t2_covered r.t2_total ]
+          @ cell_cost res)
+       rows results);
   rows
 
 (* --- Figure 5 / Table III: clbg overhead and rewriter statistics ------------- *)
@@ -260,15 +273,16 @@ let fig5 ?(pool = Jobs.Pool.default) () =
     ~headers:
       ([ "BENCHMARK"; "NATIVE STEPS"; "2VM-IMPlast" ]
        @ List.map (fun k -> Printf.sprintf "ROP_%.2f" k) Configs.rop_ks
-       @ [ "ROP_1.00/2VM" ])
-    (List.map
-       (fun r ->
+       @ [ "ROP_1.00/2VM" ] @ cost_headers)
+    (List.map2
+       (fun r res ->
           [ r.f5_bench; string_of_int r.f5_native_steps;
             Printf.sprintf "%.1fx" r.f5_vm_slowdown ]
           @ List.map (fun (_, s) -> Printf.sprintf "%.1fx" s) r.f5_rop_slowdown
           @ [ Printf.sprintf "%.2f"
-                (snd (List.nth r.f5_rop_slowdown 5) /. r.f5_vm_slowdown) ])
-       rows);
+                (snd (List.nth r.f5_rop_slowdown 5) /. r.f5_vm_slowdown) ]
+          @ cell_cost res)
+       rows results);
   rows
 
 type table3_row = {
@@ -327,16 +341,18 @@ let table3 ?(pool = Jobs.Pool.default) () =
            (fun k ->
               [ Printf.sprintf "A@%.2f" k; Printf.sprintf "B@%.2f" k;
                 Printf.sprintf "C@%.2f" k ])
-           Configs.rop_ks)
-    (List.map
-       (fun r ->
+           Configs.rop_ks
+       @ cost_headers)
+    (List.map2
+       (fun r res ->
           let n = match r.t3_rows with (_, n, _, _, _) :: _ -> n | [] -> 0 in
           [ r.t3_bench; string_of_int n ]
           @ List.concat_map
               (fun (_, _, a, b, c) ->
                  [ string_of_int a; string_of_int b; Printf.sprintf "%.1f" c ])
-              r.t3_rows)
-       rows);
+              r.t3_rows
+          @ cell_cost res)
+       rows results);
   rows
 
 let table4 () =
@@ -544,14 +560,17 @@ let casestudy ?(pool = Jobs.Pool.default) ?(budget_s = 10.0) () =
   let rows =
     List.map2
       (fun (name, _) (r : _ Jobs.Pool.result) ->
-         match r.Jobs.Pool.outcome with
-         | Jobs.Pool.Done row -> row
-         | Jobs.Pool.Failed m -> [ name; "pool failure: " ^ m; "-"; "-" ]
-         | Jobs.Pool.Timed_out t ->
-           [ name; Printf.sprintf "pool timeout %.0fs" t; "-"; "-" ])
+         (match r.Jobs.Pool.outcome with
+          | Jobs.Pool.Done row -> row
+          | Jobs.Pool.Failed m -> [ name; "pool failure: " ^ m; "-"; "-" ]
+          | Jobs.Pool.Timed_out t ->
+            [ name; Printf.sprintf "pool timeout %.0fs" t; "-"; "-" ])
+         @ cell_cost r)
       cells results
   in
   Report.table
     ~title:"§VII-C3: base64 case study (DSE memory models; 6-byte secret)"
-    ~headers:[ "CONFIG"; "DSE concretizing"; "DSE per-page ToA"; "RUN STEPS" ]
+    ~headers:
+      ([ "CONFIG"; "DSE concretizing"; "DSE per-page ToA"; "RUN STEPS" ]
+       @ cost_headers)
     rows

@@ -40,6 +40,7 @@ let setup ?engine ?mem img ~func ~args =
 let call ?engine ?(fuel = 50_000_000) ?mem img ~func ~args =
   let t = setup ?engine ?mem img ~func ~args in
   let status = Machine.Exec.run ~fuel t in
+  Machine.Exec.publish_metrics t;
   let cpu = t.Machine.Exec.cpu in
   { status; rax = Machine.Cpu.get cpu RAX; steps = cpu.Machine.Cpu.steps; cpu }
 

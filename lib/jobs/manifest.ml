@@ -9,7 +9,9 @@
 type entry = {
   e_key : string;
   e_status : string;           (* ok | failed | timed-out *)
-  e_time_s : float;
+  e_time_s : float;            (* wall clock *)
+  e_utime_s : float;           (* user CPU (worker-side Unix.times delta) *)
+  e_stime_s : float;           (* system CPU *)
   e_attempts : int;            (* dispatches consumed; 0 for cache hits *)
   e_cached : bool;
 }
@@ -24,6 +26,9 @@ type run = {
   r_cache_hits : int;
   r_cache_misses : int;
   r_wall_s : float;
+  r_cpu_s : float;             (* summed user+system CPU of resolved jobs:
+                                  ~0 for an all-cache-hit run, ~wall*workers
+                                  for a full recompute *)
   r_utilization : float;       (* worker busy time / (workers * wall) *)
   r_interrupted : bool;
   r_entries : entry list;
@@ -53,16 +58,19 @@ let esc s =
 
 let entry_json b e =
   Printf.bprintf b
-    "{\"key\":\"%s\",\"status\":\"%s\",\"time_s\":%.6f,\"attempts\":%d,\"cached\":%b}"
-    (esc e.e_key) (esc e.e_status) e.e_time_s e.e_attempts e.e_cached
+    "{\"key\":\"%s\",\"status\":\"%s\",\"time_s\":%.6f,\"utime_s\":%.6f,\
+     \"stime_s\":%.6f,\"attempts\":%d,\"cached\":%b}"
+    (esc e.e_key) (esc e.e_status) e.e_time_s e.e_utime_s e.e_stime_s
+    e.e_attempts e.e_cached
 
 let run_json b r =
   Printf.bprintf b
     "{\"label\":\"%s\",\"jobs\":%d,\"total\":%d,\"ok\":%d,\"failed\":%d,\
      \"timed_out\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"wall_s\":%.6f,\
-     \"utilization\":%.4f,\"interrupted\":%b,\"entries\":["
+     \"cpu_s\":%.6f,\"utilization\":%.4f,\"interrupted\":%b,\"entries\":["
     (esc r.r_label) r.r_jobs r.r_total r.r_ok r.r_failed r.r_timed_out
-    r.r_cache_hits r.r_cache_misses r.r_wall_s r.r_utilization r.r_interrupted;
+    r.r_cache_hits r.r_cache_misses r.r_wall_s r.r_cpu_s r.r_utilization
+    r.r_interrupted;
   List.iteri
     (fun i e ->
        if i > 0 then Buffer.add_char b ',';

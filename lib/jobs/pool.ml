@@ -41,6 +41,8 @@ type 'r outcome =
 type 'r result = {
   outcome : 'r outcome;
   time_s : float;          (* worker-side wall time; parent-side on timeout *)
+  utime_s : float;         (* user CPU spent in [f] (Unix.times delta) *)
+  stime_s : float;         (* system CPU spent in [f] *)
   attempts : int;          (* dispatches consumed; 0 for a cache hit *)
   cached : bool;
 }
@@ -67,10 +69,28 @@ let default =
    instead of desynchronizing the pipe protocol. *)
 type reply = R_ok of string | R_exn of string
 
+(* Everything the worker reports per job: the reply plus its own wall and
+   CPU clocks ([Unix.times] deltas — wall time alone cannot distinguish a
+   recompute from a job that sat in a page-cache stall) and the delta of
+   the metrics registry across [f], so the parent can [Obs.Metrics.absorb]
+   per-worker instrumentation into its own registry.  The snapshot is plain
+   data and the diff of two identical snapshots is [], so with metrics
+   disabled the extra pipe traffic is an empty list. *)
+type job_report = {
+  jr_idx : int;
+  jr_reply : reply;
+  jr_wall_s : float;
+  jr_utime_s : float;
+  jr_stime_s : float;
+  jr_metrics : Obs.Metrics.snapshot;
+}
+
 let worker_loop (f : 'a -> 'b) ic oc =
   let rec loop () =
     let (idx, task) = (Marshal.from_channel ic : int * 'a) in
     let t0 = Unix.gettimeofday () in
+    let tm0 = Unix.times () in
+    let m0 = Obs.Metrics.snapshot () in
     let reply =
       match f task with
       | r ->
@@ -78,7 +98,15 @@ let worker_loop (f : 'a -> 'b) ic oc =
          with Invalid_argument m -> R_exn ("unmarshallable result: " ^ m))
       | exception e -> R_exn (Printexc.to_string e)
     in
-    Marshal.to_channel oc (idx, reply, Unix.gettimeofday () -. t0) [];
+    let tm1 = Unix.times () in
+    Marshal.to_channel oc
+      { jr_idx = idx;
+        jr_reply = reply;
+        jr_wall_s = Unix.gettimeofday () -. t0;
+        jr_utime_s = tm1.Unix.tms_utime -. tm0.Unix.tms_utime;
+        jr_stime_s = tm1.Unix.tms_stime -. tm0.Unix.tms_stime;
+        jr_metrics = Obs.Metrics.diff m0 (Obs.Metrics.snapshot ()) }
+      [];
     flush oc;
     loop ()
   in
@@ -88,7 +116,7 @@ let worker_loop (f : 'a -> 'b) ic oc =
 type worker = {
   w_pid : int;
   w_oc : out_channel;      (* parent -> worker: (index, task) *)
-  w_ic : in_channel;       (* worker -> parent: (index, reply, seconds) *)
+  w_ic : in_channel;       (* worker -> parent: job_report *)
   w_recv : Unix.file_descr;
   (* job index, attempt, dispatch time, deadline (infinity if no timeout) *)
   mutable w_job : (int * int * float * float) option;
@@ -152,6 +180,7 @@ type counters = {
   mutable timed_out : int;
   mutable cache_hits : int;
   mutable busy_s : float;
+  mutable cpu_s : float;       (* user+system CPU across resolved jobs *)
 }
 
 let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
@@ -161,7 +190,8 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
   let n = Array.length tasks in
   let results : 'b result option array = Array.make n None in
   let t_start = Unix.gettimeofday () in
-  let c = { ok = 0; failed = 0; timed_out = 0; cache_hits = 0; busy_s = 0.0 } in
+  let c = { ok = 0; failed = 0; timed_out = 0; cache_hits = 0; busy_s = 0.0;
+            cpu_s = 0.0 } in
   let max_workers = ref 1 in
   let last_line = ref 0.0 in
   let progress ?(force = false) () =
@@ -184,11 +214,21 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
      | Failed _ -> c.failed <- c.failed + 1
      | Timed_out _ -> c.timed_out <- c.timed_out + 1);
     if r.cached then c.cache_hits <- c.cache_hits + 1;
+    c.cpu_s <- c.cpu_s +. r.utime_s +. r.stime_s;
     progress ()
   in
   let finalize ~interrupted:intr =
     progress ~force:true ();
     if o.progress && n > 0 then prerr_newline ();
+    if Obs.Metrics.enabled () then begin
+      let cnt = Obs.Metrics.count in
+      cnt "jobs.cells" n;
+      cnt "jobs.ok" c.ok;
+      cnt "jobs.failed" c.failed;
+      cnt "jobs.timed_out" c.timed_out;
+      cnt "jobs.cache_hits" c.cache_hits;
+      cnt "jobs.cache_misses" (n - c.cache_hits)
+    end;
     match o.manifest with
     | None -> ()
     | Some m ->
@@ -207,6 +247,8 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
                              | Failed _ -> "failed"
                              | Timed_out _ -> "timed-out");
                           e_time_s = r.time_s;
+                          e_utime_s = r.utime_s;
+                          e_stime_s = r.stime_s;
                           e_attempts = r.attempts;
                           e_cached = r.cached })
                      r)
@@ -222,6 +264,7 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
           r_cache_hits = c.cache_hits;
           r_cache_misses = n - c.cache_hits;
           r_wall_s = wall;
+          r_cpu_s = c.cpu_s;
           r_utilization =
             (if wall <= 0.0 then 0.0
              else c.busy_s /. (wall *. float_of_int (max 1 !max_workers)));
@@ -241,11 +284,12 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
          (match Cache.find cache keys.(i) with
           | Some v ->
             resolve i
-              { outcome = Done v; time_s = 0.0; attempts = 0; cached = true }
+              { outcome = Done v; time_s = 0.0; utime_s = 0.0; stime_s = 0.0;
+                attempts = 0; cached = true }
           | None -> Queue.add (i, 1) pending)
        | None -> Queue.add (i, 1) pending)
     tasks;
-  let finish_job i reply dt attempts =
+  let finish_job i reply ~wall ~ut ~st attempts =
     let outcome =
       match reply with
       | R_ok s ->
@@ -256,7 +300,9 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
         Done v
       | R_exn m -> Failed m
     in
-    resolve i { outcome; time_s = dt; attempts; cached = false }
+    resolve i
+      { outcome; time_s = wall; utime_s = ut; stime_s = st; attempts;
+        cached = false }
   in
 
   let run_serial () =
@@ -264,6 +310,7 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
       if !interrupted then interrupted_exit ();
       let (i, attempt) = Queue.pop pending in
       let t0 = Unix.gettimeofday () in
+      let tm0 = Unix.times () in
       let outcome =
         match f tasks.(i) with
         | v ->
@@ -273,9 +320,14 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
           Done v
         | exception e -> Failed (Printexc.to_string e)
       in
+      let tm1 = Unix.times () in
       let dt = Unix.gettimeofday () -. t0 in
       c.busy_s <- c.busy_s +. dt;
-      resolve i { outcome; time_s = dt; attempts = attempt; cached = false }
+      resolve i
+        { outcome; time_s = dt;
+          utime_s = tm1.Unix.tms_utime -. tm0.Unix.tms_utime;
+          stime_s = tm1.Unix.tms_stime -. tm0.Unix.tms_stime;
+          attempts = attempt; cached = false }
     done;
     if !interrupted then interrupted_exit ()
   in
@@ -319,8 +371,8 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
       if attempt <= o.retries then Queue.add (i, attempt + 1) pending
       else
         resolve i
-          { outcome = Failed msg; time_s = dt; attempts = attempt;
-            cached = false }
+          { outcome = Failed msg; time_s = dt; utime_s = 0.0; stime_s = 0.0;
+            attempts = attempt; cached = false }
     in
     let dispatch () =
       List.iter
@@ -354,11 +406,15 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
       match w.w_job with
       | None -> ()
       | Some (i, attempt, started, _) ->
-        (match (Marshal.from_channel w.w_ic : int * reply * float) with
-         | (_, reply, dt) ->
+        (match (Marshal.from_channel w.w_ic : job_report) with
+         | jr ->
            w.w_job <- None;
            c.busy_s <- c.busy_s +. (Unix.gettimeofday () -. started);
-           finish_job i reply dt attempt
+           (* fold the worker's per-job metric delta into our registry so
+              parallel totals match a serial run's *)
+           Obs.Metrics.absorb jr.jr_metrics;
+           finish_job i jr.jr_reply ~wall:jr.jr_wall_s ~ut:jr.jr_utime_s
+             ~st:jr.jr_stime_s attempt
          | exception (End_of_file | Sys_error _ | Failure _) ->
            c.busy_s <- c.busy_s +. (Unix.gettimeofday () -. started);
            let st = reap w in
@@ -422,8 +478,8 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
                   c.busy_s <- c.busy_s +. (now -. started);
                   resolve i
                     { outcome = Timed_out (now -. started);
-                      time_s = now -. started; attempts = attempt;
-                      cached = false }
+                      time_s = now -. started; utime_s = 0.0; stime_s = 0.0;
+                      attempts = attempt; cached = false }
                 | _ -> ())
              busy;
            progress ());
@@ -451,6 +507,7 @@ let map ?(label = "jobs") (o : opts) ~(key : 'a -> string) ~(f : 'a -> 'b)
        (function
          | Some r -> r
          | None -> { outcome = Failed "job never resolved"; time_s = 0.0;
+                     utime_s = 0.0; stime_s = 0.0;
                      attempts = 0; cached = false })
        results)
 

@@ -396,6 +396,15 @@ type t = {
   mutable cache_version : int;   (* Memory.code_version the caches match *)
   mutable engine : engine;
   mutable on_step : (Cpu.t -> int64 -> X86.Isa.instr -> unit) option;
+  (* Lifetime counters, exported by [publish_metrics].  Plain int fields:
+     the dispatch loop pays an unboxed add or two, never a registry probe,
+     and the per-retire loops ([exec_ops]/[exec_ops_nw]) stay untouched. *)
+  mutable n_dispatches : int;    (* fast-engine block dispatches *)
+  mutable n_dm_misses : int;     (* dispatches that fell past the dm front *)
+  mutable n_translated : int;    (* blocks compiled to closures *)
+  mutable n_flushes : int;       (* wholesale cache invalidations *)
+  mutable n_fused : int;         (* instructions retired through fused slots *)
+  mutable n_decode_misses : int; (* ref-engine decode-cache fills *)
 }
 
 let make ?(engine = Fast) cpu =
@@ -406,7 +415,9 @@ let make ?(engine = Fast) cpu =
     dm_blocks = Array.make dm_size empty_block;
     cache_version = Memory.code_version cpu.Cpu.mem;
     engine;
-    on_step = None }
+    on_step = None;
+    n_dispatches = 0; n_dm_misses = 0; n_translated = 0; n_flushes = 0;
+    n_fused = 0; n_decode_misses = 0 }
 
 (* Both caches hold derived views of code bytes; a write into any page we
    ever decoded from (Memory.note_code below) bumps the memory's version
@@ -417,6 +428,7 @@ let flush_caches t v =
   ITbl.reset t.decode_cache;
   ITbl.reset t.block_cache;
   Array.fill t.dm_keys 0 dm_size min_int;
+  t.n_flushes <- t.n_flushes + 1;
   t.cache_version <- v
 
 let sync_caches t =
@@ -456,6 +468,7 @@ let decode_at t rip =
   match ITbl.find_opt t.decode_cache key with
   | Some r -> Some r
   | None ->
+    t.n_decode_misses <- t.n_decode_misses + 1;
     (match decode_raw t rip with
      | Some (i, len) as r ->
        ITbl.replace t.decode_cache key (i, len);
@@ -1327,6 +1340,7 @@ let fuse_with_ret (i : instr) ~(next1 : int64) ~(next2 : int64) : Cpu.t -> unit 
    at dispatch.  A decode failure later just ends the block early; the next
    dispatch at that rip reports the fault with the right address. *)
 let translate t rip0 =
+  t.n_translated <- t.n_translated + 1;
   let items = ref [] in          (* (instr, next) pairs, last decoded first *)
   let n = ref 0 in
   let rip = ref rip0 in
@@ -1415,12 +1429,14 @@ let run_fast ~fuel t =
     else begin
       if mem.Memory.code_version <> t.cache_version then
         flush_caches t mem.Memory.code_version;
+      t.n_dispatches <- t.n_dispatches + 1;
       let key = Int64.to_int (Cpu.rip cpu) in
       let slot = key land dm_mask in
       let block =
         if Array.unsafe_get dm_keys slot = key then
           Array.unsafe_get dm_blocks slot
         else begin
+          t.n_dm_misses <- t.n_dm_misses + 1;
           let b =
             match ITbl.find_opt t.block_cache key with
             | Some b -> b
@@ -1449,6 +1465,8 @@ let run_fast ~fuel t =
         go (remaining - retired)
       end
       else if remaining >= block.b_len then begin
+        (* b_len > n exactly when a fused slot retires two instructions *)
+        t.n_fused <- t.n_fused + (block.b_len - n);
         (* fused gadgets and bare rets are single-slot: skip the loop *)
         if n = 1 then begin
           (Array.unsafe_get ops 0) cpu;
@@ -1483,3 +1501,20 @@ let run ?(fuel = max_int) t =
   match t.engine with
   | Ref -> run_ref ~fuel t
   | Fast -> if t.on_step <> None then run_ref ~fuel t else run_fast ~fuel t
+
+(* Export the engine's lifetime counters into the metrics registry.  Cold
+   path — Runner calls it once per completed run; the guard means a
+   metrics-disabled run pays one bool load here and nothing anywhere else. *)
+let publish_metrics t =
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c "exec.steps" t.cpu.Cpu.steps;
+    c "exec.block_dispatches" t.n_dispatches;
+    c "exec.dm_hits" (t.n_dispatches - t.n_dm_misses);
+    c "exec.blocks_translated" t.n_translated;
+    c "exec.cache_flushes" t.n_flushes;
+    c "exec.fused_retires" t.n_fused;
+    c "exec.decode_cache_misses" t.n_decode_misses;
+    c "exec.pages_touched" (Memory.page_count t.cpu.Cpu.mem);
+    Obs.Metrics.observe_named "exec.steps_per_run" t.cpu.Cpu.steps
+  end

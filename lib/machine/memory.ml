@@ -61,6 +61,10 @@ let offset_of addr = Int64.to_int (Int64.logand addr (Int64.of_int (page_size - 
 
 let code_version t = t.code_version
 
+(* Pages ever touched (loaded, mapped, or lazily created by a write) — the
+   working-set figure Exec.publish_metrics exports. *)
+let page_count t = Itbl.length t.pages
+
 (* Resolve the page of [addr] for reading; fills the one-entry cache.
    Kept out of the fast paths so they inline to a compare plus field load. *)
 let read_page_slow t idx addr =

@@ -1,0 +1,39 @@
+(* CLI wiring: one call shared by the four binaries.
+
+     Obs.Run.with_reporting ~trace ~metrics (fun () -> ...exit code...)
+
+   enables the requested collectors, runs the body, and on the way out
+   dumps the metrics snapshot to stderr (--metrics) and writes the
+   chrome://tracing JSON (--trace FILE).  The trace is validated against
+   Trace.validate_json before it is written; a schema failure — which would
+   mean a bug in the emitter — refuses the file and turns the run into a
+   nonzero exit, which is what check.sh's @obs smoke leans on. *)
+
+let with_reporting ?(trace : string option) ?(metrics = false) (k : unit -> int) : int =
+  if metrics then Metrics.set_enabled true;
+  if trace <> None then Trace.set_enabled true;
+  (* Tracing implies we want counters in the exported file too. *)
+  if trace <> None then Metrics.set_enabled true;
+  let code = k () in
+  let snap = Metrics.snapshot () in
+  if metrics then begin
+    Printf.eprintf "== metrics (%d keys) ==\n%s%!" (List.length snap)
+      (Metrics.render snap)
+  end;
+  match trace with
+  | None -> code
+  | Some path ->
+    let doc = Trace.to_json ~metrics:snap () in
+    (match Trace.validate_json doc with
+     | Ok n ->
+       let oc = open_out_bin path in
+       output_string oc doc;
+       close_out oc;
+       Printf.eprintf
+         "trace: %d events (%d spans dropped), %d metric keys -> %s (schema ok)\n%!"
+         n (Trace.dropped ()) (List.length snap) path;
+       code
+     | Error e ->
+       Printf.eprintf "trace: schema validation failed, not writing %s: %s\n%!"
+         path e;
+       if code = 0 then 2 else code)

@@ -81,6 +81,7 @@ let aget st r = st.regs.(reg_index r)
 let aset st r v = st.regs.(reg_index r) <- v
 
 let analyze ?(config = default_config) (img : Image.t) ~chain_addr ~chain_len =
+  Obs.Trace.with_span "ropdissector.analyze" @@ fun () ->
   let blocks = Hashtbl.create 64 in
   let gadgets_seen = Hashtbl.create 64 in
   let branches = ref 0 in
@@ -177,6 +178,14 @@ let analyze ?(config = default_config) (img : Image.t) ~chain_addr ~chain_len =
       done
     end
   done;
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c "ropdissector.analyses" 1;
+    c "ropdissector.blocks" (Hashtbl.length blocks);
+    c "ropdissector.branches" !branches;
+    c "ropdissector.unresolved" !unresolved;
+    c "ropdissector.gadgets_seen" (Hashtbl.length gadgets_seen)
+  end;
   { blocks; branches = !branches; unresolved = !unresolved; gadgets_seen }
 
 (* --- gadget guessing (speculative scan, §V-D) ---------------------------------- *)
@@ -192,6 +201,7 @@ type guess_result = {
    explode (§VII-A2). *)
 let gadget_guess ?(config = default_config) ?(stride = 1) (img : Image.t)
     ~chain_addr ~chain_len =
+  Obs.Trace.with_span "ropdissector.gadget_guess" @@ fun () ->
   let offs = ref [] in
   let count = ref 0 in
   let off = ref 0 in
@@ -206,4 +216,8 @@ let gadget_guess ?(config = default_config) ?(stride = 1) (img : Image.t)
      | Some _ | None -> ());
     off := !off + stride
   done;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.count "ropdissector.guesses" 1;
+    Obs.Metrics.count "ropdissector.guess_candidates" !count
+  end;
   { candidates = !count; candidate_offsets = List.rev !offs }

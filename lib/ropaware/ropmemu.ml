@@ -84,6 +84,7 @@ let run_trace ~config ~chain_range ~cov_range img ~func ~args ~flips =
   (status, !slots, Hashtbl.length sites, probes, !flag_reads)
 
 let explore ?(config = default_config) (img : Image.t) ~func ~args =
+  Obs.Trace.with_span ~args:[ ("func", func) ] "ropmemu.explore" @@ fun () ->
   let chain_range =
     match Image.find_section img ".rop" with
     | Some s -> Some (s.Image.sec_addr, Image.section_end s)
@@ -134,6 +135,15 @@ let explore ?(config = default_config) (img : Image.t) ~func ~args =
       done;
       incr i
     done
+  end;
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c "ropmemu.explorations" 1;
+    c "ropmemu.traces" !traces;
+    c "ropmemu.faulted_traces" !faulted;
+    c "ropmemu.flag_sites" !max_sites;
+    c "ropmemu.discovered_slots" (Hashtbl.length discovered);
+    c "ropmemu.covered_probes" (Hashtbl.length covered)
   end;
   { traces = !traces;
     faulted_traces = !faulted;

@@ -251,7 +251,22 @@ let concolic_path ctx witness =
 
 let model_key (m : Solver.model) = Array.to_list m
 
+(* Export one engine run's aggregate stats into the metrics registry (cold
+   path, once per dse/se invocation; solver-level counters are recorded by
+   Solver.solve itself). *)
+let publish_run name (r : result) =
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c (name ^ ".runs") 1;
+    c (name ^ ".states") r.stats.states;
+    c (name ^ ".instrs") r.stats.instrs;
+    c (name ^ ".paths_completed") r.stats.paths_completed;
+    if r.stats.timed_out then c (name ^ ".timeouts") 1;
+    if r.secret_input <> None then c (name ^ ".secrets_found") 1
+  end
+
 let dse ?(toa = false) ?(seed = 99) ~goal ~budget tgt =
+  Obs.Trace.with_span "symex.dse" @@ fun () ->
   let ctx = make_ctx ~toa ~seed ~goal ~budget tgt in
   let t0 = Unix.gettimeofday () in
   let seen = Hashtbl.create 64 in
@@ -319,18 +334,23 @@ let dse ?(toa = false) ?(seed = 99) ~goal ~budget tgt =
         sites
   done;
   if out_of_time ctx then ctx.stats.timed_out <- true;
-  { secret_input = ctx.found;
-    covered = ctx.covered;
-    n_probes =
-      (match ctx.cov_range with
-       | Some (lo, hi) -> Int64.to_int (Int64.sub hi lo)
-       | None -> 0);
-    time = Unix.gettimeofday () -. t0;
-    stats = ctx.stats }
+  let r =
+    { secret_input = ctx.found;
+      covered = ctx.covered;
+      n_probes =
+        (match ctx.cov_range with
+         | Some (lo, hi) -> Int64.to_int (Int64.sub hi lo)
+         | None -> 0);
+      time = Unix.gettimeofday () -. t0;
+      stats = ctx.stats }
+  in
+  publish_run "symex.dse" r;
+  r
 
 (* --- SE: eager forking exploration -------------------------------------------- *)
 
 let se ?(toa = true) ?(seed = 99) ~goal ~budget tgt =
+  Obs.Trace.with_span "symex.se" @@ fun () ->
   let ctx = make_ctx ~toa ~seed ~goal ~budget tgt in
   let t0 = Unix.gettimeofday () in
   (* DFS worklist of (state, witness) *)
@@ -397,11 +417,15 @@ let se ?(toa = true) ?(seed = 99) ~goal ~budget tgt =
       go ()
   done;
   if out_of_time ctx then ctx.stats.timed_out <- true;
-  { secret_input = ctx.found;
-    covered = ctx.covered;
-    n_probes =
-      (match ctx.cov_range with
-       | Some (lo, hi) -> Int64.to_int (Int64.sub hi lo)
-       | None -> 0);
-    time = Unix.gettimeofday () -. t0;
-    stats = ctx.stats }
+  let r =
+    { secret_input = ctx.found;
+      covered = ctx.covered;
+      n_probes =
+        (match ctx.cov_range with
+         | Some (lo, hi) -> Int64.to_int (Int64.sub hi lo)
+         | None -> 0);
+      time = Unix.gettimeofday () -. t0;
+      stats = ctx.stats }
+  in
+  publish_run "symex.se" r;
+  r

@@ -220,12 +220,37 @@ let local_search ~stats ~deadline ~rng ~n_inputs ~max_evals ~bytes ?seed q =
    chains produce tens of thousands of path constraints, §V-E). *)
 let max_constraints = 4000
 
+(* Registry handles: registration is module-init cold path; per-query
+   recording below is guarded on [Obs.Metrics.enabled] so a metrics-off run
+   pays one bool load per solver call. *)
+let m_queries = Obs.Metrics.counter "symex.solver.queries"
+let m_sat = Obs.Metrics.counter "symex.solver.sat"
+let m_unsat = Obs.Metrics.counter "symex.solver.unsat_or_unknown"
+let m_deadline = Obs.Metrics.counter "symex.solver.deadline_hits"
+let m_refused = Obs.Metrics.counter "symex.solver.refused_oversized"
+let m_evals = Obs.Metrics.counter "symex.solver.evals"
+let m_constraints = Obs.Metrics.histogram "symex.solver.constraints_per_query"
+
 let solve ?(rng = Util.Rng.create 42) ?stats ?(deadline = 0.0) ?seed ~n_inputs
     ~max_evals cs =
   let stats = match stats with Some s -> s | None -> make_stats () in
+  let evals0 = stats.evals in
+  let record r =
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_queries;
+      Obs.Metrics.observe m_constraints (List.length cs);
+      Obs.Metrics.add m_evals (stats.evals - evals0);
+      Obs.Metrics.incr (if r = None then m_unsat else m_sat)
+    end;
+    r
+  in
+  record @@
   try
     if deadline > 0.0 && Unix.gettimeofday () > deadline then raise Deadline;
-    if List.compare_length_with cs max_constraints > 0 then raise Deadline;
+    if List.compare_length_with cs max_constraints > 0 then begin
+      Obs.Metrics.incr m_refused;
+      raise Deadline
+    end;
     let q = compile_query cs in
     (* fast paths: the zero model, then the caller-provided seed (for branch
        negation the generating path's witness satisfies the whole prefix) *)
@@ -254,7 +279,9 @@ let solve ?(rng = Util.Rng.create 42) ?stats ?(deadline = 0.0) ?seed ~n_inputs
            if n_inputs <= 2 then
              exhaustive ~stats ~deadline ~n_inputs ~max_evals q
            else None)
-  with Deadline -> None
+  with Deadline ->
+    Obs.Metrics.incr m_deadline;
+    None
 
 (* Enumerate up to [limit] distinct values of [e] consistent with [cs]
    (value-set sampling for indirect control transfers). *)

@@ -391,6 +391,27 @@ let exec_shift ~model t o w d count =
   let r = E.ite (E.bin E.Eq n_e E.zero) (trunc w a) r in
   write_operand ~model t w d r
 
+(* The Sdiv/Udiv expression algebra models the faulting cases away (zero
+   divisor -> quotient 0, overflowing idiv -> 0), but the concrete machine
+   raises #DE there.  Before committing the symbolic quotient, replay the
+   division under the path's witness (the same evaluator the memory model
+   concretizes addresses with) and fault exactly where Machine.Semantics
+   would, so concolic fault paths match concrete execution. *)
+let check_div_fault ~model t ~signed ~rdx ~rax ~v =
+  match
+    model.concretize t rdx, model.concretize t rax, model.concretize t v
+  with
+  | Some hi, Some lo, Some d ->
+    (match
+       if signed then Machine.Semantics.divmod_s128 hi lo d
+       else Machine.Semantics.divmod_u128 hi lo d
+     with
+     | (_ : int64 * int64) -> ()
+     | exception Division_by_zero -> raise (Sym_fault "divide by zero")
+     | exception Machine.Semantics.Div_overflow ->
+       raise (Sym_fault "divide overflow"))
+  | _ -> ()   (* unresolvable under this model: keep the total algebra *)
+
 let exec_muldiv ~model t o src =
   let v = read_operand ~model t W64 src in
   let rax = get t RAX in
@@ -409,11 +430,13 @@ let exec_muldiv ~model t o src =
     let c = bnot01 (E.bin E.Eq hi (E.bin E.Sar lo (E.Const 63L))) in
     t.f_cf <- c; t.f_of <- c
   | Div ->
+    check_div_fault ~model t ~signed:false ~rdx:(get t RDX) ~rax ~v;
     (* assumes the rdx=0 idiom (see DESIGN.md); a symbolic zero divisor
        evaluates to quotient 0 rather than faulting *)
     set t RDX (E.bin E.Urem rax v);
     set t RAX (E.bin E.Udiv rax v)
   | Idiv ->
+    check_div_fault ~model t ~signed:true ~rdx:(get t RDX) ~rax ~v;
     set t RDX (E.bin E.Srem rax v);
     set t RAX (E.bin E.Sdiv rax v)
 

@@ -48,6 +48,7 @@ let semantic_loc = function
   | Tracer.L_reg _ | Tracer.L_flags | Tracer.L_mem _ -> true
 
 let simplify (trace : Tracer.trace) : result =
+  Obs.Trace.with_span "taint.simplify" @@ fun () ->
   let entries = Array.of_list trace.Tracer.entries in
   let n = Array.length entries in
   let keep = Array.make n false in
@@ -82,6 +83,15 @@ let simplify (trace : Tracer.trace) : result =
     end
   done;
   let n_kept = List.length !kept in
+  if Obs.Metrics.enabled () then begin
+    let c = Obs.Metrics.count in
+    c "taint.traces" 1;
+    c "taint.trace_entries" n;
+    c "taint.kept" n_kept;
+    c "taint.removed" (n - n_kept);
+    c "taint.tainted_branches" !tainted_branches;
+    Obs.Metrics.observe_named "taint.kept_sites" (Hashtbl.length sites)
+  end;
   { total = n;
     kept = !kept;
     n_kept;
@@ -91,4 +101,6 @@ let simplify (trace : Tracer.trace) : result =
 
 (* Convenience: record and simplify in one step. *)
 let run ?(fuel = 2_000_000) img ~func ~n_inputs ~input =
-  simplify (Tracer.record ~fuel img ~func ~n_inputs ~input)
+  simplify
+    (Obs.Trace.with_span ~args:[ ("func", func) ] "taint.record" (fun () ->
+         Tracer.record ~fuel img ~func ~n_inputs ~input))

@@ -1,0 +1,311 @@
+(* Adversarial fixtures for the ROP-aware attacker toolbox (§III-B2, §V).
+
+   The hand-built images pin the analyzers' classification counts down
+   exactly: a chain with a recognized cmov branch, an unresolved RSP update
+   and an unaligned overlapping gadget for ROPDissector; an executable chain
+   with a mid-chain stack pivot for ROPMEMU; and a P2-style trampoline whose
+   alternate path faults when the flags are blindly flipped.  False-positive
+   bait (ret-terminated bytes in .data, garbage slot values) checks what the
+   analyzers must NOT count.  A second tier runs the real rewriter with P2
+   on and asserts the paper's qualitative claims (unresolved displacements,
+   faulting flipped traces). *)
+
+open X86.Isa
+
+let enc is = X86.Encode.encode_list is
+
+(* Lay gadgets out back to back in .text; returns (bytes, name -> addr). *)
+let build_text gadgets =
+  let buf = Buffer.create 128 in
+  let addrs =
+    List.map
+      (fun (name, is) ->
+         let a = Int64.add Image.text_base (Int64.of_int (Buffer.length buf)) in
+         Buffer.add_bytes buf (enc is);
+         (name, a))
+      gadgets
+  in
+  (Buffer.to_bytes buf, fun name -> List.assoc name addrs)
+
+let chain_of_slots slots =
+  let b = Bytes.create (8 * List.length slots) in
+  List.iteri (fun i v -> Bytes.set_int64_le b (8 * i) v) slots;
+  b
+
+(* --- fixture A: static chain for ROPDissector ------------------------------- *)
+
+(* Chain layout (8-byte slots):
+     0: pop-rax gadget      8: 42 (popped immediate)
+    16: branch gadget      24: 24 (displacement, popped)
+    32: nop gadget         40: 0 (terminator: not a code address)
+    48: BAIT -> .data      56: add-rsp-rbx gadget (unresolved)
+    64: nop gadget (never walked; aligned guess candidate)
+   then 4 pad bytes and, at unaligned offset 76, a pointer to the ret-suffix
+   of the pop gadget (an overlapping gadget only a stride-1 scan can see). *)
+let fixture_a () =
+  let text, addr =
+    build_text
+      [ ("pop_rax", [ Pop (Reg RAX); Ret ]);
+        ("branch",
+         [ Pop (Reg RCX); Mov (W64, Reg RDX, Imm 0L);
+           Cmov (E, RCX, Reg RDX); Alu (Add, W64, Reg RSP, Reg RCX); Ret ]);
+        ("nop", [ Nop; Ret ]);
+        ("unres", [ Alu (Add, W64, Reg RSP, Reg RBX); Ret ]) ]
+  in
+  let img = Image.create () in
+  ignore
+    (Image.add_section img ~name:".text" ~addr:Image.text_base ~data:text
+       ~writable:false ~executable:true);
+  (* ret-terminated bait bytes in .data: valid gadget encodings that must
+     not be counted because they are not in an executable section *)
+  let ret_bait = Bytes.concat Bytes.empty (List.init 8 (fun _ -> enc [ Ret ])) in
+  ignore
+    (Image.add_section img ~name:".data" ~addr:Image.data_base ~data:ret_bait
+       ~writable:true ~executable:false);
+  let slots =
+    [ addr "pop_rax"; 42L;
+      addr "branch"; 24L;
+      addr "nop"; 0L;
+      Image.data_base;                            (* bait: .data pointer *)
+      addr "unres";
+      addr "nop" ]
+  in
+  (* overlapping gadget: the ret byte inside pop_rax's encoding *)
+  let pop_len = Bytes.length (enc [ Pop (Reg RAX) ]) in
+  let suffix = Int64.add (addr "pop_rax") (Int64.of_int pop_len) in
+  let tail = Bytes.create 12 in
+  Bytes.fill tail 0 12 '\000';
+  Bytes.set_int64_le tail 4 suffix;
+  let chain = Bytes.cat (chain_of_slots slots) tail in
+  ignore
+    (Image.add_section img ~name:".rop" ~addr:Image.rop_base ~data:chain
+       ~writable:true ~executable:false);
+  (img, Bytes.length chain)
+
+let test_dissector_classification () =
+  let img, chain_len = fixture_a () in
+  let r =
+    Ropaware.Ropdissector.analyze img ~chain_addr:Image.rop_base ~chain_len
+  in
+  (* entry block, the branch fall-through at 32 and the flipped path at 56 *)
+  Alcotest.(check int) "blocks" 3
+    (Hashtbl.length r.Ropaware.Ropdissector.blocks);
+  List.iter
+    (fun off ->
+       Alcotest.(check bool) (Printf.sprintf "block at %Ld" off) true
+         (Hashtbl.mem r.Ropaware.Ropdissector.blocks off))
+    [ 0L; 32L; 56L ];
+  Alcotest.(check int) "recognized+flipped branches" 1
+    r.Ropaware.Ropdissector.branches;
+  Alcotest.(check int) "unresolved rsp updates" 1
+    r.Ropaware.Ropdissector.unresolved;
+  Alcotest.(check int) "distinct gadgets" 4
+    (Hashtbl.length r.Ropaware.Ropdissector.gadgets_seen)
+
+let test_gadget_guess_bait () =
+  let img, chain_len = fixture_a () in
+  let aligned =
+    Ropaware.Ropdissector.gadget_guess ~stride:8 img
+      ~chain_addr:Image.rop_base ~chain_len
+  in
+  (* slots 0, 16, 32, 56, 64 hold decodable code pointers *)
+  Alcotest.(check int) "aligned candidates" 5
+    aligned.Ropaware.Ropdissector.candidates;
+  Alcotest.(check bool) ".data bait not counted" false
+    (List.mem 48 aligned.Ropaware.Ropdissector.candidate_offsets);
+  let byte =
+    Ropaware.Ropdissector.gadget_guess ~stride:1 img
+      ~chain_addr:Image.rop_base ~chain_len
+  in
+  Alcotest.(check bool) "stride-1 finds the unaligned overlapping gadget" true
+    (List.mem 76 byte.Ropaware.Ropdissector.candidate_offsets);
+  Alcotest.(check bool) "stride-1 sees strictly more than stride-8" true
+    (byte.Ropaware.Ropdissector.candidates
+     > aligned.Ropaware.Ropdissector.candidates);
+  Alcotest.(check bool) ".data bait not counted at stride 1" false
+    (List.mem 48 byte.Ropaware.Ropdissector.candidate_offsets)
+
+(* The instrumentation satellite: classification tallies land in the
+   metrics registry with exactly the analyzer's result counts. *)
+let test_dissector_metrics_tallies () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let img, chain_len = fixture_a () in
+  let r =
+    Ropaware.Ropdissector.analyze img ~chain_addr:Image.rop_base ~chain_len
+  in
+  let g =
+    Ropaware.Ropdissector.gadget_guess ~stride:8 img
+      ~chain_addr:Image.rop_base ~chain_len
+  in
+  let snap = Obs.Metrics.snapshot () in
+  let counter k =
+    match List.assoc_opt k snap with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> Alcotest.fail ("missing counter " ^ k)
+  in
+  Alcotest.(check int) "analyses" 1 (counter "ropdissector.analyses");
+  Alcotest.(check int) "blocks tally"
+    (Hashtbl.length r.Ropaware.Ropdissector.blocks)
+    (counter "ropdissector.blocks");
+  Alcotest.(check int) "branches tally" r.Ropaware.Ropdissector.branches
+    (counter "ropdissector.branches");
+  Alcotest.(check int) "unresolved tally" r.Ropaware.Ropdissector.unresolved
+    (counter "ropdissector.unresolved");
+  Alcotest.(check int) "guess tally" g.Ropaware.Ropdissector.candidates
+    (counter "ropdissector.guess_candidates");
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ()
+
+(* --- fixtures B/C: executable chains for ROPMEMU ----------------------------- *)
+
+(* An executable image whose "target" pivots into a chain that compares RDI
+   against 5, branches on the result, and mid-chain pivots to a second chain
+   region before returning.  [alt_garbage] replaces the alternate path with
+   a non-code slot value: the P2-trampoline effect, where a blindly flipped
+   branch sends RSP into garbage and the trace faults. *)
+let executable_fixture ~alt_garbage =
+  let chain2_addr = Int64.add Image.rop_base 128L in
+  let text, addr =
+    build_text
+      [ ("cmp", [ Alu (Cmp, W64, Reg RDI, Imm 5L); Ret ]);
+        ("branch",
+         [ Pop (Reg RCX); Mov (W64, Reg RDX, Imm 0L);
+           Cmov (E, RCX, Reg RDX); Alu (Add, W64, Reg RSP, Reg RCX); Ret ]);
+        ("pop_rax", [ Pop (Reg RAX); Ret ]);
+        ("pivot2", [ Mov (W64, Reg RSP, Imm chain2_addr); Ret ]);
+        ("nop", [ Nop; Ret ]);
+        ("target", [ Mov (W64, Reg RSP, Imm Image.rop_base); Ret ]) ]
+  in
+  let img = Image.create () in
+  ignore
+    (Image.add_section img ~name:".text" ~addr:Image.text_base ~data:text
+       ~writable:false ~executable:true);
+  Image.add_symbol img ~is_function:true ~name:"target" ~addr:(addr "target")
+    ~size:(Bytes.length (enc [ Mov (W64, Reg RSP, Imm Image.rop_base); Ret ]))
+    ();
+  let slots =
+    [ addr "cmp";                           (*   0 *)
+      addr "branch"; 24L;                   (*   8, 16: displacement 24 *)
+      addr "pop_rax"; 111L; addr "pivot2";  (*  24: RDI = 5 path *)
+      (if alt_garbage then 0x1234L else addr "pop_rax");  (* 48: RDI <> 5 *)
+      222L;
+      addr "pivot2" ]                       (*  64 *)
+  in
+  let chain1 = chain_of_slots slots in
+  let chain2 = chain_of_slots [ addr "nop"; Image.exit_stub_addr ] in
+  let pad = Bytes.make (128 - Bytes.length chain1) '\000' in
+  let chain = Bytes.concat Bytes.empty [ chain1; pad; chain2 ] in
+  ignore
+    (Image.add_section img ~name:".rop" ~addr:Image.rop_base ~data:chain
+       ~writable:true ~executable:false);
+  img
+
+let test_pivot_chain_executes () =
+  let img = executable_fixture ~alt_garbage:false in
+  let r5 = Runner.call_exn img ~func:"target" ~args:[ 5L ] in
+  Alcotest.(check int64) "equal path" 111L r5.Runner.rax;
+  let r7 = Runner.call_exn img ~func:"target" ~args:[ 7L ] in
+  Alcotest.(check int64) "alternate path" 222L r7.Runner.rax
+
+let memu_config =
+  { Ropaware.Ropmemu.fuel = 200_000; max_traces = 40; max_flip_depth = 1 }
+
+let test_memu_flip_reveals_pivoted_path () =
+  let img = executable_fixture ~alt_garbage:false in
+  let baseline_only =
+    Ropaware.Ropmemu.explore
+      ~config:{ memu_config with Ropaware.Ropmemu.max_traces = 1 } img
+      ~func:"target" ~args:[ 5L ]
+  in
+  let full =
+    Ropaware.Ropmemu.explore ~config:memu_config img ~func:"target"
+      ~args:[ 5L ]
+  in
+  Alcotest.(check int) "one flag site (the cmov)" 1
+    full.Ropaware.Ropmemu.flag_sites;
+  Alcotest.(check int) "baseline + one flipped trace" 2
+    full.Ropaware.Ropmemu.traces;
+  Alcotest.(check int) "both paths are valid chain code" 0
+    full.Ropaware.Ropmemu.faulted_traces;
+  Alcotest.(check bool) "flipping uncovers slots beyond the baseline" true
+    (Hashtbl.length full.Ropaware.Ropmemu.discovered_slots
+     > Hashtbl.length baseline_only.Ropaware.Ropmemu.discovered_slots)
+
+let test_memu_p2_trampoline_faults () =
+  let img = executable_fixture ~alt_garbage:true in
+  (* the untampered run still works: only the flipped path is a trap *)
+  let r5 = Runner.call_exn img ~func:"target" ~args:[ 5L ] in
+  Alcotest.(check int64) "honest run intact" 111L r5.Runner.rax;
+  let r =
+    Ropaware.Ropmemu.explore ~config:memu_config img ~func:"target"
+      ~args:[ 5L ]
+  in
+  Alcotest.(check int) "traces" 2 r.Ropaware.Ropmemu.traces;
+  Alcotest.(check int) "blind flip faults" 1
+    r.Ropaware.Ropmemu.faulted_traces
+
+(* --- the real rewriter under P2 ---------------------------------------------- *)
+
+let rewritten ~p2 =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:4 ~seed:2 ~input_size:1
+         ~control_index:5 ())
+  in
+  let img = Minic.Codegen.compile t.prog in
+  let config =
+    if p2 then { (Ropc.Config.plain ()) with Ropc.Config.p2 = true }
+    else Ropc.Config.plain ()
+  in
+  let r = Ropc.Rewriter.rewrite img ~functions:[ "target" ] ~config in
+  match List.assoc "target" r.Ropc.Rewriter.funcs with
+  | Ok st ->
+    (r.Ropc.Rewriter.image, st.Ropc.Rewriter.fs_chain_addr,
+     st.Ropc.Rewriter.fs_chain_bytes)
+  | Error e -> failwith (Ropc.Rewriter.failure_to_string e)
+
+let test_p2_unresolved_for_dissector () =
+  let img, chain_addr, chain_len = rewritten ~p2:false in
+  let plain = Ropaware.Ropdissector.analyze img ~chain_addr ~chain_len in
+  Alcotest.(check bool) "plain chain: multiple blocks discovered" true
+    (Hashtbl.length plain.Ropaware.Ropdissector.blocks > 1);
+  Alcotest.(check bool) "plain chain: branches recognized" true
+    (plain.Ropaware.Ropdissector.branches > 0);
+  let img, chain_addr, chain_len = rewritten ~p2:true in
+  let p2 = Ropaware.Ropdissector.analyze img ~chain_addr ~chain_len in
+  Alcotest.(check bool) "P2: displacements statically unresolved" true
+    (p2.Ropaware.Ropdissector.unresolved > 0)
+
+let test_p2_faults_ropmemu () =
+  let img, _, _ = rewritten ~p2:true in
+  let r =
+    Ropaware.Ropmemu.explore
+      ~config:{ memu_config with Ropaware.Ropmemu.fuel = 500_000 } img
+      ~func:"target" ~args:[ 5L ]
+  in
+  Alcotest.(check bool) "flips attempted" true (r.Ropaware.Ropmemu.traces > 1);
+  Alcotest.(check bool) "P2 turns blind flips into faults" true
+    (r.Ropaware.Ropmemu.faulted_traces > 0)
+
+let () =
+  Alcotest.run "ropaware"
+    [ ("ropdissector",
+       [ Alcotest.test_case "classification counts" `Quick
+           test_dissector_classification;
+         Alcotest.test_case "gadget guessing vs bait" `Quick
+           test_gadget_guess_bait;
+         Alcotest.test_case "metric tallies" `Quick
+           test_dissector_metrics_tallies ]);
+      ("ropmemu",
+       [ Alcotest.test_case "pivot chain executes" `Quick
+           test_pivot_chain_executes;
+         Alcotest.test_case "flip reveals pivoted path" `Quick
+           test_memu_flip_reveals_pivoted_path;
+         Alcotest.test_case "p2 trampoline faults" `Quick
+           test_memu_p2_trampoline_faults ]);
+      ("rewriter-p2",
+       [ Alcotest.test_case "dissector unresolved under p2" `Slow
+           test_p2_unresolved_for_dissector;
+         Alcotest.test_case "ropmemu faults under p2" `Slow
+           test_p2_faults_ropmemu ]) ]

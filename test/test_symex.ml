@@ -182,6 +182,118 @@ let test_dse_slowed_by_rop () =
     (r_rop.Symex.Engine.secret_input = None
      || r_rop.Symex.Engine.time > 5.0 *. r_native.Symex.Engine.time)
 
+(* --- adversarial inputs: contradictions, faults, budget exhaustion ----------- *)
+
+let test_contradictory_constraints () =
+  (* a satisfiable condition asserted both ways can have no model *)
+  let e =
+    E.bin E.Eq (E.bin E.And (E.Input 0) (E.Const 0xFFL)) (E.Const 3L)
+  in
+  Alcotest.(check bool) "contradiction is unsat" true
+    (Symex.Solver.solve ~n_inputs:1 ~max_evals:5_000
+       [ { Symex.Solver.cond = e; want = true };
+         { Symex.Solver.cond = e; want = false } ]
+     = None)
+
+(* target: idiv of min_int by (input - 2).  input=1 divides by -1 and
+   overflows #DE; input=2 divides by zero; input=0 divides by -2 and
+   returns cleanly. *)
+let div_fault_image () =
+  let open X86.Isa in
+  let body =
+    [ Mov (W64, Reg RAX, Imm Int64.min_int);
+      Mov (W64, Reg RCX, Reg RDI);
+      Alu (Sub, W64, Reg RCX, Imm 2L);
+      Mov (W64, Reg RDX, Reg RAX);
+      Shift (Sar, W64, Reg RDX, S_imm 63);
+      MulDiv (Idiv, Reg RCX);
+      Ret ]
+  in
+  let text = X86.Encode.encode_list body in
+  let img = Image.create () in
+  ignore
+    (Image.add_section img ~name:".text" ~addr:Image.text_base ~data:text
+       ~writable:false ~executable:true);
+  Image.add_symbol img ~is_function:true ~name:"target" ~addr:Image.text_base
+    ~size:(Bytes.length text) ();
+  img
+
+let test_div_overflow_fault_paths () =
+  let img = div_fault_image () in
+  (* the concrete machine's verdicts *)
+  let conc arg = (Runner.call img ~func:"target" ~args:[ arg ]).Runner.status in
+  Alcotest.(check bool) "concrete overflow" true
+    (conc 1L = Machine.Exec.Fault "divide overflow");
+  Alcotest.(check bool) "concrete divide by zero" true
+    (conc 2L = Machine.Exec.Fault "divide by zero");
+  Alcotest.(check bool) "concrete clean path" true
+    (conc 0L = Machine.Exec.Halted);
+  (* the concolic stepper must fault in exactly the same places *)
+  let tgt = { Symex.Engine.img; func = "target"; n_inputs = 1 } in
+  let ctx =
+    Symex.Engine.make_ctx ~goal:Symex.Engine.G_secret
+      ~budget:{ Symex.Engine.default_budget with wall_seconds = 10.0 } tgt
+  in
+  let outcome w =
+    let _, _, o = Symex.Engine.concolic_path ctx [| w |] in
+    o
+  in
+  Alcotest.(check bool) "symbolic overflow fault" true
+    (outcome 1 = `Fault "divide overflow");
+  Alcotest.(check bool) "symbolic divide-by-zero fault" true
+    (outcome 2 = `Fault "divide by zero");
+  Alcotest.(check bool) "symbolic clean path" true (outcome 0 = `Halt)
+
+let test_budget_exhaustion_returns_unknown () =
+  (* a P1-hardened target under a ~50 ms budget: the engine must come back
+     with Unknown (no secret, timed_out set) instead of spinning *)
+  let t = scaled_fun ~input_size:1 ~control_index:0 in
+  let img = Minic.Codegen.compile t.prog in
+  let rw =
+    Ropc.Rewriter.rewrite img ~functions:[ "target" ]
+      ~config:(Ropc.Config.rop_k 1.0)
+  in
+  let tgt =
+    { Symex.Engine.img = rw.Ropc.Rewriter.image; func = "target";
+      n_inputs = 1 }
+  in
+  let budget = { Symex.Engine.default_budget with wall_seconds = 0.05 } in
+  let t0 = Unix.gettimeofday () in
+  let r = Symex.Engine.dse ~goal:Symex.Engine.G_secret ~budget tgt in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "no secret under an impossible deadline" true
+    (r.Symex.Engine.secret_input = None);
+  Alcotest.(check bool) "timed_out reported" true
+    r.Symex.Engine.stats.Symex.Engine.timed_out;
+  Alcotest.(check bool)
+    (Printf.sprintf "returned promptly (%.2fs)" elapsed)
+    true (elapsed < 10.0)
+
+let test_oversized_query_refused () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  (* individually satisfiable (any input >= 8 works), but one constraint past
+     the solver's refusal threshold *)
+  let cs =
+    List.init (Symex.Solver.max_constraints + 1) (fun i ->
+        { Symex.Solver.cond =
+            E.bin E.Eq (E.Input 0) (E.Const (Int64.of_int (i mod 8)));
+          want = false })
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Symex.Solver.solve ~n_inputs:1 ~max_evals:60_000 cs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "refused, not solved" true (r = None);
+  Alcotest.(check bool)
+    (Printf.sprintf "refused outright (%.2fs)" elapsed)
+    true (elapsed < 2.0);
+  Alcotest.(check bool) "refusal is visible in metrics" true
+    (List.assoc_opt "symex.solver.refused_oversized"
+       (Obs.Metrics.snapshot ())
+     = Some (Obs.Metrics.Counter 1));
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ()
+
 let () =
   Alcotest.run "symex"
     [ ("expr",
@@ -193,6 +305,15 @@ let () =
       ("stepper",
        List.map QCheck_alcotest.to_alcotest
          [ prop_sym_concrete_native; prop_sym_concrete_rop ]);
+      ("adversarial",
+       [ Alcotest.test_case "contradictory constraints" `Quick
+           test_contradictory_constraints;
+         Alcotest.test_case "div fault paths" `Quick
+           test_div_overflow_fault_paths;
+         Alcotest.test_case "budget exhaustion -> unknown" `Quick
+           test_budget_exhaustion_returns_unknown;
+         Alcotest.test_case "oversized query refused" `Quick
+           test_oversized_query_refused ]);
       ("attacks",
        [ Alcotest.test_case "dse cracks native" `Slow test_dse_cracks_native;
          Alcotest.test_case "se cracks native" `Slow test_se_cracks_native;

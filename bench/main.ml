@@ -470,6 +470,189 @@ let run_json ~quick ~baseline ~path =
       end
     end
 
+(* --- solver portfolio/memo benchmark (--json-solver) ----------------------
+
+   Repeated-query throughput: a seeded corpus of symbolic-path queries is
+   solved [rounds] times over, the way a DSE sweep re-queries the same
+   normalized constraints along neighboring paths.  Three modes:
+
+     serial     — the pipeline solver, no memo (every round pays full price)
+     memoized   — pipeline + content-addressed memo (round 2+ are hits)
+     portfolio  — strategy race + memo
+
+   The acceptance criterion from the campaign work: memoized and portfolio
+   throughput each at least 2x serial on this workload. *)
+
+module Sv = Symex.Solver
+module Ex = Symex.Expr
+
+let solver_corpus n =
+  let r = Util.Rng.create 4242 in
+  let byte () = Int64.of_int (Util.Rng.int r 256) in
+  List.init n (fun i ->
+      let h a b c1 c2 =
+        Ex.bin Ex.Xor (Ex.bin Ex.Mul a (Ex.Const c1))
+          (Ex.bin Ex.Mul b (Ex.Const c2))
+      in
+      if i mod 3 = 0 then
+        (* shallow query: a concrete branch flip, cheap in every mode *)
+        [ { Sv.cond = Ex.bin Ex.Eq (Ex.Input 0) (Ex.Const (byte ()));
+            want = true } ]
+      else begin
+        (* mixing query: the solver earns its keep (or burns its budget) *)
+        let c1 = Int64.of_int (131 + Util.Rng.int r 1000) in
+        let c2 = Int64.of_int (77 + Util.Rng.int r 1000) in
+        let target = h (Ex.Const (byte ())) (Ex.Const (byte ())) c1 c2 in
+        [ { Sv.cond =
+              Ex.bin Ex.Eq (h (Ex.Input 0) (Ex.Input 1) c1 c2) target;
+            want = true };
+          { Sv.cond = Ex.bin Ex.Ult (Ex.Input 0) (Ex.Const 251L);
+            want = true } ]
+      end)
+
+type solver_mode_result = {
+  sm_name : string;
+  sm_qps : float;               (* queries per second, best of reps *)
+  sm_evals : int;               (* expression evaluations, one rep *)
+  sm_memo_hits : int;
+}
+
+let bench_solver_mode ~reps ~rounds ~corpus sm_name mode ~with_memo =
+  let n = List.length corpus in
+  let best = ref infinity in
+  let last_evals = ref 0 and last_hits = ref 0 in
+  for _ = 1 to reps do
+    (* fresh memo per rep: round 1 misses, rounds 2+ hit, like a real run *)
+    let memo = if with_memo then Some (Sv.Memo.create ()) else None in
+    let stats = Sv.make_stats () in
+    let t0 = Unix.gettimeofday () in
+    for round = 1 to rounds do
+      List.iteri
+        (fun i cs ->
+           ignore
+             (Sv.solve_verdict ~rng:(Util.Rng.create ((round * 7919) + i))
+                ~stats ?memo ~mode ~n_inputs:2 ~max_evals:4_000 cs))
+        corpus
+    done;
+    let dt = Float.max 1e-6 (Unix.gettimeofday () -. t0) in
+    best := Float.min !best (dt /. float_of_int (rounds * n));
+    last_evals := stats.Sv.evals;
+    last_hits := (match memo with Some m -> m.Sv.Memo.hits | None -> 0)
+  done;
+  { sm_name; sm_qps = 1.0 /. !best; sm_evals = !last_evals;
+    sm_memo_hits = !last_hits }
+
+let solver_speedup (rs : solver_mode_result list) name =
+  let find n = List.find (fun r -> r.sm_name = n) rs in
+  (find name).sm_qps /. (find "serial").sm_qps
+
+let run_solver_bench ~reps ~rounds =
+  let corpus = solver_corpus 42 in
+  let rs =
+    [ bench_solver_mode ~reps ~rounds ~corpus "serial" Sv.Pipeline
+        ~with_memo:false;
+      bench_solver_mode ~reps ~rounds ~corpus "memoized" Sv.Pipeline
+        ~with_memo:true;
+      bench_solver_mode ~reps ~rounds ~corpus "portfolio" Sv.Portfolio
+        ~with_memo:true ]
+  in
+  Printf.printf
+    "== Solver throughput (%d queries x %d rounds, best of %d reps) ==\n"
+    (List.length corpus) rounds reps;
+  List.iter
+    (fun r ->
+       Printf.printf "  %-10s %10.0f queries/sec  %9d evals  %5d memo hits\n"
+         r.sm_name r.sm_qps r.sm_evals r.sm_memo_hits)
+    rs;
+  rs
+
+let json_of_solver_results ~quick ~rounds (rs : solver_mode_result list) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let memo_x = solver_speedup rs "memoized" in
+  let port_x = solver_speedup rs "portfolio" in
+  pf "{\n";
+  pf "  \"schema\": \"bench_solver/v1\",\n";
+  pf "  \"quick\": %b,\n" quick;
+  pf "  \"corpus\": { \"queries\": 42, \"rounds\": %d },\n" rounds;
+  pf "  \"modes\": {\n";
+  List.iteri
+    (fun i r ->
+       pf "    \"%s\": { \"queries_per_sec\": %.0f, \"evals\": %d, \"memo_hits\": %d }%s\n"
+         r.sm_name r.sm_qps r.sm_evals r.sm_memo_hits
+         (if i = List.length rs - 1 then "" else ","))
+    rs;
+  pf "  },\n";
+  pf "  \"speedup_memoized_vs_serial\": %.2f,\n" memo_x;
+  pf "  \"speedup_portfolio_vs_serial\": %.2f,\n" port_x;
+  pf "  \"acceptance\": {\n";
+  pf "    \"criterion\": \"memoized and portfolio each >= 2x serial queries/sec on the repeated-query corpus\",\n";
+  pf "    \"pass\": %b\n" (memo_x >= 2.0 && port_x >= 2.0);
+  pf "  }\n";
+  pf "}\n";
+  Buffer.contents b
+
+(* Baseline gate on *speedups* (machine-independent, unlike raw qps): this
+   run's memoized and portfolio speedups must reach 95%% of the committed
+   ones, capped at 2.5x so an unusually fast baseline box cannot ratchet
+   the gate out of reach. *)
+let solver_speedup_cap = 2.5
+
+let check_solver_baseline ~path (rs : solver_mode_result list) =
+  let module J = Obs.Json in
+  let doc =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match J.parse doc with
+  | Error e ->
+    Printf.printf "baseline %s: parse error: %s\n%!" path e;
+    false
+  | Ok root ->
+    let base name =
+      match J.member name root with Some (J.Num x) -> Some x | _ -> None
+    in
+    Printf.printf "== Solver baseline gate (%s) ==\n" path;
+    List.for_all
+      (fun (key, mode) ->
+         match base key with
+         | None ->
+           Printf.printf "  %-30s no baseline entry; skipped\n" key;
+           true
+         | Some b ->
+           let cur = solver_speedup rs mode in
+           let floor =
+             regression_floor *. Float.min b solver_speedup_cap
+           in
+           Printf.printf "  %-30s %.2fx vs baseline %.2fx (floor %.2fx) %s\n"
+             key cur b floor
+             (if cur >= floor then "ok" else "REGRESSION");
+           cur >= floor)
+      [ ("speedup_memoized_vs_serial", "memoized");
+        ("speedup_portfolio_vs_serial", "portfolio") ]
+
+let run_solver_json ~quick ~baseline ~path =
+  let reps = if quick then 2 else 3 in
+  let rounds = if quick then 6 else 10 in
+  let rs = run_solver_bench ~reps ~rounds in
+  let oc = open_out path in
+  output_string oc (json_of_solver_results ~quick ~rounds rs);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  match baseline with
+  | None -> ()
+  | Some p ->
+    if not (check_solver_baseline ~path:p rs) then begin
+      Printf.printf "solver gate missed; re-measuring\n%!";
+      let rs = run_solver_bench ~reps:(reps * 2) ~rounds in
+      if not (check_solver_baseline ~path:p rs) then begin
+        Printf.printf "solver baseline gate FAILED\n%!";
+        exit 1
+      end
+    end
+
 let run_full () =
   ignore (run_benchmarks ());
   Printf.printf "\n== Quick-scale regeneration of every table and figure ==\n%!";
@@ -500,6 +683,25 @@ let () =
     | "--baseline" :: p :: _ -> Some p
     | _ :: rest -> baseline_path rest
   in
-  match json_path argv with
-  | Some path -> run_json ~quick ~baseline:(baseline_path argv) ~path
-  | None -> run_full ()
+  let rec solver_json_path = function
+    | [] -> None
+    | "--json-solver" :: p :: _ when String.length p > 0 && p.[0] <> '-' ->
+      Some p
+    | "--json-solver" :: _ -> Some "BENCH_solver.json"
+    | _ :: rest -> solver_json_path rest
+  in
+  let rec solver_baseline_path = function
+    | [] -> None
+    | "--baseline-solver" :: p :: _ -> Some p
+    | _ :: rest -> solver_baseline_path rest
+  in
+  match json_path argv, solver_json_path argv with
+  | Some path, solver ->
+    run_json ~quick ~baseline:(baseline_path argv) ~path;
+    (match solver with
+     | Some sp ->
+       run_solver_json ~quick ~baseline:(solver_baseline_path argv) ~path:sp
+     | None -> ())
+  | None, Some sp ->
+    run_solver_json ~quick ~baseline:(solver_baseline_path argv) ~path:sp
+  | None, None -> run_full ()

@@ -1,0 +1,130 @@
+(* Attack-campaign runner CLI.
+
+     campaign --grid default --jobs 8            run a 200-cell grid
+     campaign --grid tiny --resume               resume after a SIGINT
+     campaign --grid "mine:configs=NATIVE,ROP_1.00;budgets=1k,4k"
+
+   Sweeps an attacker x configuration x budget x target grid over the
+   lib/jobs worker pool and writes crossover-curve artifacts (cells.csv,
+   crossover.csv, crossover.json) to --out.  Cells are cached by content
+   address in --cache-dir; a fresh run clears the cache, --resume keeps it
+   and recomputes only missing cells, so a run interrupted by Ctrl-C picks
+   up where it stopped with byte-identical artifacts (budgets are
+   eval/state-based, artifacts carry no wall-clock fields).  SIGINT kills
+   and reaps all workers, flushes the partial manifest, exits 130. *)
+
+open Cmdliner
+
+let main grid_spec jobs resume cache_dir out_dir manifest solver_cache
+    wall_safety min_hit_rate trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
+  let grid =
+    try Campaign.Grid.parse grid_spec
+    with Invalid_argument m -> Printf.eprintf "bad --grid: %s\n" m; exit 2
+  in
+  Jobs.Pool.with_manifest manifest (fun m ->
+      let opts =
+        { Campaign.Runner.jobs;
+          cache_dir;
+          resume;
+          out_dir;
+          manifest = Some m;
+          progress = Unix.isatty Unix.stderr;
+          solver_cache;
+          wall_safety_s = wall_safety }
+      in
+      let s = Campaign.Runner.run ~opts grid in
+      Campaign.Runner.print_summary grid s;
+      let hit_rate =
+        100.0 *. float_of_int s.Campaign.Runner.s_cache_hits
+        /. float_of_int (max 1 s.Campaign.Runner.s_cells)
+      in
+      Printf.printf
+        "\ncampaign %s: %d cells, %d found, %d failed, %d cache hits (%.0f%%)\n\
+         artifacts in %s; cell cache in %s\n"
+        grid.Campaign.Grid.g_name s.Campaign.Runner.s_cells
+        s.Campaign.Runner.s_found s.Campaign.Runner.s_failed
+        s.Campaign.Runner.s_cache_hits hit_rate out_dir cache_dir;
+      match min_hit_rate with
+      | Some want when hit_rate < want ->
+        Printf.eprintf "cache hit rate %.0f%% below required %.0f%%\n"
+          hit_rate want;
+        1
+      | _ -> 0)
+
+let grid_arg =
+  let doc =
+    "Grid to sweep: $(b,tiny) (8 cells), $(b,default) (200 cells), or a \
+     custom spec $(b,name:attackers=..;configs=..;budgets=..;targets=..) \
+     (comma-separated values per axis; targets as sS-iN-cC)."
+  in
+  Arg.(value & opt string "tiny" & info [ "grid" ] ~docv:"GRID" ~doc)
+
+let jobs_arg =
+  let doc = "Worker processes (1 = in-process serial)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc =
+    "Keep the cell cache from a previous (possibly interrupted) run and \
+     recompute only missing cells.  Without this flag the cache directory \
+     is cleared first."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let cache_dir_arg =
+  let doc = "Cell result-cache directory." in
+  Arg.(value & opt string "_campaign_cache"
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let out_arg =
+  let doc = "Artifact output directory (cells.csv, crossover.csv/.json)." in
+  Arg.(value & opt string "_campaign" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let manifest_arg =
+  let doc = "Write a JSON run manifest to $(docv)." in
+  Arg.(value
+       & opt (some string) (Some "_campaign/manifest.json")
+       & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let solver_cache_arg =
+  let doc =
+    "Directory for a cross-cell on-disk solver memo cache.  Off by \
+     default: sharing solver models across cells can perturb DSE witness \
+     choice, which trades the byte-identical-resume guarantee for \
+     throughput."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "solver-cache" ] ~docv:"DIR" ~doc)
+
+let wall_safety_arg =
+  let doc =
+    "Per-cell wall-clock safety net in seconds.  Budgets are \
+     eval/state-based; this only bounds pathological cells."
+  in
+  Arg.(value & opt float 120.0 & info [ "wall-safety" ] ~docv:"S" ~doc)
+
+let min_hit_rate_arg =
+  let doc =
+    "Fail (exit 1) if the cell-cache hit rate is below $(docv) percent — \
+     CI uses this to assert that a --resume run actually resumed."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "min-hit-rate" ] ~docv:"PCT" ~doc)
+
+let trace_arg =
+  let doc = "Write a chrome://tracing JSON profile of the run to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Dump the metrics registry to stderr on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let cmd =
+  let doc = "Run attacker x configuration x budget crossover campaigns" in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const main $ grid_arg $ jobs_arg $ resume_arg $ cache_dir_arg
+          $ out_arg $ manifest_arg $ solver_cache_arg $ wall_safety_arg
+          $ min_hit_rate_arg $ trace_arg $ metrics_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,9 @@ dune build @obs
 echo "== difftest smoke (200 cases, seed 42, verifier on, cross-engine oracle) =="
 dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify --engine both
 
+echo "== campaign smoke (@campaign: tiny grid + resume, >=90% cache hits) =="
+dune build @campaign
+
 echo "== emulator bench smoke (fast vs reference stepper, @bench) =="
 dune build @bench
 

@@ -1,0 +1,205 @@
+(* Attack-campaign grids: attacker x configuration x budget x target.
+
+   A grid is the declarative description of a campaign; [cells] expands it
+   to the cross product and [cell_key] gives every cell a stable content
+   address.  The key doubles as the cell's identity in the lib/jobs result
+   cache and as the seed key for its RNG stream ([Util.Rng.of_key]), so a
+   cell's outcome is a pure function of its key — the property both the
+   resumable-after-SIGINT contract and serial-equals-parallel rest on.
+
+   Budgets are deliberately expressed in deterministic units (solver
+   evaluations, engine states) rather than wall seconds: two runs of the
+   same cell must reach the same verdict byte-for-byte, on a loaded CI box
+   or an idle laptop alike.  Wall clock exists only as a generous safety
+   net per cell. *)
+
+type attacker = {
+  atk_name : string;
+  atk_kind : [ `Dse | `Se ];
+  atk_portfolio : bool;        (* race solver strategies (Solver.Portfolio) *)
+  atk_toa : bool;              (* per-page theory-of-arrays memory model *)
+}
+
+let attackers_all =
+  [ { atk_name = "dse"; atk_kind = `Dse; atk_portfolio = false; atk_toa = false };
+    { atk_name = "dse-portfolio"; atk_kind = `Dse; atk_portfolio = true;
+      atk_toa = false };
+    { atk_name = "dse-toa"; atk_kind = `Dse; atk_portfolio = false;
+      atk_toa = true };
+    { atk_name = "se"; atk_kind = `Se; atk_portfolio = false; atk_toa = false };
+    { atk_name = "se-portfolio"; atk_kind = `Se; atk_portfolio = true;
+      atk_toa = false } ]
+
+type budget_pt = {
+  bp_name : string;            (* e.g. "8k" *)
+  bp_solver_evals : int;       (* per solver query *)
+  bp_total_evals : int;        (* run-wide solver-eval cap *)
+  bp_max_states : int;         (* paths (DSE) / states (SE) explored *)
+  bp_max_instrs : int;         (* total symbolic instructions *)
+}
+
+(* A budget point scales every engine limit off the solver-eval count so
+   deterministic budgets — instructions executed, solver evaluations spent
+   — are what end a losing cell, never the wall-clock safety net.
+   Wall-bounded cells would make outcomes depend on machine load, which
+   the byte-identical-resume contract forbids. *)
+let budget_of_evals name evals =
+  { bp_name = name;
+    bp_solver_evals = evals;
+    bp_total_evals = evals * 10;
+    bp_max_states = max 16 (evals / 250);
+    bp_max_instrs = evals * 1000 }
+
+(* the default budget ladder: the x axis of a crossover curve *)
+let budget_ladder =
+  List.map
+    (fun evals ->
+       budget_of_evals (Printf.sprintf "%dk" (evals / 1000)) evals)
+    [ 1_000; 2_000; 4_000; 8_000; 16_000 ]
+
+type target_spec = {
+  tg_name : string;
+  tg_seed : int;
+  tg_input_size : int;
+  tg_control : int;            (* Table IV control-structure index *)
+  tg_loop : int;               (* RandomFuns loop bound *)
+}
+
+let mk_target ~seed ~input_size ~control =
+  { tg_name = Printf.sprintf "s%d-i%d-c%d" seed input_size control;
+    tg_seed = seed; tg_input_size = input_size; tg_control = control;
+    tg_loop = 3 }
+
+type t = {
+  g_name : string;
+  attackers : attacker list;
+  configs : Harness.Configs.named list;
+  budgets : budget_pt list;
+  targets : target_spec list;
+}
+
+type cell = {
+  cl_attacker : attacker;
+  cl_config : Harness.Configs.named;
+  cl_budget : budget_pt;
+  cl_target : target_spec;
+}
+
+let cells g =
+  List.concat_map
+    (fun a ->
+       List.concat_map
+         (fun c ->
+            List.concat_map
+              (fun b -> List.map (fun t ->
+                   { cl_attacker = a; cl_config = c; cl_budget = b;
+                     cl_target = t })
+                  g.targets)
+              g.budgets)
+         g.configs)
+    g.attackers
+
+let size g =
+  List.length g.attackers * List.length g.configs * List.length g.budgets
+  * List.length g.targets
+
+(* The cell's stable identity: every axis value that changes the outcome is
+   spelled out (never a list index), so editing a grid invalidates exactly
+   the cells whose meaning changed. *)
+let cell_key g cl =
+  Printf.sprintf "campaign/%s/%s/%s/%s/%s" g.g_name cl.cl_attacker.atk_name
+    cl.cl_config.Harness.Configs.name cl.cl_budget.bp_name
+    cl.cl_target.tg_name
+
+let config_named name =
+  match
+    List.find_opt
+      (fun (c : Harness.Configs.named) -> c.Harness.Configs.name = name)
+      Harness.Configs.table2_configs
+  with
+  | Some c -> c
+  | None -> invalid_arg ("unknown configuration: " ^ name)
+
+let attacker_named name =
+  match List.find_opt (fun a -> a.atk_name = name) attackers_all with
+  | Some a -> a
+  | None -> invalid_arg ("unknown attacker: " ^ name)
+
+let budget_named name =
+  match List.find_opt (fun b -> b.bp_name = name) budget_ladder with
+  | Some b -> b
+  | None ->
+    (* "<n>k" outside the ladder *)
+    (try
+       Scanf.sscanf name "%dk%!" (fun k -> budget_of_evals name (k * 1000))
+     with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+       invalid_arg ("unknown budget: " ^ name))
+
+(* 2 attackers x 5 configs x 5 budgets x 4 targets = 200 cells *)
+let default =
+  { g_name = "default";
+    attackers = [ attacker_named "dse"; attacker_named "dse-portfolio" ];
+    configs =
+      List.map config_named
+        [ "NATIVE"; "ROP_0.25"; "ROP_1.00"; "2VM"; "2VM-IMPall" ];
+    budgets = budget_ladder;
+    targets =
+      [ mk_target ~seed:1 ~input_size:1 ~control:1;
+        mk_target ~seed:2 ~input_size:1 ~control:2;
+        mk_target ~seed:1 ~input_size:2 ~control:1;
+        mk_target ~seed:2 ~input_size:2 ~control:5 ] }
+
+(* 2 x 2 x 2 x 1 = 8 cells: the CI smoke grid *)
+let tiny =
+  { g_name = "tiny";
+    attackers = [ attacker_named "dse"; attacker_named "dse-portfolio" ];
+    configs = List.map config_named [ "NATIVE"; "ROP_1.00" ];
+    budgets = List.map budget_named [ "1k"; "2k" ];
+    targets = [ mk_target ~seed:1 ~input_size:1 ~control:1 ] }
+
+(* Grid specs: a preset name ("tiny", "default"), or a custom description
+   "name:attackers=dse,dse-portfolio;configs=NATIVE,ROP_1.00;budgets=1k,4k;
+   targets=s1-i1-c1,s2-i2-c5". *)
+let parse spec =
+  match spec with
+  | "tiny" -> tiny
+  | "default" -> default
+  | _ ->
+    let name, body =
+      match String.index_opt spec ':' with
+      | Some i ->
+        (String.sub spec 0 i,
+         String.sub spec (i + 1) (String.length spec - i - 1))
+      | None -> invalid_arg ("bad grid spec (no name): " ^ spec)
+    in
+    let g = ref { default with g_name = name } in
+    List.iter
+      (fun field ->
+         match String.index_opt field '=' with
+         | None -> invalid_arg ("bad grid field: " ^ field)
+         | Some i ->
+           let k = String.sub field 0 i in
+           let vs =
+             String.split_on_char ','
+               (String.sub field (i + 1) (String.length field - i - 1))
+           in
+           (match k with
+            | "attackers" ->
+              g := { !g with attackers = List.map attacker_named vs }
+            | "configs" -> g := { !g with configs = List.map config_named vs }
+            | "budgets" -> g := { !g with budgets = List.map budget_named vs }
+            | "targets" ->
+              g :=
+                { !g with
+                  targets =
+                    List.map
+                      (fun v ->
+                         try
+                           Scanf.sscanf v "s%d-i%d-c%d%!" (fun s i c ->
+                               mk_target ~seed:s ~input_size:i ~control:c)
+                         with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                           invalid_arg ("bad target spec: " ^ v))
+                      vs }
+            | _ -> invalid_arg ("unknown grid axis: " ^ k)))
+      (List.filter (fun s -> s <> "") (String.split_on_char ';' body));
+    !g

@@ -31,3 +31,37 @@ let table ~title ~headers rows =
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v
 let i v = string_of_int v
+
+(* --- artifact files ----------------------------------------------------------
+
+   CSV/JSON emission for machine-readable artifacts (crossover curves,
+   campaign summaries).  Writers are atomic (temp + rename in the target
+   directory) so an interrupted run never leaves a torn artifact, and the
+   byte-identical-resume contract can compare files directly. *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* Build a CSV document from headers and rows (RFC-4180 quoting, \n line
+   ends: deterministic bytes for a deterministic row list). *)
+let csv ~headers rows =
+  let line cells = String.concat "," (List.map csv_escape cells) ^ "\n" in
+  String.concat "" (line headers :: List.map line rows)
+
+let write_file path contents =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let tmp = Filename.temp_file ~temp_dir:dir "report" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s

@@ -19,8 +19,11 @@ type budget = {
   max_instrs : int;          (* total symbolic instructions *)
   max_states : int;          (* SE: states explored; DSE: paths executed *)
   solver_evals : int;        (* per solver query *)
+  total_solver_evals : int;  (* across the whole run: the deterministic
+                                cost cap campaign cells are bounded by *)
   path_fuel : int;           (* instructions per path *)
   indirect_limit : int;      (* values enumerated per symbolic target *)
+  portfolio : bool;          (* race solver strategies instead of pipeline *)
 }
 
 let default_budget = {
@@ -28,8 +31,10 @@ let default_budget = {
   max_instrs = 40_000_000;
   max_states = 100_000;
   solver_evals = 60_000;
+  total_solver_evals = max_int;
   path_fuel = 4_000_000;
   indirect_limit = 4;
+  portfolio = false;
 }
 
 type stats = {
@@ -103,6 +108,7 @@ let out_of_budget ctx =
   out_of_time ctx
   || ctx.stats.instrs > ctx.budget.max_instrs
   || ctx.stats.states > ctx.budget.max_states
+  || ctx.stats.solver.Solver.evals >= ctx.budget.total_solver_evals
 
 (* Build the initial symbolic state: like Runner.setup but with a symbolic
    RDI. *)
@@ -139,10 +145,23 @@ let model_for ctx witness_ref =
   in
   { Sym_state.toa = ctx.toa; concretize; on_write }
 
+let solver_mode ctx =
+  if ctx.budget.portfolio then Solver.Portfolio else Solver.Pipeline
+
+(* per-query eval budget, clamped to what the run-wide cap has left *)
+let query_evals ctx =
+  let remaining =
+    ctx.budget.total_solver_evals - ctx.stats.solver.Solver.evals
+  in
+  min ctx.budget.solver_evals (max 0 remaining)
+
 let solve ?seed ctx cs =
-  Solver.solve ~rng:(Util.Rng.split ctx.rng) ~stats:ctx.stats.solver
-    ~deadline:ctx.deadline ?seed ~n_inputs:ctx.tgt.n_inputs
-    ~max_evals:ctx.budget.solver_evals cs
+  let max_evals = query_evals ctx in
+  if max_evals <= 0 then None
+  else
+    Solver.solve ~rng:(Util.Rng.split ctx.rng) ~stats:ctx.stats.solver
+      ~deadline:ctx.deadline ~mode:(solver_mode ctx) ?seed
+      ~n_inputs:ctx.tgt.n_inputs ~max_evals cs
 
 (* on path completion (halt): try to conclude the secret goal *)
 let check_secret ctx (st : Sym_state.t) witness =
@@ -395,8 +414,8 @@ let se ?(toa = true) ?(seed = 99) ~goal ~budget tgt =
             let others =
               Solver.enumerate ~rng:(Util.Rng.split ctx.rng)
                 ~stats:ctx.stats.solver ~deadline:ctx.deadline
-                ~n_inputs:ctx.tgt.n_inputs
-                ~max_evals:ctx.budget.solver_evals
+                ~mode:(solver_mode ctx) ~n_inputs:ctx.tgt.n_inputs
+                ~max_evals:(max 1 (query_evals ctx))
                 ~limit:(ctx.budget.indirect_limit - 1)
                 ({ Solver.cond = E.bin E.Eq target (E.Const v); want = false }
                  :: st.Sym_state.constraints)

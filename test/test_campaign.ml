@@ -1,0 +1,194 @@
+(* Campaign runner: grid algebra, serial-equals-parallel artifacts and
+   metrics, and the resumability contract — a run killed partway and
+   resumed from its cell cache produces artifacts byte-identical to an
+   uninterrupted run's.
+
+   The interruption test forks a child campaign, SIGINTs it mid-run (cells
+   are sized so the signal lands while later cells are still computing),
+   and resumes in-process over the same cache directory. *)
+
+let tmpdir () =
+  let d = Filename.temp_file "campaign_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let artifact_names = [ "cells.csv"; "crossover.csv"; "crossover.json" ]
+
+let artifacts dir =
+  List.map (fun n -> (n, read_file (Filename.concat dir n))) artifact_names
+
+let check_same_artifacts msg a b =
+  List.iter2
+    (fun (n, ca) (_, cb) ->
+       Alcotest.(check bool) (msg ^ ": " ^ n ^ " byte-identical") true
+         (ca = cb))
+    a b
+
+(* --- grid algebra ------------------------------------------------------------ *)
+
+let test_grid_sizes () =
+  Alcotest.(check int) "default grid is the 200-cell acceptance grid" 200
+    (Campaign.Grid.size Campaign.Grid.default);
+  Alcotest.(check int) "tiny grid" 8 (Campaign.Grid.size Campaign.Grid.tiny);
+  Alcotest.(check int) "cells matches size"
+    (Campaign.Grid.size Campaign.Grid.default)
+    (List.length (Campaign.Grid.cells Campaign.Grid.default))
+
+let test_grid_keys_unique () =
+  let g = Campaign.Grid.default in
+  let keys = List.map (Campaign.Grid.cell_key g) (Campaign.Grid.cells g) in
+  let sorted = List.sort_uniq compare keys in
+  Alcotest.(check int) "cell keys are pairwise distinct"
+    (List.length keys) (List.length sorted)
+
+let test_grid_parse () =
+  let g =
+    Campaign.Grid.parse
+      "x:attackers=dse,se-portfolio;configs=NATIVE,ROP_1.00;budgets=1k,3k;targets=s1-i1-c1,s2-i2-c5"
+  in
+  Alcotest.(check string) "name" "x" g.Campaign.Grid.g_name;
+  Alcotest.(check int) "size" (2 * 2 * 2 * 2) (Campaign.Grid.size g);
+  let b3 =
+    List.find (fun b -> b.Campaign.Grid.bp_name = "3k") g.Campaign.Grid.budgets
+  in
+  Alcotest.(check int) "off-ladder budget parsed" 3000
+    b3.Campaign.Grid.bp_solver_evals;
+  Alcotest.(check bool) "bad axis rejected" true
+    (try ignore (Campaign.Grid.parse "x:bogus=1"); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad target rejected" true
+    (try ignore (Campaign.Grid.parse "x:targets=nope"); false
+     with Invalid_argument _ -> true)
+
+(* --- serial = parallel -------------------------------------------------------- *)
+
+(* fast grid: NATIVE-only cells solve well inside their budgets *)
+let fast_grid =
+  "eq:attackers=dse;configs=NATIVE;budgets=1k,2k;targets=s1-i1-c1,s2-i1-c2"
+
+let run_campaign ?(resume = false) ?(jobs = 1) ~cache_dir ~out_dir spec =
+  let g = Campaign.Grid.parse spec in
+  let opts =
+    { Campaign.Runner.default_opts with
+      Campaign.Runner.jobs; cache_dir; out_dir; resume }
+  in
+  (g, Campaign.Runner.run ~opts g)
+
+let counters =
+  [ ("campaign.found", Campaign.Runner.m_found);
+    ("solver.evals", Symex.Solver.m_evals);
+    ("solver.queries", Symex.Solver.m_queries) ]
+
+let snapshot () = List.map (fun (n, c) -> (n, !c)) counters
+
+let test_serial_equals_parallel () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
+  let dir_s = tmpdir () and dir_p = tmpdir () in
+  let s0 = snapshot () in
+  let _, sum_s =
+    run_campaign ~jobs:1 ~cache_dir:(Filename.concat dir_s "cache")
+      ~out_dir:(Filename.concat dir_s "out") fast_grid
+  in
+  let s1 = snapshot () in
+  let _, sum_p =
+    run_campaign ~jobs:2 ~cache_dir:(Filename.concat dir_p "cache")
+      ~out_dir:(Filename.concat dir_p "out") fast_grid
+  in
+  let s2 = snapshot () in
+  check_same_artifacts "serial vs parallel"
+    (artifacts (Filename.concat dir_s "out"))
+    (artifacts (Filename.concat dir_p "out"));
+  Alcotest.(check int) "summary agrees on found"
+    sum_s.Campaign.Runner.s_found sum_p.Campaign.Runner.s_found;
+  (* the merge algebra: forked workers ship metric deltas back to the
+     parent, so parallel totals equal serial totals exactly *)
+  List.iter2
+    (fun ((n, a), (_, b)) (_, c) ->
+       Alcotest.(check int) ("parallel total equals serial: " ^ n)
+         (b - a) (c - b))
+    (List.combine s0 s1) s2
+
+(* --- resumability ------------------------------------------------------------- *)
+
+(* NATIVE cells finish in well under a second; ROP_1.00 cells take seconds,
+   so a signal ~2.5s in lands after the NATIVE cells are cached but before
+   the campaign completes *)
+let slow_grid =
+  "rz:attackers=dse;configs=NATIVE,ROP_1.00;budgets=1k;targets=s1-i1-c1,s2-i1-c2"
+
+let test_resume_after_sigint () =
+  let base = tmpdir () in
+  let cache = Filename.concat base "cache" in
+  let out = Filename.concat base "out" in
+  let ref_dir = tmpdir () in
+  (* reference: the same grid, uninterrupted, in its own directories *)
+  let _, _ =
+    run_campaign ~cache_dir:(Filename.concat ref_dir "cache")
+      ~out_dir:(Filename.concat ref_dir "out") slow_grid
+  in
+  (* child: fresh serial run over [cache]; parent kills it mid-run *)
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.dup2 devnull Unix.stderr;
+    exit
+      (Jobs.Pool.with_manifest None (fun m ->
+           let g = Campaign.Grid.parse slow_grid in
+           let opts =
+             { Campaign.Runner.default_opts with
+               Campaign.Runner.cache_dir = cache; out_dir = out;
+               manifest = Some m }
+           in
+           ignore (Campaign.Runner.run ~opts g);
+           0))
+  end;
+  Unix.sleepf 2.5;
+  (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  let interrupted = status <> Unix.WEXITED 0 in
+  (* resume over the same cache: completed cells come back as hits *)
+  let _, sum =
+    run_campaign ~resume:true ~cache_dir:cache ~out_dir:out slow_grid
+  in
+  check_same_artifacts "resumed vs uninterrupted"
+    (artifacts (Filename.concat ref_dir "out"))
+    (artifacts out);
+  if interrupted then
+    Alcotest.(check bool) "interrupted run left cached cells behind" true
+      (sum.Campaign.Runner.s_cache_hits >= 1)
+  else
+    (* child won the race and finished: every cell must be a hit *)
+    Alcotest.(check int) "finished child cached everything" 4
+      sum.Campaign.Runner.s_cache_hits;
+  (* a second resume recomputes nothing at all *)
+  let _, sum2 =
+    run_campaign ~resume:true ~cache_dir:cache ~out_dir:out slow_grid
+  in
+  Alcotest.(check int) "second resume is 100% cache hits" 4
+    sum2.Campaign.Runner.s_cache_hits;
+  check_same_artifacts "second resume"
+    (artifacts (Filename.concat ref_dir "out"))
+    (artifacts out)
+
+let () =
+  Alcotest.run "campaign"
+    [ ("grid",
+       [ Alcotest.test_case "sizes" `Quick test_grid_sizes;
+         Alcotest.test_case "unique keys" `Quick test_grid_keys_unique;
+         Alcotest.test_case "parse" `Quick test_grid_parse ]);
+      ("determinism",
+       [ Alcotest.test_case "serial = parallel" `Quick
+           test_serial_equals_parallel ]);
+      ("resume",
+       [ Alcotest.test_case "SIGINT + resume is byte-identical" `Quick
+           test_resume_after_sigint ]) ]

@@ -1,0 +1,430 @@
+(* roplint: fixpoint static analysis + translation validation driver.
+
+   Rewrites every built-in program at every Table I / Table II configuration
+   and runs the lib/staticanalysis passes over each result: stack
+   discipline (native + virtual), translation validation, stealth lint and
+   pool-bloat.  Like ropcheck, the matrix is embarrassingly parallel and a
+   --jobs run prints byte-identical output to a serial one: workers return
+   plain data, the parent renders in matrix order.
+
+     roplint                          # whole corpus x matrix
+     roplint --jobs 4                 # same, 4 forked workers
+     roplint --program corpus --config rop1.0+gc
+     roplint --json report.json       # machine-readable findings report
+     roplint --no-transval            # skip the (slower) equivalence pass
+     roplint --ropaware               # add attacker-success columns (slow)
+     roplint --min-proven 90          # CI gate on the proven-equivalent rate
+
+   Exit status: 1 if any error-severity finding is reported or the
+   translation-validation proven rate falls below --min-proven. *)
+
+open Cmdliner
+module F = Verify.Finding
+module SA = Staticanalysis
+
+let config_matrix seed =
+  [ ("plain", Ropc.Config.plain ~seed ());
+    ("rop0", Ropc.Config.rop_k ~seed 0.0);
+    ("rop0.05", Ropc.Config.rop_k ~seed 0.05);
+    ("rop0.25", Ropc.Config.rop_k ~seed 0.25);
+    ("rop0.5", Ropc.Config.rop_k ~seed 0.5);
+    ("rop0.75", Ropc.Config.rop_k ~seed 0.75);
+    ("rop1.0", Ropc.Config.rop_k ~seed 1.0);
+    ("rop1.0+p2", Ropc.Config.rop_k ~seed ~p2:true 1.0);
+    ("rop1.0+gc", Ropc.Config.rop_k ~seed ~confusion:true 1.0);
+    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0) ]
+
+let targets () =
+  [ ("corpus", Minic.Corpus.compile, Minic.Corpus.all_names);
+    ("base64",
+     (fun () -> Minic.Codegen.compile (Minic.Programs.base64_program ())),
+     [ "b64_check"; "b64_encode" ]) ]
+  @ List.map
+      (fun (name, prog, fns, _) ->
+         (name, (fun () -> Minic.Codegen.compile prog), fns))
+      Minic.Clbg.all
+
+(* --- per-cell analysis (runs in a worker) ---------------------------------- *)
+
+(* Attacker ground truth: how much of each chain the ROP-aware static
+   attacker recovers, to correlate against the stealth score. *)
+type attacker = {
+  at_func : string;
+  at_true_slots : int;            (* gadget slots actually in the layout *)
+  at_blocks : int;                (* dissector-recovered block entries *)
+  at_unresolved : int;
+  at_guesses : int;               (* byte-scan candidate slots *)
+}
+
+type cell = {
+  c_errs : int;
+  c_warns : int;
+  c_out : string;                 (* deterministic stdout block *)
+  c_proven : int;
+  c_unproven : int;
+  c_skipped : int;
+  c_json : string;                (* cell JSON, sans timings *)
+  c_timings : (string * float * float) list;
+}
+
+let json_of_report ~tname ~cfg_name (r : SA.Driver.report)
+    (attackers : attacker list) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"program\":\"%s\",\"config\":\"%s\"" tname cfg_name;
+  Printf.bprintf b ",\"findings\":[%s]"
+    (String.concat "," (List.map F.to_json r.SA.Driver.r_findings));
+  (match r.SA.Driver.r_transval with
+   | Some tv ->
+     Printf.bprintf b
+       ",\"transval\":{\"proven\":%d,\"unproven\":%d,\"skipped\":%d,\
+        \"unproven_regions\":[%s]}"
+       tv.SA.Transval.tv_proven tv.SA.Transval.tv_unproven
+       (List.length tv.SA.Transval.tv_skipped)
+       (String.concat ","
+          (List.filter_map
+             (fun (rg : SA.Transval.region) ->
+                match rg.SA.Transval.rg_verdict with
+                | SA.Transval.Proven _ -> None
+                | SA.Transval.Unproven reason ->
+                  Some
+                    (Printf.sprintf
+                       "{\"func\":\"%s\",\"addr\":\"0x%Lx\",\"reason\":\"%s\"}"
+                       (F.json_escape rg.SA.Transval.rg_func)
+                       rg.SA.Transval.rg_addr (F.json_escape reason)))
+             tv.SA.Transval.tv_regions))
+   | None -> ());
+  let st = r.SA.Driver.r_stealth in
+  Printf.bprintf b
+    ",\"stealth\":{\"ret_density\":%.4f,\"popret_per_kib\":%.2f,\"funcs\":[%s]}"
+    st.SA.Stealth.sl_ret_density st.SA.Stealth.sl_popret_per_kib
+    (String.concat ","
+       (List.map
+          (fun (fs : SA.Stealth.func_score) ->
+             Printf.sprintf
+               "{\"func\":\"%s\",\"score\":%.2f,\"slot_frac\":%.4f,\
+                \"reuse\":%.4f,\"clustering\":%.4f}"
+               (F.json_escape fs.SA.Stealth.fs_name) fs.SA.Stealth.fs_score
+               fs.SA.Stealth.fs_slot_frac fs.SA.Stealth.fs_reuse
+               fs.SA.Stealth.fs_clustering)
+          st.SA.Stealth.sl_funcs));
+  let pb = r.SA.Driver.r_poolbloat in
+  Printf.bprintf b
+    ",\"poolbloat\":{\"gadgets\":%d,\"referenced\":%d,\"pool_bytes\":%d,\
+     \"live_bytes\":%d,\"shrinkable_suffix\":%d}"
+    pb.SA.Poolbloat.pb_total pb.SA.Poolbloat.pb_referenced
+    pb.SA.Poolbloat.pb_pool_bytes pb.SA.Poolbloat.pb_live_bytes
+    pb.SA.Poolbloat.pb_shrinkable_suffix;
+  if attackers <> [] then
+    Printf.bprintf b ",\"ropaware\":[%s]"
+      (String.concat ","
+         (List.map
+            (fun a ->
+               Printf.sprintf
+                 "{\"func\":\"%s\",\"true_slots\":%d,\"blocks\":%d,\
+                  \"unresolved\":%d,\"guesses\":%d}"
+                 (F.json_escape a.at_func) a.at_true_slots a.at_blocks
+                 a.at_unresolved a.at_guesses)
+            attackers));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let lint_one ~verbose ~transval ~ropaware tname cfg_name config build fns =
+  let orig = build () in
+  let r = Ropc.Rewriter.rewrite orig ~functions:fns ~config in
+  let audit = r.Ropc.Rewriter.audit in
+  let rewritten = r.Ropc.Rewriter.image in
+  let report = SA.Driver.lint ~transval ~orig ~rewritten audit in
+  let attackers =
+    if not ropaware then []
+    else
+      List.map
+        (fun (f : Ropc.Audit.func) ->
+           let true_slots =
+             Array.fold_left
+               (fun n (_, s) ->
+                  match s with Ropc.Chain.S_gadget _ -> n + 1 | _ -> n)
+               0 f.Ropc.Audit.f_layout
+           in
+           let d =
+             Ropaware.Ropdissector.analyze rewritten
+               ~chain_addr:f.Ropc.Audit.f_chain_base
+               ~chain_len:f.Ropc.Audit.f_chain_len
+           in
+           let g =
+             Ropaware.Ropdissector.gadget_guess ~stride:1 rewritten
+               ~chain_addr:f.Ropc.Audit.f_chain_base
+               ~chain_len:f.Ropc.Audit.f_chain_len
+           in
+           { at_func = f.Ropc.Audit.f_name;
+             at_true_slots = true_slots;
+             at_blocks = Hashtbl.length d.Ropaware.Ropdissector.blocks;
+             at_unresolved = d.Ropaware.Ropdissector.unresolved;
+             at_guesses = g.Ropaware.Ropdissector.candidates })
+        audit.Ropc.Audit.a_funcs
+  in
+  let findings = report.SA.Driver.r_findings in
+  let errs, warns, _ = F.counts findings in
+  let proven, unproven, skipped =
+    match report.SA.Driver.r_transval with
+    | Some tv ->
+      (tv.SA.Transval.tv_proven, tv.SA.Transval.tv_unproven,
+       List.length tv.SA.Transval.tv_skipped)
+    | None -> (0, 0, 0)
+  in
+  let buf = Buffer.create 512 in
+  let header = ref false in
+  let head () =
+    if not !header then begin
+      header := true;
+      Printf.bprintf buf "== %s / %s ==\n" tname cfg_name
+    end
+  in
+  if errs > 0 || verbose then begin
+    head ();
+    Buffer.add_string buf (F.render_report ~verbose findings)
+  end;
+  if verbose then begin
+    head ();
+    (match report.SA.Driver.r_transval with
+     | Some tv ->
+       Printf.bprintf buf "  transval: %d proven, %d unproven, %d skipped\n"
+         tv.SA.Transval.tv_proven tv.SA.Transval.tv_unproven
+         (List.length tv.SA.Transval.tv_skipped)
+     | None -> ());
+    let st = report.SA.Driver.r_stealth in
+    (match st.SA.Stealth.sl_funcs with
+     | [] -> ()
+     | fs ->
+       let scores = List.map (fun f -> f.SA.Stealth.fs_score) fs in
+       let mean =
+         List.fold_left ( +. ) 0.0 scores /. float_of_int (List.length scores)
+       in
+       Printf.bprintf buf "  stealth: mean %.1f, max %.1f\n" mean
+         (List.fold_left max neg_infinity scores));
+    let pb = report.SA.Driver.r_poolbloat in
+    Printf.bprintf buf "  pool: %d/%d gadgets referenced, %d B shrinkable\n"
+      pb.SA.Poolbloat.pb_referenced pb.SA.Poolbloat.pb_total
+      pb.SA.Poolbloat.pb_shrinkable_suffix;
+    List.iter
+      (fun a ->
+         Printf.bprintf buf
+           "  ropaware %s: %d/%d blocks, %d unresolved, %d guesses\n"
+           a.at_func a.at_blocks a.at_true_slots a.at_unresolved a.at_guesses)
+      attackers
+  end;
+  { c_errs = errs;
+    c_warns = warns;
+    c_out = Buffer.contents buf;
+    c_proven = proven;
+    c_unproven = unproven;
+    c_skipped = skipped;
+    c_json = json_of_report ~tname ~cfg_name report attackers;
+    c_timings =
+      List.map
+        (fun (t : SA.Driver.timing) ->
+           (t.SA.Driver.t_pass, t.SA.Driver.t_wall_s, t.SA.Driver.t_cpu_s))
+        report.SA.Driver.r_timings }
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let main seed program config verbose jobs manifest trace metrics no_transval
+    min_proven json_out no_timings ropaware inject =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
+  let adjust cfg =
+    if inject then { cfg with Ropc.Config.debug_unbalanced_epilogue = true }
+    else cfg
+  in
+  let matrix =
+    match config with
+    | None -> config_matrix seed
+    | Some c ->
+      (match List.assoc_opt c (config_matrix seed) with
+       | Some cfg -> [ (c, cfg) ]
+       | None ->
+         Printf.eprintf "unknown config %s; available: %s\n" c
+           (String.concat ", " (List.map fst (config_matrix seed)));
+         exit 2)
+  in
+  let targets_l =
+    match program with
+    | None -> targets ()
+    | Some p ->
+      (match List.filter (fun (name, _, _) -> name = p) (targets ()) with
+       | [] ->
+         Printf.eprintf "unknown program %s; available: %s\n" p
+           (String.concat ", " (List.map (fun (n, _, _) -> n) (targets ())));
+         exit 2
+       | ts -> ts)
+  in
+  let cells =
+    List.concat_map
+      (fun (name, _, _) -> List.map (fun (cn, _) -> (name, cn)) matrix)
+      targets_l
+  in
+  let f (tname, cfg_name) =
+    let _, build, fns = List.find (fun (n, _, _) -> n = tname) (targets ()) in
+    let cfg = adjust (List.assoc cfg_name (config_matrix seed)) in
+    lint_one ~verbose ~transval:(not no_transval) ~ropaware tname cfg_name cfg
+      build fns
+  in
+  Jobs.Pool.with_manifest manifest (fun m ->
+      let pool =
+        { Jobs.Pool.default with
+          Jobs.Pool.jobs; manifest = Some m;
+          progress = Unix.isatty Unix.stderr }
+      in
+      let results =
+        Jobs.Pool.map ~label:"roplint" pool
+          ~key:(fun (t, c) ->
+              Printf.sprintf
+                "roplint/seed=%d/tv=%b/ra=%b/inj=%b/%s/%s" seed
+                (not no_transval) ropaware inject t c)
+          ~f cells
+      in
+      let runs = ref 0 and errs = ref 0 and warns = ref 0 in
+      let proven = ref 0 and unproven = ref 0 and skipped = ref 0 in
+      let cell_jsons = ref [] in
+      List.iter2
+        (fun (tname, cfg_name) (r : _ Jobs.Pool.result) ->
+           incr runs;
+           match r.Jobs.Pool.outcome with
+           | Jobs.Pool.Done c ->
+             print_string c.c_out;
+             errs := !errs + c.c_errs;
+             warns := !warns + c.c_warns;
+             proven := !proven + c.c_proven;
+             unproven := !unproven + c.c_unproven;
+             skipped := !skipped + c.c_skipped;
+             let json =
+               if no_timings then c.c_json
+               else
+                 Printf.sprintf "%s,\"timings\":[%s]}"
+                   (String.sub c.c_json 0 (String.length c.c_json - 1))
+                   (String.concat ","
+                      (List.map
+                         (fun (p, w, cpu) ->
+                            Printf.sprintf
+                              "{\"pass\":\"%s\",\"wall_s\":%.6f,\
+                               \"cpu_s\":%.6f}" p w cpu)
+                         c.c_timings))
+             in
+             cell_jsons := json :: !cell_jsons
+           | Jobs.Pool.Failed msg ->
+             Printf.printf "== %s / %s ==\n  harness failure: %s\n" tname
+               cfg_name msg;
+             incr errs
+           | Jobs.Pool.Timed_out t ->
+             Printf.printf "== %s / %s ==\n  timed out after %.0fs\n" tname
+               cfg_name t;
+             incr errs)
+        cells results;
+      (match json_out with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         Printf.fprintf oc
+           "{\"schema\":\"roplint/v1\",\"seed\":%d,\"cells\":[%s]}\n" seed
+           (String.concat "," (List.rev !cell_jsons));
+         close_out oc);
+      let total = !proven + !unproven in
+      let rate =
+        if total = 0 then 100.0
+        else 100.0 *. float_of_int !proven /. float_of_int total
+      in
+      if no_transval then
+        Printf.printf "roplint: %d runs, %d errors, %d warnings\n" !runs !errs
+          !warns
+      else
+        Printf.printf
+          "roplint: %d runs, %d errors, %d warnings, transval %d/%d proven \
+           (%.1f%%), %d skipped\n"
+          !runs !errs !warns !proven total rate !skipped;
+      if !errs > 0 then 1
+      else if (not no_transval) && rate < min_proven then begin
+        Printf.printf "roplint: proven rate %.1f%% below --min-proven %.1f%%\n"
+          rate min_proven;
+        1
+      end
+      else 0)
+
+let cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Obfuscation seed.")
+  in
+  let program =
+    Arg.(value & opt (some string) None
+         & info [ "program" ] ~doc:"Lint only this built-in program.")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~doc:"Lint only this configuration.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Print warnings, infos and per-pass summaries too.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Forked worker processes for the program x config matrix.")
+  in
+  let manifest =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"FILE"
+             ~doc:"Write a JSON run manifest to $(docv).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a chrome://tracing JSON profile of the run to \
+                   $(docv). Use --jobs 1 for a complete flame view.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Dump the metrics registry to stderr on exit.")
+  in
+  let no_transval =
+    Arg.(value & flag
+         & info [ "no-transval" ]
+             ~doc:"Skip the translation-validation pass.")
+  in
+  let min_proven =
+    Arg.(value & opt float 90.0
+         & info [ "min-proven" ] ~docv:"PCT"
+             ~doc:"Fail if fewer than $(docv) percent of directly-lowered \
+                   regions are proven equivalent.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable findings report to $(docv).")
+  in
+  let no_timings =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Omit per-pass timings from the JSON report (makes it \
+                   byte-stable across runs).")
+  in
+  let ropaware =
+    Arg.(value & flag
+         & info [ "ropaware" ]
+             ~doc:"Also run the ROP-aware static attacker per chain and \
+                   report its recovery rate (slow).")
+  in
+  let inject =
+    Arg.(value & flag
+         & info [ "inject-unbalanced" ]
+             ~doc:"Fault injection: rewrite with the deliberately unbalanced \
+                   chain epilogue (the stack-discipline pass must flag it).")
+  in
+  Cmd.v
+    (Cmd.info "roplint"
+       ~doc:"Fixpoint dataflow lint + translation validation for rewritten \
+             images")
+    Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest
+          $ trace $ metrics $ no_transval $ min_proven $ json_out
+          $ no_timings $ ropaware $ inject)
+
+let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,9 @@ dune build @check
 echo "== parallel smoke (@jobs: difftest --jobs 3 + ropcheck --jobs 4) =="
 dune build @jobs
 
+echo "== static-analysis lint (@lint: roplint matrix, 100% proven gate + fault injection) =="
+dune build @lint
+
 echo "== observability (@obs: lib/obs suite + schema-validated --trace smoke) =="
 dune build @obs
 

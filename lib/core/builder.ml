@@ -481,6 +481,11 @@ let native_call b ~live target =
    The final gadget's own ret pops the caller's return address from the
    native stack. *)
 let epilogue b ~live =
+  (* seeded fault injection (tests only): skew the virtual stack right
+     before the unswitch.  Every slot still typechecks individually, so
+     ropcheck's linear walk passes; only a flow-sensitive stack-discipline
+     analysis can see the unswitch happen at delta = +8. *)
+  if b.config.Config.debug_unbalanced_epilogue then rsp_adjust b ~live 8L;
   with_scratch b ~live ~avoid:R.empty 1 (fun regs ->
       match regs with
       | [ s1 ] ->

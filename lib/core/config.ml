@@ -39,6 +39,10 @@ type t = {
   variants : int;           (* gadget diversification factor *)
   spill_slots : int;        (* per-function scratch spill capacity *)
   read_only_chains : bool;  (* reserved: see §IV-C *)
+  debug_unbalanced_epilogue : bool;
+                            (* test-only fault injection: emit an epilogue
+                               that leaves the virtual stack 8 bytes off,
+                               the seeded rewriter bug Stackdisc must catch *)
 }
 
 let default = {
@@ -52,6 +56,7 @@ let default = {
   variants = 3;
   spill_slots = 2;
   read_only_chains = false;
+  debug_unbalanced_epilogue = false;
 }
 
 (* ROP_k of Table I: P1 at the paper's parameters plus P3 at fraction [k]

@@ -1,0 +1,80 @@
+(* roplint driver: run the four analysis passes over one rewrite result.
+
+   Per pass: an Obs span + counters, and wall/CPU time deltas recorded in
+   the report so the JSON artifact can gate analysis-time regressions the
+   way @bench gates the emulator. *)
+
+module A = Ropc.Audit
+module F = Verify.Finding
+
+type timing = {
+  t_pass : string;
+  t_wall_s : float;
+  t_cpu_s : float;
+}
+
+type report = {
+  r_findings : F.t list;           (* all passes, in pass order *)
+  r_transval : Transval.result option;
+  r_stealth : Stealth.t;
+  r_poolbloat : Poolbloat.t;
+  r_stackdisc_stats : (string * Fixpoint.stats) list;
+  r_timings : timing list;
+}
+
+let timed name f =
+  let w0 = Unix.gettimeofday () in
+  let c0 = Unix.times () in
+  let v = Obs.Trace.with_span ("roplint." ^ name) f in
+  let c1 = Unix.times () in
+  let w1 = Unix.gettimeofday () in
+  let cpu =
+    Unix.(c1.tms_utime +. c1.tms_stime -. c0.tms_utime -. c0.tms_stime)
+  in
+  (v, { t_pass = name; t_wall_s = w1 -. w0; t_cpu_s = cpu })
+
+let count_findings pass fs =
+  if Obs.Metrics.enabled () then begin
+    let e, w, i = F.counts fs in
+    Obs.Metrics.count (Printf.sprintf "roplint.%s.errors" pass) e;
+    Obs.Metrics.count (Printf.sprintf "roplint.%s.warnings" pass) w;
+    Obs.Metrics.count (Printf.sprintf "roplint.%s.infos" pass) i
+  end
+
+let lint ?(transval = true) ~(orig : Image.t)
+    ~(rewritten : Image.t) (audit : A.t) : report =
+  let (sd_findings, sd_stats), t_sd =
+    timed "stackdisc" (fun () ->
+        let nf, nstats = Stackdisc.native_pass orig in
+        let cf, cstats = Stackdisc.chain_pass audit in
+        (nf @ cf, nstats @ cstats))
+  in
+  count_findings "stackdisc" sd_findings;
+  let tv, t_tv =
+    if transval then
+      let tv, t =
+        timed "transval" (fun () -> Transval.run ~orig ~rewritten audit)
+      in
+      count_findings "transval" tv.Transval.tv_findings;
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.count "roplint.transval.proven" tv.Transval.tv_proven;
+        Obs.Metrics.count "roplint.transval.unproven" tv.Transval.tv_unproven
+      end;
+      (Some tv, [ t ])
+    else (None, [])
+  in
+  let st, t_st = timed "stealth" (fun () -> Stealth.run ~rewritten audit) in
+  count_findings "stealth" st.Stealth.sl_findings;
+  let pb, t_pb = timed "poolbloat" (fun () -> Poolbloat.run audit) in
+  count_findings "poolbloat" pb.Poolbloat.pb_findings;
+  let tv_findings =
+    match tv with Some t -> t.Transval.tv_findings | None -> []
+  in
+  { r_findings =
+      sd_findings @ tv_findings @ st.Stealth.sl_findings
+      @ pb.Poolbloat.pb_findings;
+    r_transval = tv;
+    r_stealth = st;
+    r_poolbloat = pb;
+    r_stackdisc_stats = sd_stats;
+    r_timings = (t_sd :: t_tv) @ [ t_st; t_pb ] }

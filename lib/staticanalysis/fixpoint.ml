@@ -1,0 +1,122 @@
+(* Generic worklist fixpoint engine.
+
+   A pass supplies two things: a NODE module (hashable program points —
+   block addresses for native CFGs, chain offsets for ROP chains) and a
+   DOMAIN module (the abstract state at a point, with [join] for merging
+   flows and [widen] for forcing convergence on domains with infinite
+   ascending chains).  The engine owns the iteration strategy: a FIFO
+   worklist seeded with the entry states, [join] at every merge point, and
+   [widen] at points revisited more than [widen_after] times.  Passes stay
+   ~100-line plug-ins: a domain record, a transfer function, and a findings
+   walk over the solved table.
+
+   Soundness notes:
+   - [transfer] returns the *successor* states, so a node with no
+     successors (ret, halt) simply returns [].
+   - [widen old joined] must return an upper bound of both arguments and
+     must stabilize any infinite ascending chain; domains of finite height
+     (e.g. flat constant lattices over a bounded register file) may use
+     [join] as their [widen].
+   - [max_steps] is a hard backstop; exceeding it raises [Divergence] with
+     the offending node so a broken widening shows up as a typed error, not
+     a hung linter. *)
+
+exception Divergence of string
+
+module type NODE = sig
+  type t
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val to_string : t -> string
+end
+
+module type DOMAIN = sig
+  type t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  (* [widen old joined]: [old] is the pre-state currently stored at the
+     node, [joined] is [join old incoming]. *)
+  val widen : t -> t -> t
+end
+
+type stats = {
+  iterations : int;     (* worklist pops *)
+  widenings : int;      (* times [widen] replaced [join] *)
+  nodes : int;          (* distinct nodes reached *)
+}
+
+module Make (N : NODE) (D : DOMAIN) = struct
+  module H = Hashtbl.Make (N)
+
+  type result = {
+    state : D.t H.t;    (* node -> abstract state at entry to that node *)
+    stats : stats;
+  }
+
+  let solve ?(widen_after = 8) ?(max_steps = 200_000)
+      ~(entries : (N.t * D.t) list)
+      ~(transfer : N.t -> D.t -> (N.t * D.t) list) () =
+    let state = H.create 64 in
+    let visits = H.create 64 in
+    let queue = Queue.create () in
+    let widenings = ref 0 in
+    let schedule node incoming =
+      match H.find_opt state node with
+      | None ->
+        H.replace state node incoming;
+        Queue.add node queue
+      | Some old ->
+        let joined = D.join old incoming in
+        if not (D.equal joined old) then begin
+          let v = (match H.find_opt visits node with Some v -> v | None -> 0) in
+          let next =
+            if v >= widen_after then begin
+              incr widenings;
+              D.widen old joined
+            end else joined
+          in
+          if not (D.equal next old) then begin
+            H.replace state node next;
+            Queue.add node queue
+          end
+        end
+    in
+    List.iter (fun (n, d) -> schedule n d) entries;
+    let steps = ref 0 in
+    while not (Queue.is_empty queue) do
+      let node = Queue.pop queue in
+      incr steps;
+      if !steps > max_steps then
+        raise
+          (Divergence
+             (Printf.sprintf
+                "fixpoint did not converge after %d steps (last node %s); \
+                 domain widening is broken" max_steps (N.to_string node)));
+      H.replace visits node
+        (1 + (match H.find_opt visits node with Some v -> v | None -> 0));
+      match H.find_opt state node with
+      | None -> ()   (* unreachable: scheduled nodes always have state *)
+      | Some d -> List.iter (fun (n, d') -> schedule n d') (transfer node d)
+    done;
+    { state;
+      stats =
+        { iterations = !steps; widenings = !widenings;
+          nodes = H.length state } }
+end
+
+(* Ready-made node modules for the two program-point shapes in this repo. *)
+
+module Int_node = struct
+  type t = int
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+  let to_string = string_of_int
+end
+
+module Int64_node = struct
+  type t = int64
+  let equal = Int64.equal
+  let hash = Hashtbl.hash
+  let to_string a = Printf.sprintf "0x%Lx" a
+end

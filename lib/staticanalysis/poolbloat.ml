@@ -1,0 +1,120 @@
+(* Pool-bloat / dead-gadget analysis.
+
+   The gadget pool is append-only during rewriting: every synthesized
+   variant stays in .text whether or not the final chains reference it.
+   This pass computes reachability of pool bytes from live chain slots —
+   the union of every S_gadget address across every rewritten function's
+   layout, plus the shared function-return gadget — and flags:
+
+   - synthesized gadgets no chain references (dead weight a smaller
+     [variants] setting would not have emitted), as warnings;
+   - found gadgets that went unused (free, they are pre-existing bytes),
+     as info;
+   - the unreferenced pool suffix: trailing pool bytes not covered by any
+     referenced gadget's encoding, i.e. how much the pool could shrink
+     without relinking a single chain. *)
+
+module A = Ropc.Audit
+module F = Verify.Finding
+
+type t = {
+  pb_total : int;                 (* gadget records in the audit *)
+  pb_referenced : int;
+  pb_dead_synth : (int64 * string) list;   (* addr, rendering *)
+  pb_dead_found : int;
+  pb_pool_bytes : int;
+  pb_live_bytes : int;            (* bytes covered by referenced gadgets *)
+  pb_shrinkable_suffix : int;     (* releasable tail of the pool *)
+  pb_findings : F.t list;
+}
+
+let run (audit : A.t) : t =
+  let referenced = Hashtbl.create 256 in
+  Hashtbl.replace referenced audit.A.a_funcret ();
+  List.iter
+    (fun (f : A.func) ->
+       Array.iter
+         (fun (_, s) ->
+            match s with
+            | Ropc.Chain.S_gadget a -> Hashtbl.replace referenced a ()
+            | _ -> ())
+         f.A.f_layout)
+    audit.A.a_funcs;
+  (* immediates that happen to equal a gadget address also pin it: a chain
+     may load a gadget pointer as data (native_call return planting) *)
+  let gaddrs = Hashtbl.create 256 in
+  List.iter
+    (fun (g : A.gadget_rec) -> Hashtbl.replace gaddrs g.A.g_addr ())
+    audit.A.a_gadgets;
+  List.iter
+    (fun (f : A.func) ->
+       Array.iter
+         (fun (_, s) ->
+            match s with
+            | Ropc.Chain.S_imm v when Hashtbl.mem gaddrs v ->
+              Hashtbl.replace referenced v ()
+            | _ -> ())
+         f.A.f_layout)
+    audit.A.a_funcs;
+  let pool_bytes =
+    Int64.to_int (Int64.sub audit.A.a_pool_hi audit.A.a_pool_lo)
+  in
+  let live = Bytes.make (max pool_bytes 0) '\000' in
+  let dead_synth = ref [] and dead_found = ref 0 and nref = ref 0 in
+  List.iter
+    (fun (g : A.gadget_rec) ->
+       let used = Hashtbl.mem referenced g.A.g_addr in
+       if used then begin
+         incr nref;
+         (* mark the encoded bytes of referenced *pool* gadgets live *)
+         let off = Int64.to_int (Int64.sub g.A.g_addr audit.A.a_pool_lo) in
+         if off >= 0 && off < pool_bytes then begin
+           let len = Gadget.length g.A.g_gadget in
+           for i = off to min (off + len) pool_bytes - 1 do
+             Bytes.set live i '\001'
+           done
+         end
+       end
+       else if g.A.g_found then incr dead_found
+       else
+         dead_synth :=
+           (g.A.g_addr, Gadget.to_string g.A.g_gadget) :: !dead_synth)
+    audit.A.a_gadgets;
+  let live_bytes = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr live_bytes) live;
+  let shrinkable = ref 0 in
+  (let i = ref (pool_bytes - 1) in
+   while !i >= 0 && Bytes.get live !i = '\000' do
+     incr shrinkable;
+     decr i
+   done);
+  let dead_synth = List.rev !dead_synth in
+  let findings =
+    List.map
+      (fun (addr, desc) ->
+         F.make ~severity:F.Warning ~addr "pool-dead-gadget"
+           ("synthesized gadget never referenced by any chain: " ^ desc))
+      dead_synth
+    @ (if !dead_found > 0 then
+         [ F.make ~severity:F.Info "pool-unused-found"
+             (Printf.sprintf
+                "%d found gadgets scanned but never referenced (no pool \
+                 cost)" !dead_found) ]
+       else [])
+    @
+    if !shrinkable > 0 then
+      [ F.make ~severity:F.Info ~addr:audit.A.a_pool_hi "pool-shrinkable"
+          (Printf.sprintf
+             "pool suffix of %d bytes is unreachable from every chain \
+              slot; the pool could end at 0x%Lx" !shrinkable
+             (Int64.sub audit.A.a_pool_hi (Int64.of_int !shrinkable))) ]
+    else []
+  in
+  { pb_total = List.length audit.A.a_gadgets;
+    pb_referenced = !nref;
+    pb_dead_synth = dead_synth;
+    pb_dead_found = !dead_found;
+    pb_pool_bytes = pool_bytes;
+    pb_live_bytes = !live_bytes;
+    pb_shrinkable_suffix = !shrinkable;
+    pb_findings = findings }

@@ -331,11 +331,20 @@ let chain_pass img summaries (f : A.func) =
              match s.Summary.ending with
              | Summary.End_ret | Summary.End_switch_call -> step ~spec !cur
              | Summary.End_jop | Summary.End_halt | Summary.End_fall -> ())
-      | Some (Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _
-             | Ropc.Chain.S_skew _) ->
+      | Some ((Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _
+              | Ropc.Chain.S_skew _) as s) ->
         (* zero-width markers share offsets with data slots and are filtered
-           out of [slot8]; unreachable *)
-        assert false
+           out of [slot8]; reaching one means the layout table is corrupt *)
+        invalid_arg
+          (Printf.sprintf
+             "Verify.Check.chain_pass: marker slot %s in %s at chain+%d \
+              escaped the slot filter"
+             (match s with
+              | Ropc.Chain.S_label l -> Printf.sprintf "label %S" l
+              | Ropc.Chain.S_anchor a -> Printf.sprintf "anchor %S" a
+              | Ropc.Chain.S_skew k -> Printf.sprintf "skew %d" k
+              | _ -> "?")
+             f.A.f_name off)
     end
   in
   while not (Queue.is_empty queue) do

@@ -67,38 +67,32 @@ let kind_str = function
   | Layout_table_entry -> "layout-table-entry"
   | Layout_chain_bounds -> "layout-chain-bounds"
 
-let render d =
-  let where =
-    (match d.func with Some f -> [ f ] | None -> [])
-    @ (match d.addr with Some a -> [ Printf.sprintf "@%Lx" a ] | None -> [])
-    @ (match d.chain_off with
-       | Some o -> [ Printf.sprintf "chain+%d" o ]
-       | None -> [])
-  in
-  let where = match where with [] -> "" | ws -> String.concat " " ws ^ ": " in
-  Printf.sprintf "%s[%s] %s%s"
-    (severity_str d.severity) (kind_str d.kind) where d.msg
+(* Diagnostics render through the shared findings type (Finding), so
+   ropcheck and roplint emit one uniform severity[tag] function@addr format
+   and drivers can pool both into a single report. *)
+let to_finding d : Finding.t =
+  { Finding.severity =
+      (match d.severity with
+       | Error -> Finding.Error
+       | Warning -> Finding.Warning
+       | Info -> Finding.Info);
+    tag = kind_str d.kind;
+    func = d.func;
+    addr = d.addr;
+    chain_off = d.chain_off;
+    msg = d.msg }
+
+let render d = Finding.render (to_finding d)
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
 
-let render_all ds = String.concat "\n" (List.map render ds)
+let render_all ds = Finding.render_all (List.map to_finding ds)
 
 (* Render for a driver report: errors always, the rest only when [verbose];
-   one indented line per finding.  Drivers that run checks in worker
-   processes (bin/ropcheck --jobs) build their output from this instead of
-   printing, so the parent can emit results in deterministic order. *)
-let render_report ?(verbose = false) ds =
-  List.filter (fun d -> d.severity = Error || verbose) ds
-  |> List.map (fun d -> "  " ^ render d ^ "\n")
-  |> String.concat ""
+   see Finding.render_report. *)
+let render_report ?verbose ds =
+  Finding.render_report ?verbose (List.map to_finding ds)
 
 (* Count per severity: (errors, warnings, infos). *)
-let counts ds =
-  List.fold_left
-    (fun (e, w, i) d ->
-       match d.severity with
-       | Error -> (e + 1, w, i)
-       | Warning -> (e, w + 1, i)
-       | Info -> (e, w, i + 1))
-    (0, 0, 0) ds
+let counts ds = Finding.counts (List.map to_finding ds)

@@ -213,6 +213,162 @@ let test_fixture_loop_backedge () =
     (Analysis.Regset.mem_reg
        (Analysis.Liveness.live_out_at live entry_mov) X86.Isa.RDI)
 
+(* a jump-table case with no terminator falls through into the next case:
+   the fall-through block is reachable both through the table and linearly,
+   and the fixpoint must merge the two flows at it *)
+let test_fixture_table_fallthrough () =
+  let open X86.Isa in
+  let img =
+    link_fn "jt"
+      [ Asm.Ins (Alu (Cmp, W64, Reg RDI, Imm 2L));
+        Asm.Jcc_l (A, "default");
+        Asm.Lea_l (RSI, "table");
+        Asm.Ins
+          (Mov (W64, Reg RSI,
+                Mem { base = Some RSI; index = Some (RDI, 8); disp = 0L }));
+        Asm.Ins (Jmp (J_op (Reg RSI)));
+        Asm.Label "table";
+        Asm.Quad_l "case0";
+        Asm.Quad_l "case1";
+        Asm.Quad_l "case2";
+        Asm.Label "case0";
+        Asm.Ins (Mov (W64, Reg RAX, Imm 10L));
+        (* deliberately no jump: falls through into case1 *)
+        Asm.Label "case1";
+        Asm.Ins (Alu (Add, W64, Reg RAX, Imm 1L));
+        Asm.Ins Ret;
+        Asm.Label "case2";
+        Asm.Ins (Mov (W64, Reg RAX, Imm 30L));
+        Asm.Ins Ret;
+        Asm.Label "default";
+        Asm.Ins (Mov (W64, Reg RAX, Imm 0L));
+        Asm.Ins Ret ]
+  in
+  let cfg = Analysis.Cfg.of_image img "jt" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let entries =
+    List.find_map
+      (fun a ->
+         match (Analysis.Cfg.block_exn cfg a).Analysis.Cfg.b_term with
+         | Analysis.Cfg.T_jmp_table { entries; _ } -> Some entries
+         | _ -> None)
+      cfg.Analysis.Cfg.order
+  in
+  match entries with
+  | Some [ a0; a1; _a2 ] ->
+    (* case0 must end in a fall edge into case1, which is itself a table
+       target: two distinct predecessors kinds for one block *)
+    (match (Analysis.Cfg.block_exn cfg a0).Analysis.Cfg.b_term with
+     | Analysis.Cfg.T_fall t ->
+       Alcotest.(check int64) "falls into case1" a1 t
+     | _ -> Alcotest.fail "case0 should fall through");
+    (* liveness still converges over the merged flows *)
+    let live = Analysis.Liveness.compute cfg in
+    let mov10 =
+      find_instr cfg (function Mov (_, _, Imm 10L) -> true | _ -> false)
+    in
+    (* rax written in case0 is read by case1's add: live across the fall *)
+    Alcotest.(check bool) "rax live across fall edge" true
+      (Analysis.Regset.mem_reg
+         (Analysis.Liveness.live_out_at live mov10) X86.Isa.RAX)
+  | Some es -> Alcotest.failf "expected 3 table entries, got %d" (List.length es)
+  | None -> Alcotest.fail "no jump table recognized"
+
+(* a direct jump into the immediate payload of a wide mov: the decoder keeps
+   both decodings, yielding physically overlapping blocks at unaligned
+   addresses — the same shape gadget confusion relies on (§V-D) *)
+let test_fixture_overlapping_blocks () =
+  let open X86.Isa in
+  (* imm32 bytes [0x01; 0x02; 0x00; 0x00] decode as nop; ret at +3 *)
+  let mov = Mov (W64, Reg RAX, Imm 0x201L) in
+  let mov_len = Bytes.length (X86.Encode.encode mov) in
+  let img =
+    (* jmp rel targets mov_start+3, i.e. the imm payload *)
+    link_fn "ov" [ Asm.Ins mov; Asm.Ins (Jmp (J_rel (3 - (mov_len + 5)))) ]
+  in
+  let cfg = Analysis.Cfg.of_image img "ov" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let entry = cfg.Analysis.Cfg.entry in
+  let inner = Int64.add entry 3L in
+  let b_entry = Analysis.Cfg.block_exn cfg entry in
+  let b_inner = Analysis.Cfg.block_exn cfg inner in
+  (* the inner block starts strictly inside the entry block's first instr *)
+  (match b_entry.Analysis.Cfg.b_instrs with
+   | first :: _ ->
+     Alcotest.(check bool) "blocks overlap" true
+       (Int64.compare inner (Analysis.Cfg.next_addr first) < 0)
+   | [] -> Alcotest.fail "empty entry block");
+  (* and decodes to nop; ret carved out of the immediate *)
+  (match b_inner.Analysis.Cfg.b_instrs, b_inner.Analysis.Cfg.b_term with
+   | [ { Analysis.Cfg.instr = Nop; _ } ], Analysis.Cfg.T_ret -> ()
+   | _ -> Alcotest.fail "inner block should decode as nop; ret");
+  ignore (Analysis.Liveness.compute cfg)
+
+(* a function with no ret at all: every path loops forever.  The liveness
+   fixpoint must still converge (the back edge is the only flow), and so
+   must a counting domain under the engine's widening backstop *)
+let test_fixture_retless_loop () =
+  let open X86.Isa in
+  let img =
+    link_fn "spin"
+      [ Asm.Ins (Mov (W64, Reg RAX, Imm 0L));
+        Asm.Label "head";
+        Asm.Ins (Alu (Add, W64, Reg RAX, Reg RDI));
+        Asm.Jmp_l "head" ]
+  in
+  let cfg = Analysis.Cfg.of_image img "spin" in
+  Alcotest.(check bool) "cfg ok" false cfg.Analysis.Cfg.failed;
+  let rets =
+    List.filter
+      (fun a ->
+         (Analysis.Cfg.block_exn cfg a).Analysis.Cfg.b_term = Analysis.Cfg.T_ret)
+      cfg.Analysis.Cfg.order
+  in
+  Alcotest.(check int) "no ret blocks" 0 (List.length rets);
+  let live = Analysis.Liveness.compute cfg in
+  (* rdi is read every iteration: live around the back edge forever *)
+  let add_addr =
+    find_instr cfg (function Alu (Add, _, _, _) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "rdi live in endless loop" true
+    (Analysis.Regset.mem_reg
+       (Analysis.Liveness.live_out_at live add_addr) X86.Isa.RDI);
+  (* drive the generic engine over the same CFG with an unbounded counting
+     domain: without widening the trip count would climb forever; the
+     engine's widen_after cutoff must force convergence, not Divergence *)
+  let module Count = struct
+    type t = Bounded of int | Inf
+    let equal = ( = )
+    let join a b =
+      match a, b with
+      | Inf, _ | _, Inf -> Inf
+      | Bounded x, Bounded y -> Bounded (max x y)
+    let widen old joined = if equal old joined then old else Inf
+  end in
+  let module FP = Staticanalysis.Fixpoint.Make
+      (Staticanalysis.Fixpoint.Int64_node) (Count)
+  in
+  let res =
+    FP.solve
+      ~entries:[ (cfg.Analysis.Cfg.entry, Count.Bounded 0) ]
+      ~transfer:(fun a st ->
+          let b = Analysis.Cfg.block_exn cfg a in
+          let st' =
+            match st with
+            | Count.Inf -> Count.Inf
+            | Count.Bounded n -> Count.Bounded (n + 1)
+          in
+          List.map (fun s -> (s, st')) (Analysis.Cfg.successors b))
+      ()
+  in
+  Alcotest.(check bool) "widening fired" true
+    (res.FP.stats.Staticanalysis.Fixpoint.widenings > 0);
+  let head =
+    List.find (fun a -> a <> cfg.Analysis.Cfg.entry) cfg.Analysis.Cfg.order
+  in
+  Alcotest.(check bool) "loop head widened to top" true
+    (FP.H.find_opt res.FP.state head = Some Count.Inf)
+
 let test_cfg_randomfuns () =
   (* CFG reconstruction succeeds on the whole corpus *)
   let corpus = Minic.Randomfuns.corpus () in
@@ -237,4 +393,11 @@ let () =
          Alcotest.test_case "fixture: tail-call args" `Quick
            test_fixture_tail_args;
          Alcotest.test_case "fixture: loop back edge" `Quick
-           test_fixture_loop_backedge ]) ]
+           test_fixture_loop_backedge ]);
+      ("fixpoint-edges",
+       [ Alcotest.test_case "jump-table fallthrough" `Quick
+           test_fixture_table_fallthrough;
+         Alcotest.test_case "overlapping unaligned blocks" `Quick
+           test_fixture_overlapping_blocks;
+         Alcotest.test_case "ret-less infinite loop widens" `Quick
+           test_fixture_retless_loop ]) ]

@@ -16,7 +16,7 @@
 open Cmdliner
 
 let main grid_spec jobs resume cache_dir out_dir manifest solver_cache
-    wall_safety min_hit_rate trace metrics =
+    wall_safety cache_max_bytes min_hit_rate trace metrics =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   let grid =
     try Campaign.Grid.parse grid_spec
@@ -31,7 +31,8 @@ let main grid_spec jobs resume cache_dir out_dir manifest solver_cache
           manifest = Some m;
           progress = Unix.isatty Unix.stderr;
           solver_cache;
-          wall_safety_s = wall_safety }
+          wall_safety_s = wall_safety;
+          cache_max_bytes }
       in
       let s = Campaign.Runner.run ~opts grid in
       Campaign.Runner.print_summary grid s;
@@ -104,6 +105,14 @@ let wall_safety_arg =
   in
   Arg.(value & opt float 120.0 & info [ "wall-safety" ] ~docv:"S" ~doc)
 
+let cache_max_bytes_arg =
+  let doc =
+    "Prune the cell cache to at most $(docv) bytes after the run \
+     (LRU by mtime; oldest cells evicted first).  0 or absent: unbounded."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"BYTES" ~doc)
+
 let min_hit_rate_arg =
   let doc =
     "Fail (exit 1) if the cell-cache hit rate is below $(docv) percent — \
@@ -125,6 +134,6 @@ let cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(const main $ grid_arg $ jobs_arg $ resume_arg $ cache_dir_arg
           $ out_arg $ manifest_arg $ solver_cache_arg $ wall_safety_arg
-          $ min_hit_rate_arg $ trace_arg $ metrics_arg)
+          $ cache_max_bytes_arg $ min_hit_rate_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

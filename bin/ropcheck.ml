@@ -19,29 +19,20 @@
 
 open Cmdliner
 
-(* Table I feature matrix plus the Table II k sweep. *)
-let config_matrix seed =
-  [ ("plain", Ropc.Config.plain ~seed ());
-    ("rop0", Ropc.Config.rop_k ~seed 0.0);
-    ("rop0.05", Ropc.Config.rop_k ~seed 0.05);
-    ("rop0.25", Ropc.Config.rop_k ~seed 0.25);
-    ("rop0.5", Ropc.Config.rop_k ~seed 0.5);
-    ("rop0.75", Ropc.Config.rop_k ~seed 0.75);
-    ("rop1.0", Ropc.Config.rop_k ~seed 1.0);
-    ("rop1.0+p2", Ropc.Config.rop_k ~seed ~p2:true 1.0);
-    ("rop1.0+gc", Ropc.Config.rop_k ~seed ~confusion:true 1.0);
-    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0) ]
+(* Table I feature matrix plus the Table II k sweep — shared with the CLI
+   and the daemon via Serve.Oneshot so names resolve identically everywhere. *)
+let config_matrix = Serve.Oneshot.config_matrix
 
-(* name, image builder, functions to rewrite *)
+(* name, image builder, functions to rewrite: every registry program except
+   the toy fact demo. *)
 let targets () =
-  [ ("corpus", Minic.Corpus.compile, Minic.Corpus.all_names);
-    ("base64",
-     (fun () -> Minic.Codegen.compile (Minic.Programs.base64_program ())),
-     [ "b64_check"; "b64_encode" ]) ]
-  @ List.map
-      (fun (name, prog, fns, _) ->
-         (name, (fun () -> Minic.Codegen.compile prog), fns))
-      Minic.Clbg.all
+  List.filter_map
+    (fun (e : Serve.Oneshot.entry) ->
+       if e.Serve.Oneshot.e_name = "fact" then None
+       else
+         Some (e.Serve.Oneshot.e_name, e.Serve.Oneshot.e_build,
+               e.Serve.Oneshot.e_funcs))
+    (Serve.Oneshot.registry ())
 
 (* One matrix cell, executed in a worker: returns (errors, warnings,
    rendered output) as plain data so the parent can print deterministically. *)

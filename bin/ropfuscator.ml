@@ -1,82 +1,97 @@
-(* Command-line rewriter demo: obfuscates a chosen built-in program and runs
-   the original and the rewritten binaries side by side, reporting chain
+(* Command-line rewriter demo: obfuscates a built-in program and runs the
+   original and the rewritten binaries side by side, reporting chain
    statistics.
 
-     ropfuscator --program fact --k 0.25 --p2 --confusion --arg 10 *)
+     ropfuscator --program fact --k 0.25 --p2 --confusion --arg 10
+
+   The CLI is a thin client of [Serve.Oneshot]: the program registry, the
+   config naming, and the rewrite entry are the same code path the daemon
+   (bin/ropserved) and the tests use, so "what the CLI would have produced"
+   is by construction what the server produces. *)
 
 open Cmdliner
 
-let builtin_programs () =
-  let open Minic.Ast in
-  let fact =
-    program
-      [ func ~params:[ "n" ] ~locals:[ "r"; "i" ] "main"
-          [ set "r" (c 1);
-            For (set "i" (c 1), Bin (Les, v "i", v "n"),
-                 set "i" (Bin (Add, v "i", c 1)),
-                 [ set "r" (Bin (Mul, v "r", v "i")) ]);
-            Return (v "r") ] ]
-  in
-  [ ("fact", (fact, [ "main" ], "main"));
-    ("base64",
-     (Minic.Programs.base64_program (), [ "b64_check"; "b64_encode" ], "b64_check")) ]
-  @ List.map
-      (fun (name, prog, fns, _) -> (name, (prog, fns, "bench")))
-      Minic.Clbg.all
-
 let main prog_name k p2 confusion seed arg verify trace metrics =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
-  match List.assoc_opt prog_name (builtin_programs ()) with
+  match Serve.Oneshot.find prog_name with
   | None ->
     Printf.eprintf "unknown program %s; available: %s\n" prog_name
-      (String.concat ", " (List.map fst (builtin_programs ())));
+      (String.concat ", " (Serve.Oneshot.names ()));
     2
-  | Some (prog, funcs, entry) ->
-    let img = Minic.Codegen.compile prog in
-    let native = Runner.call_exn ~fuel:2_000_000_000 img ~func:entry ~args:[ arg ] in
-    Printf.printf "native:     result=%Ld  (%d instructions)\n" native.Runner.rax
-      native.Runner.steps;
-    let config =
-      { (Ropc.Config.rop_k ~seed ~p2 ~confusion k) with
-        Ropc.Config.p1 = (if k >= 0.0 then Some Ropc.Config.default_p1 else None) }
-    in
-    Printf.printf "config:     %s\n" (Ropc.Config.describe config);
-    let r = Ropc.Rewriter.rewrite img ~functions:funcs ~config in
-    List.iter
-      (fun (f, res) ->
-         match res with
-         | Ok st ->
-           Printf.printf "  %-12s -> chain at 0x%Lx, %d bytes, %d blocks, %d points\n"
-             f st.Ropc.Rewriter.fs_chain_addr st.Ropc.Rewriter.fs_chain_bytes
-             st.Ropc.Rewriter.fs_blocks st.Ropc.Rewriter.fs_points
-         | Error e ->
-           Printf.printf "  %-12s -> FAILED: %s\n" f
-             (Ropc.Rewriter.failure_to_string e))
-      r.Ropc.Rewriter.funcs;
-    Printf.printf "gadgets:    %d uses of %d unique gadgets\n"
-      r.Ropc.Rewriter.total_gadget_uses r.Ropc.Rewriter.unique_gadgets;
-    let verify_errs =
-      if not verify then 0
-      else begin
-        let diags = Verify.Check.check r in
-        let errs, warns, _ = Verify.Diag.counts diags in
-        List.iter (fun d -> Printf.printf "  %s\n" (Verify.Diag.render d)) diags;
-        Printf.printf "verify:     %d errors, %d warnings\n" errs warns;
-        errs
-      end
-    in
-    if verify_errs > 0 then 1
-    else begin
-      let rop = Runner.call_exn ~fuel:2_000_000_000 r.Ropc.Rewriter.image ~func:entry ~args:[ arg ] in
-      Printf.printf "obfuscated: result=%Ld  (%d instructions, %.1fx)\n" rop.Runner.rax
-        rop.Runner.steps
-        (float_of_int rop.Runner.steps /. float_of_int (max native.Runner.steps 1));
-      if native.Runner.rax <> rop.Runner.rax then begin
-        Printf.eprintf "MISMATCH!\n";
-        1
-      end
-      else 0
-    end
+  | Some e ->
+    (match e.Serve.Oneshot.e_run with
+     | None ->
+       Printf.eprintf
+         "program %s has no entry function to execute (try ropcheck for \
+          static verification)\n"
+         prog_name;
+       2
+     | Some (entry, _) ->
+       let img = e.Serve.Oneshot.e_build () in
+       let native =
+         Runner.call_exn ~fuel:2_000_000_000 img ~func:entry ~args:[ arg ]
+       in
+       Printf.printf "native:     result=%Ld  (%d instructions)\n"
+         native.Runner.rax native.Runner.steps;
+       let cfg_name =
+         if k < 0.0 then "plain"
+         else Serve.Oneshot.config_name ~p2 ~confusion ~plain:false k
+       in
+       (match Serve.Oneshot.config_of_name ~seed cfg_name with
+        | Error m -> Printf.eprintf "bad configuration: %s\n" m; 2
+        | Ok config ->
+          Printf.printf "config:     %s\n" (Ropc.Config.describe config);
+          let spec =
+            { Serve.Oneshot.sp_prog = prog_name; sp_config = cfg_name;
+              sp_seed = seed }
+          in
+          (match Serve.Oneshot.rewrite_full (Serve.Oneshot.warm ()) spec with
+           | Error m -> Printf.eprintf "rewrite failed: %s\n" m; 2
+           | Ok r ->
+             List.iter
+               (fun (f, res) ->
+                  match res with
+                  | Ok st ->
+                    Printf.printf
+                      "  %-12s -> chain at 0x%Lx, %d bytes, %d blocks, %d points\n"
+                      f st.Ropc.Rewriter.fs_chain_addr
+                      st.Ropc.Rewriter.fs_chain_bytes st.Ropc.Rewriter.fs_blocks
+                      st.Ropc.Rewriter.fs_points
+                  | Error e ->
+                    Printf.printf "  %-12s -> FAILED: %s\n" f
+                      (Ropc.Rewriter.failure_to_string e))
+               r.Ropc.Rewriter.funcs;
+             Printf.printf "gadgets:    %d uses of %d unique gadgets\n"
+               r.Ropc.Rewriter.total_gadget_uses r.Ropc.Rewriter.unique_gadgets;
+             let verify_errs =
+               if not verify then 0
+               else begin
+                 let diags = Verify.Check.check r in
+                 let errs, warns, _ = Verify.Diag.counts diags in
+                 List.iter
+                   (fun d -> Printf.printf "  %s\n" (Verify.Diag.render d))
+                   diags;
+                 Printf.printf "verify:     %d errors, %d warnings\n" errs warns;
+                 errs
+               end
+             in
+             if verify_errs > 0 then 1
+             else begin
+               let rop =
+                 Runner.call_exn ~fuel:2_000_000_000 r.Ropc.Rewriter.image
+                   ~func:entry ~args:[ arg ]
+               in
+               Printf.printf
+                 "obfuscated: result=%Ld  (%d instructions, %.1fx)\n"
+                 rop.Runner.rax rop.Runner.steps
+                 (float_of_int rop.Runner.steps
+                  /. float_of_int (max native.Runner.steps 1));
+               if native.Runner.rax <> rop.Runner.rax then begin
+                 Printf.eprintf "MISMATCH!\n";
+                 1
+               end
+               else 0
+             end)))
 
 let cmd =
   let prog =

@@ -1,0 +1,100 @@
+(* Obfuscation-as-a-service daemon.
+
+     ropserved --socket /tmp/rop.sock --jobs 4 --shards 8 &
+     ropbench_client --socket /tmp/rop.sock --programs fact --configs rop0.25
+
+   Serves rewrite requests over a Unix-domain socket (or stdin/stdout with
+   --stdio, for tests and inetd-style supervision) with a resident worker
+   pool, a sharded content-addressed result cache, bounded-queue admission
+   control and per-request deadlines.  SIGINT/SIGTERM drain: accepted work
+   finishes and flushes before exit.  The [stats] protocol verb reports
+   throughput, hit rate, queue depth and p50/p99 latency. *)
+
+open Cmdliner
+
+let main socket stdio jobs shards cache_dir cache_max_bytes max_queue
+    deadline_ms timeout_s verbose trace metrics =
+  Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
+  let opts =
+    { Serve.Server.jobs;
+      shards;
+      cache_dir;
+      cache_max_bytes =
+        (match cache_max_bytes with Some b when b > 0 -> Some b | _ -> None);
+      max_queue;
+      deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+      timeout_s = (if timeout_s > 0.0 then Some timeout_s else None);
+      verbose }
+  in
+  if stdio then
+    Serve.Server.run ~opts (Serve.Server.L_pair (Unix.stdin, Unix.stdout))
+  else Serve.Server.run ~opts (Serve.Server.L_socket socket)
+
+let cmd =
+  let socket =
+    Arg.(value & opt string "ropserved.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path to listen on.")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve a single connection on stdin/stdout instead of a \
+                   socket (tests, inetd-style supervision).")
+  in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Resident rewrite workers.  0 computes inline on the \
+                   event loop (serial, deterministic).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N" ~doc:"Rewrite-cache shard count.")
+  in
+  let cache_dir =
+    Arg.(value & opt string "_serve_cache"
+         & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Rewrite-cache directory.")
+  in
+  let cache_max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "cache-max-bytes" ] ~docv:"BYTES"
+             ~doc:"Prune the cache to at most $(docv) bytes (LRU by mtime), \
+                   checked periodically and at exit.  Absent or 0: unbounded.")
+  in
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission-control queue bound: requests beyond $(docv) \
+                   pending rewrites are shed with a 429-style response.")
+  in
+  let deadline_ms =
+    Arg.(value & opt float 0.0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request queue-wait deadline: a request not dispatched \
+                   within $(docv) ms is answered 504.  0: no deadline.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 300.0
+         & info [ "timeout-s" ] ~docv:"S"
+             ~doc:"Per-rewrite wall-clock budget in a worker.  0: unbounded.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log to stderr.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a chrome://tracing JSON profile of the run to $(docv).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Dump the metrics registry to stderr on exit.")
+  in
+  Cmd.v
+    (Cmd.info "ropserved" ~doc:"Serve ROP-rewrite requests from a resident daemon")
+    Term.(const main $ socket $ stdio $ jobs $ shards $ cache_dir
+          $ cache_max_bytes $ max_queue $ deadline_ms $ timeout_s $ verbose
+          $ trace $ metrics)
+
+let () = exit (Cmd.eval' cmd)

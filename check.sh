@@ -29,6 +29,9 @@ dune exec bin/difftest.exe -- --cases 200 --seed 42 --verify --engine both
 echo "== campaign smoke (@campaign: tiny grid + resume, >=90% cache hits) =="
 dune build @campaign
 
+echo "== serving tier (@serve: daemon selftest, byte-identity + warm >=3x serial + baseline gate) =="
+dune build @serve
+
 echo "== emulator bench smoke (fast vs reference stepper, @bench) =="
 dune build @bench
 

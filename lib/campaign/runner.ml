@@ -49,12 +49,13 @@ type opts = {
   progress : bool;
   solver_cache : string option;(* cross-cell on-disk solver memo (opt-in) *)
   wall_safety_s : float;       (* per-cell wall net; never the binding limit *)
+  cache_max_bytes : int option;(* prune the cell cache to this after the run *)
 }
 
 let default_opts =
   { jobs = 1; cache_dir = "_campaign_cache"; resume = false;
     out_dir = "_campaign"; manifest = None; progress = false;
-    solver_cache = None; wall_safety_s = 120.0 }
+    solver_cache = None; wall_safety_s = 120.0; cache_max_bytes = None }
 
 (* --- one cell ---------------------------------------------------------------- *)
 
@@ -320,6 +321,11 @@ let run ?(opts = default_opts) (g : Grid.t) =
     Obs.Metrics.add m_found found;
     Obs.Metrics.add m_cell_failures failed
   end;
+  (* Bound the cell cache after the run: LRU-by-mtime, so a later --resume
+     of the *same* grid keeps its hot cells as long as they fit. *)
+  (match opts.cache_max_bytes with
+   | Some mb -> ignore (Jobs.Cache.prune ~max_bytes:mb cache)
+   | None -> ());
   { s_results = rows;
     s_cells = List.length rows;
     s_found = found;

@@ -556,16 +556,35 @@ let rewrite_function (s : session) fname
 
 (* --- session --------------------------------------------------------------- *)
 
-let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
-    ~(config : Config.t) : result =
+(* The shareable half of a rewrite: everything that depends only on the
+   input image and the function list, never on the configuration or seed.
+   A resident server (lib/serve) prepares a context once per program and
+   reuses it across requests, paying the gadget scan — the most expensive
+   config-independent phase — exactly once; a one-shot [rewrite] call
+   prepares and discards one.  The context is immutable by contract:
+   [rewrite_with] copies [ctx_img] before mutating anything, so concurrent
+   or repeated rewrites from one context are independent and each is
+   byte-identical to a fresh one-shot run with the same configuration. *)
+type context = {
+  ctx_img : Image.t;             (* pristine input image; never mutated *)
+  ctx_functions : string list;
+  ctx_found : Gadget.t list;     (* gadget scan of the unobfuscated parts *)
+}
+
+let prepare ?(found_gadget_scan = true) (img : Image.t) ~functions : context =
   let img = Image.copy img in
-  let rng = Util.Rng.create config.Config.seed in
-  (* found gadgets from parts left unobfuscated *)
   let found =
     Obs.Trace.with_span "rewrite.gadget_scan" (fun () ->
         if found_gadget_scan then Finder.scan_image img ~excluding:functions
         else [])
   in
+  { ctx_img = img; ctx_functions = functions; ctx_found = found }
+
+let rewrite_with (ctx : context) ~(config : Config.t) : result =
+  let img = Image.copy ctx.ctx_img in
+  let functions = ctx.ctx_functions in
+  let rng = Util.Rng.create config.Config.seed in
+  let found = ctx.ctx_found in
   let text = Image.section_exn img ".text" in
   let pool_base = Image.section_end text in
   let pool =
@@ -652,3 +671,10 @@ let rewrite ?(found_gadget_scan = true) (img : Image.t) ~functions
   in
   { image = img; funcs; total_gadget_uses = uses; unique_gadgets = uniq;
     audit }
+
+(* One-shot entry point: prepare a throwaway context and rewrite once.  The
+   CLI, the experiment harness and the tests all come through here; the
+   server keeps its own contexts warm and calls [rewrite_with] directly. *)
+let rewrite ?found_gadget_scan (img : Image.t) ~functions
+    ~(config : Config.t) : result =
+  rewrite_with (prepare ?found_gadget_scan img ~functions) ~config

@@ -137,3 +137,115 @@ let copy t = {
     List.map (fun s -> { s with sec_data = Bytes.copy s.sec_data }) t.sections;
   symbols = t.symbols;
 }
+
+(* --- canonical serialization ------------------------------------------------
+
+   A deterministic flat encoding ("ropimg/v1") used wherever two images must
+   be compared byte-for-byte across process boundaries: the obfuscation
+   server returns a serialized image as its artifact, and a served rewrite
+   must be identical to a one-shot CLI rewrite of the same request.  The
+   format is explicit rather than Marshal so its stability is a contract of
+   this module, not of the runtime: sections and symbols in insertion order,
+   every integer little-endian and fixed-width. *)
+
+let magic = "ropimg/v1\n"
+
+let serialize (t : t) : string =
+  let b = Buffer.create 4096 in
+  let u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  let u64 v =
+    for i = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+  in
+  let str s = u32 (String.length s); Buffer.add_string b s in
+  Buffer.add_string b magic;
+  u32 (List.length t.sections);
+  List.iter
+    (fun s ->
+       str s.sec_name;
+       u64 s.sec_addr;
+       u32 ((if s.sec_writable then 1 else 0)
+            lor (if s.sec_executable then 2 else 0));
+       str (Bytes.to_string s.sec_data))
+    t.sections;
+  u32 (List.length t.symbols);
+  List.iter
+    (fun sy ->
+       str sy.sym_name;
+       u64 sy.sym_addr;
+       u32 sy.sym_size;
+       u32 (if sy.sym_is_function then 1 else 0))
+    t.symbols;
+  Buffer.contents b
+
+exception Corrupt of string
+
+let deserialize (s : string) : (t, string) Stdlib.result =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Corrupt "truncated image blob")
+  in
+  let u32 () =
+    need 4;
+    let v = ref 0 in
+    for i = 3 downto 0 do v := (!v lsl 8) lor Char.code s.[!pos + i] done;
+    pos := !pos + 4;
+    !v
+  in
+  let u64 () =
+    need 8;
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code s.[!pos + i]))
+    done;
+    pos := !pos + 8;
+    !v
+  in
+  let str () =
+    let n = u32 () in
+    need n;
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  match
+    need (String.length magic);
+    if String.sub s 0 (String.length magic) <> magic then
+      raise (Corrupt "bad image magic");
+    pos := String.length magic;
+    let nsec = u32 () in
+    let sections =
+      List.init nsec (fun _ ->
+          let name = str () in
+          let addr = u64 () in
+          let flags = u32 () in
+          let data = Bytes.of_string (str ()) in
+          { sec_name = name; sec_addr = addr; sec_data = data;
+            sec_writable = flags land 1 <> 0;
+            sec_executable = flags land 2 <> 0 })
+    in
+    let nsym = u32 () in
+    let symbols =
+      List.init nsym (fun _ ->
+          let name = str () in
+          let addr = u64 () in
+          let size = u32 () in
+          let is_fn = u32 () <> 0 in
+          { sym_name = name; sym_addr = addr; sym_size = size;
+            sym_is_function = is_fn })
+    in
+    if !pos <> String.length s then raise (Corrupt "trailing bytes");
+    { sections; symbols }
+  with
+  | img -> Ok img
+  | exception Corrupt m -> Error m
+
+(* Content address of an image: the digest of its canonical serialization. *)
+let digest t = Digest.to_hex (Digest.string (serialize t))

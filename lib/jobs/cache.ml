@@ -20,6 +20,7 @@ type t = {
   salt : string;
   mutable hits : int;
   mutable misses : int;
+  mutable corrupt : int;     (* entries deleted because they failed to load *)
 }
 
 let default_dir = "_jobs_cache"
@@ -39,26 +40,39 @@ let code_salt =
 let create ?salt ?(dir = default_dir) () =
   let salt = match salt with Some s -> s | None -> Lazy.force code_salt in
   mkdir_p dir;
-  { dir; salt; hits = 0; misses = 0 }
+  { dir; salt; hits = 0; misses = 0; corrupt = 0 }
 
 (* The content address of a job key: stable across runs for a fixed salt. *)
 let key t k = Digest.to_hex (Digest.string (t.salt ^ "\x00" ^ k))
 
 let path t k = Filename.concat t.dir (key t k)
 
+(* A missing entry is an ordinary miss.  An entry that *exists* but cannot
+   be unmarshalled (torn write from a crashed process, disk corruption, or
+   a file from a foreign build that slipped past the salt) is deleted on
+   the spot and also reported as a miss: the caller recomputes and the next
+   [store] heals the slot.  The alternative — raising — would wedge every
+   later run on the same poisoned key. *)
 let find t k =
-  match
-    let ic = open_in_bin (path t k) in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> Marshal.from_channel ic)
-  with
-  | v ->
-    t.hits <- t.hits + 1;
-    Some v
-  | exception _ ->
+  let p = path t k in
+  match open_in_bin p with
+  | exception Sys_error _ ->
     t.misses <- t.misses + 1;
     None
+  | ic ->
+    (match
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> Marshal.from_channel ic)
+     with
+     | v ->
+       t.hits <- t.hits + 1;
+       Some v
+     | exception _ ->
+       t.corrupt <- t.corrupt + 1;
+       t.misses <- t.misses + 1;
+       (try Sys.remove p with Sys_error _ -> ());
+       None)
 
 let store t k v =
   match Marshal.to_string v [] with
@@ -76,3 +90,58 @@ let clear ?(dir = default_dir) () =
     Array.iter
       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
       (Sys.readdir dir)
+
+(* --- size accounting and eviction ------------------------------------------ *)
+
+(* Bytes currently held by the cache directory (entries only; the directory
+   is flat, subdirectories are ignored). *)
+let size_bytes t =
+  if not (Sys.file_exists t.dir && Sys.is_directory t.dir) then 0
+  else
+    Array.fold_left
+      (fun acc f ->
+         match Unix.stat (Filename.concat t.dir f) with
+         | { Unix.st_kind = Unix.S_REG; st_size; _ } -> acc + st_size
+         | _ -> acc
+         | exception Unix.Unix_error _ -> acc)
+      0 (Sys.readdir t.dir)
+
+(* LRU-by-mtime eviction: delete oldest entries until the directory holds at
+   most [max_bytes].  "Used" means written — [store] rewrites an entry's
+   file, and on filesystems mounting with relatime/noatime the modification
+   time is the only recency signal that survives, so a long-lived daemon
+   that keeps re-storing hot keys keeps them resident while cold keys age
+   out.  Ties (equal mtime, common on coarse-granularity filesystems) break
+   by file name, so eviction order is deterministic for a fixed directory
+   state.  Returns (entries removed, bytes removed). *)
+let prune ~max_bytes t =
+  if not (Sys.file_exists t.dir && Sys.is_directory t.dir) then (0, 0)
+  else begin
+    let entries =
+      Array.to_list (Sys.readdir t.dir)
+      |> List.filter_map (fun f ->
+          let p = Filename.concat t.dir f in
+          match Unix.stat p with
+          | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+            Some (p, st_size, st_mtime)
+          | _ -> None
+          | exception Unix.Unix_error _ -> None)
+      |> List.sort (fun (pa, _, ma) (pb, _, mb) ->
+          match compare ma mb with 0 -> compare pa pb | c -> c)
+    in
+    let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 entries in
+    let excess = ref (total - max_bytes) in
+    let removed = ref 0 and removed_bytes = ref 0 in
+    List.iter
+      (fun (p, sz, _) ->
+         if !excess > 0 then begin
+           match Sys.remove p with
+           | () ->
+             excess := !excess - sz;
+             incr removed;
+             removed_bytes := !removed_bytes + sz
+           | exception Sys_error _ -> ()
+         end)
+      entries;
+    (!removed, !removed_bytes)
+  end

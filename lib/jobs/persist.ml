@@ -1,0 +1,209 @@
+(* Resident forked worker pool for long-running servers.
+
+   [Pool.map] is batch-shaped: it owns the event loop until every task in a
+   list resolves.  A daemon needs the inverse control flow — an external
+   event loop (watching sockets as well as workers) that feeds tasks in as
+   they arrive and collects results as they finish.  This module keeps the
+   worker side of [Pool] (same fork/marshal pipe protocol, same crash
+   isolation, same per-job metrics absorption) and inverts the parent side:
+
+     let p = Persist.create ~jobs:4 f in
+     ... select ( your fds @ Persist.fds p ) ...
+     match Persist.try_submit p task with
+     | Some ticket -> ...                  (* dispatched to an idle worker *)
+     | None -> ...                         (* all workers busy: queue or shed *)
+     List.iter handle (Persist.handle_ready p fd);   (* fd came up readable *)
+     List.iter handle (Persist.expire p ~now);       (* enforce timeouts *)
+
+   Workers are forked once at [create] and live for the pool's lifetime, so
+   per-worker warm state (lazily built caches inside [f]'s closure) persists
+   across jobs — the property the obfuscation server leans on for warm
+   rewriter contexts.  A worker that dies is reaped, its job surfaces as
+   [Failed], and a replacement is forked so capacity never decays.  A worker
+   past its deadline is SIGKILLed and replaced, its job surfacing as
+   [Timed_out]. *)
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of string
+  | Timed_out of float
+
+type ('a, 'b) t = {
+  p_f : 'a -> 'b;                      (* kept for respawns *)
+  p_jobs : int;
+  p_timeout_s : float option;
+  mutable p_workers : Pool.worker list;
+  mutable p_next : int;                (* next ticket *)
+  mutable p_stopped : bool;
+}
+
+let spawn_one t =
+  let inherited =
+    List.concat_map
+      (fun (w : Pool.worker) ->
+         [ Unix.descr_of_out_channel w.Pool.w_oc; w.Pool.w_recv ])
+      t.p_workers
+  in
+  let w = Pool.spawn ~inherited t.p_f in
+  t.p_workers <- t.p_workers @ [ w ]
+
+let create ?timeout_s ~jobs (f : 'a -> 'b) : ('a, 'b) t =
+  if jobs < 1 then invalid_arg "Jobs.Persist.create: jobs must be >= 1";
+  let t =
+    { p_f = f; p_jobs = jobs; p_timeout_s = timeout_s; p_workers = [];
+      p_next = 0; p_stopped = false }
+  in
+  for _ = 1 to jobs do spawn_one t done;
+  t
+
+let size t = t.p_jobs
+
+let busy t =
+  List.length (List.filter (fun w -> w.Pool.w_job <> None) t.p_workers)
+
+let idle t = List.length t.p_workers - busy t
+
+(* Result-pipe descriptors of busy workers: what an external event loop
+   should select on alongside its own fds. *)
+let fds t =
+  List.filter_map
+    (fun (w : Pool.worker) ->
+       if w.Pool.w_job = None then None else Some w.Pool.w_recv)
+    t.p_workers
+
+let next_deadline t =
+  List.fold_left
+    (fun acc (w : Pool.worker) ->
+       match w.Pool.w_job with
+       | Some (_, _, _, dl) -> Float.min acc dl
+       | None -> acc)
+    infinity t.p_workers
+
+let reap (w : Pool.worker) =
+  match Unix.waitpid [] w.Pool.w_pid with
+  | (_, Unix.WEXITED c) -> Printf.sprintf "exit %d" c
+  | (_, Unix.WSIGNALED s) -> Printf.sprintf "signal %d" s
+  | (_, Unix.WSTOPPED s) -> Printf.sprintf "stopped %d" s
+  | exception Unix.Unix_error _ -> "unknown"
+
+let retire t (w : Pool.worker) =
+  close_out_noerr w.Pool.w_oc;
+  close_in_noerr w.Pool.w_ic;
+  t.p_workers <- List.filter (fun x -> x != w) t.p_workers
+
+(* Replace a dead/killed worker so the pool stays at [p_jobs] capacity. *)
+let replace t w =
+  retire t w;
+  if not t.p_stopped then spawn_one t
+
+(* Dispatch to an idle worker.  [None] means every worker is busy — the
+   caller queues or sheds; that admission policy deliberately lives outside
+   this module.  A worker that dies on dispatch is replaced and the dispatch
+   retried on another idle worker (each attempt consumes a distinct ticket
+   only on success). *)
+let rec try_submit (t : ('a, 'b) t) (task : 'a) : int option =
+  if t.p_stopped then None
+  else
+    match List.find_opt (fun w -> w.Pool.w_job = None) t.p_workers with
+    | None -> None
+    | Some w ->
+      let ticket = t.p_next in
+      (match
+         Marshal.to_channel w.Pool.w_oc (ticket, task) [ Marshal.Closures ];
+         flush w.Pool.w_oc
+       with
+       | () ->
+         t.p_next <- ticket + 1;
+         let now = Unix.gettimeofday () in
+         let deadline =
+           match t.p_timeout_s with Some s -> now +. s | None -> infinity
+         in
+         w.Pool.w_job <- Some (ticket, 0, now, deadline);
+         Some ticket
+       | exception _ ->
+         (try Unix.kill w.Pool.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+         ignore (reap w);
+         replace t w;
+         try_submit t task)
+
+(* A result-pipe descriptor came up readable: collect the finished job.
+   Also the place worker *death* is detected (EOF instead of a report). *)
+let handle_ready (t : ('a, 'b) t) (fd : Unix.file_descr)
+  : (int * 'b outcome * float) option =
+  match
+    List.find_opt
+      (fun w -> w.Pool.w_recv = fd && w.Pool.w_job <> None)
+      t.p_workers
+  with
+  | None -> None
+  | Some w ->
+    let (ticket, _, started, _) = Option.get w.Pool.w_job in
+    (match (Marshal.from_channel w.Pool.w_ic : Pool.job_report) with
+     | jr ->
+       w.Pool.w_job <- None;
+       Obs.Metrics.absorb jr.Pool.jr_metrics;
+       let outcome =
+         match jr.Pool.jr_reply with
+         | Pool.R_ok s -> Done (Marshal.from_string s 0 : 'b)
+         | Pool.R_exn m -> Failed m
+       in
+       Some (ticket, outcome, jr.Pool.jr_wall_s)
+     | exception (End_of_file | Sys_error _ | Failure _) ->
+       let dt = Unix.gettimeofday () -. started in
+       let st = reap w in
+       replace t w;
+       Some (ticket, Failed (Printf.sprintf "worker died (%s)" st), dt))
+
+(* Kill workers past their deadline; their jobs surface as [Timed_out]. *)
+let expire (t : ('a, 'b) t) ~now : (int * 'b outcome * float) list =
+  List.filter_map
+    (fun (w : Pool.worker) ->
+       match w.Pool.w_job with
+       | Some (ticket, _, started, dl) when now >= dl ->
+         (try Unix.kill w.Pool.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+         ignore (reap w);
+         replace t w;
+         let dt = now -. started in
+         Some (ticket, Timed_out dt, dt)
+       | _ -> None)
+    t.p_workers
+
+(* Block until one in-flight result is ready (or [timeout_s] passes) and
+   collect everything readable.  Convenience for callers without their own
+   select loop (drain paths, tests). *)
+let poll (t : ('a, 'b) t) ~timeout_s : (int * 'b outcome * float) list =
+  let now = Unix.gettimeofday () in
+  let expired = expire t ~now in
+  if expired <> [] then expired
+  else
+    match fds t with
+    | [] -> []
+    | watch ->
+      let wait =
+        let dl = next_deadline t in
+        if dl = infinity then timeout_s
+        else Float.max 0.0 (Float.min timeout_s (dl -. now))
+      in
+      let ready, _, _ =
+        try Unix.select watch [] [] wait
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.filter_map (handle_ready t) ready
+
+(* Tear the pool down.  Workers are SIGKILLed rather than asked: a graceful
+   close could block forever behind a worker mid-way through writing a large
+   reply nobody will read.  Callers wanting in-flight work finished drain
+   via [poll] first (the server's signal path does). *)
+let shutdown t =
+  t.p_stopped <- true;
+  List.iter
+    (fun (w : Pool.worker) ->
+       try Unix.kill w.Pool.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+    t.p_workers;
+  List.iter (fun w -> ignore (reap w)) t.p_workers;
+  List.iter
+    (fun (w : Pool.worker) ->
+       close_out_noerr w.Pool.w_oc;
+       close_in_noerr w.Pool.w_ic)
+    t.p_workers;
+  t.p_workers <- []

@@ -1,0 +1,84 @@
+(* Blocking client for the obfuscation service: one connection, synchronous
+   request/response.  The CLI, the tests and the load generator's warmup
+   paths use this; the load generator's hot path drives its own multiplexed
+   connections (Loadgen). *)
+
+type t = {
+  t_rfd : Unix.file_descr;
+  t_wfd : Unix.file_descr;
+  mutable t_next : int;
+}
+
+let connect path : (t, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { t_rfd = fd; t_wfd = fd; t_next = 1 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+(* Talk over an existing fd pair (socketpair or pipes — the --stdio mode). *)
+let of_pair ~input ~output = { t_rfd = input; t_wfd = output; t_next = 1 }
+
+let close t =
+  (try Unix.close t.t_rfd with Unix.Unix_error _ -> ());
+  if t.t_wfd <> t.t_rfd then
+    try Unix.close t.t_wfd with Unix.Unix_error _ -> ()
+
+let call (t : t) (body : Protocol.req_body) : (Protocol.resp_body, string) result =
+  let id = t.t_next in
+  t.t_next <- id + 1;
+  match
+    Protocol.write_frame t.t_wfd
+      (Protocol.encode_request { Protocol.rq_id = id; rq_body = body })
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("send: " ^ Unix.error_message e)
+  | () ->
+    let rec await () =
+      match Protocol.read_frame t.t_rfd with
+      | Error `Eof -> Error "server closed connection"
+      | Error `Truncated -> Error "truncated frame from server"
+      | Error (`Oversized n) ->
+        Error (Printf.sprintf "oversized frame from server (%d bytes)" n)
+      | Ok payload ->
+        (match Protocol.decode_response payload with
+         | Error m -> Error ("bad response: " ^ m)
+         (* id 0 carries connection-level errors (unparseable request). *)
+         | Ok rs when rs.Protocol.rs_id = id || rs.Protocol.rs_id = 0 ->
+           Ok rs.Protocol.rs_body
+         | Ok _ -> await ())
+    in
+    await ()
+
+let rewrite t ?(want_image = false) ~prog ~config ~seed () :
+  (Protocol.rewrite_reply, string) result =
+  match
+    call t
+      (Protocol.Rewrite
+         { Protocol.q_prog = Some prog; q_digest = None; q_config = config;
+           q_seed = seed; q_want_image = want_image })
+  with
+  | Ok (Protocol.R_rewrite r) -> Ok r
+  | Ok (Protocol.R_error e) -> Error (Printf.sprintf "%d: %s" e.code e.msg)
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m
+
+let stats t : (Protocol.stats, string) result =
+  match call t Protocol.Stats with
+  | Ok (Protocol.R_stats s) -> Ok s
+  | Ok (Protocol.R_error e) -> Error (Printf.sprintf "%d: %s" e.code e.msg)
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m
+
+let ping t =
+  match call t Protocol.Ping with
+  | Ok Protocol.R_pong -> Ok ()
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m
+
+let shutdown t =
+  match call t Protocol.Shutdown with
+  | Ok Protocol.R_bye -> Ok ()
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m

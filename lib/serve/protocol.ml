@@ -1,0 +1,438 @@
+(* Wire protocol of the obfuscation service.
+
+   Frames are a 4-byte big-endian payload length followed by a JSON
+   document, over a Unix-domain socket or a pipe pair.  JSON keeps the
+   protocol inspectable (`socat - UNIX:sock | xxd`) and reuses the repo's
+   existing reader (Obs.Json) on the decode side; the image artifact — the
+   only binary payload — travels hex-encoded inside it.  Every request
+   carries a client-assigned [id] echoed in its response, so clients may
+   pipeline requests on one connection and correlate out-of-order
+   completions.
+
+   Two I/O styles are provided: blocking [read_frame]/[write_frame] for
+   clients and tests, and an incremental [deframer] for the server's
+   non-blocking event loop (feed whatever [read] returned, get back the
+   complete frames it contained). *)
+
+(* Upper bound on a frame: past this the peer is broken or hostile and the
+   connection is cut rather than buffered without bound.  8 MiB comfortably
+   holds the largest corpus image hex-encoded. *)
+let max_frame = 8 * 1024 * 1024
+
+(* --- framing ---------------------------------------------------------------- *)
+
+let be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Serve.Protocol.frame: %d bytes > max_frame" n);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let rec retry_read fd b off len =
+  try Unix.read fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd b off len
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_frame fd payload = write_all fd (frame payload)
+
+(* [`Eof] is a clean close at a frame boundary; [`Truncated] is a close
+   mid-frame (header or body cut short) and means data was lost. *)
+let read_exact fd n : (string, [ `Eof | `Truncated ]) result =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match retry_read fd b !off (n - !off) with
+    | 0 -> eof := true
+    | r -> off := !off + r
+    | exception Unix.Unix_error _ -> eof := true
+  done;
+  if !off = n then Ok (Bytes.to_string b)
+  else if !off = 0 then Error `Eof
+  else Error `Truncated
+
+let read_frame fd : (string, [ `Eof | `Truncated | `Oversized of int ]) result =
+  match read_exact fd 4 with
+  | Error `Eof -> Error `Eof
+  | Error `Truncated -> Error `Truncated
+  | Ok hdr ->
+    let len = be32 hdr 0 in
+    if len > max_frame then Error (`Oversized len)
+    else (
+      match read_exact fd len with
+      | Ok p -> Ok p
+      | Error _ -> Error `Truncated)   (* header without full body: data lost *)
+
+(* Incremental deframer for non-blocking reads.  [feed] returns every frame
+   completed by the new chunk, in arrival order; an oversized length field
+   is an unrecoverable protocol error (the stream can no longer be framed). *)
+type deframer = { mutable d_pending : string }
+
+let deframer () = { d_pending = "" }
+
+let feed (d : deframer) (chunk : string) : (string list, string) result =
+  d.d_pending <- d.d_pending ^ chunk;
+  let rec go acc =
+    let s = d.d_pending in
+    let n = String.length s in
+    if n < 4 then Ok (List.rev acc)
+    else
+      let len = be32 s 0 in
+      if len > max_frame then
+        Error (Printf.sprintf "oversized frame: %d bytes (max %d)" len max_frame)
+      else if n < 4 + len then Ok (List.rev acc)
+      else begin
+        d.d_pending <- String.sub s (4 + len) (n - 4 - len);
+        go (String.sub s 4 len :: acc)
+      end
+  in
+  go []
+
+(* --- hex (binary image payloads inside JSON) -------------------------------- *)
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun ch -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch))) s;
+  Buffer.contents b
+
+let hex_decode s : (string, string) result =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex string"
+  else
+    let nib c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> -1
+    in
+    let b = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      let hi = nib s.[2 * i] and lo = nib s.[(2 * i) + 1] in
+      if hi < 0 || lo < 0 then ok := false
+      else Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+    done;
+    if !ok then Ok (Bytes.to_string b) else Error "bad hex digit"
+
+(* --- message types ---------------------------------------------------------- *)
+
+type cache_status = Hit | Miss | Coalesced
+
+let cache_status_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Coalesced -> "coalesced"
+
+let cache_status_of_string = function
+  | "hit" -> Some Hit
+  | "miss" -> Some Miss
+  | "coalesced" -> Some Coalesced
+  | _ -> None
+
+type rewrite_req = {
+  q_prog : string option;      (* registry program name *)
+  q_digest : string option;    (* input-image digest: cache-only addressing *)
+  q_config : string;           (* "plain" | "ropK[+p2][+gc]" *)
+  q_seed : int;
+  q_want_image : bool;         (* false: audit summary only, no artifact *)
+}
+
+type req_body =
+  | Rewrite of rewrite_req
+  | Stats
+  | Ping
+  | Shutdown
+
+type request = { rq_id : int; rq_body : req_body }
+
+type rewrite_reply = {
+  rr_prog : string;
+  rr_digest : string;          (* digest of the *input* image *)
+  rr_key : string;             (* full cache key (digest x config x seed) *)
+  rr_cache : cache_status;
+  rr_image : string option;    (* canonical serialization (raw bytes here;
+                                  hex on the wire); None unless requested *)
+  rr_image_digest : string;
+  rr_funcs : (string * string) list;  (* per-function audit line *)
+  rr_gadget_uses : int;
+  rr_unique_gadgets : int;
+  rr_queue_ms : float;         (* admission-to-dispatch wait *)
+  rr_rewrite_ms : float;       (* rewrite wall time (0 on cache hits) *)
+}
+
+type stats = {
+  st_uptime_s : float;
+  st_jobs : int;
+  st_queue_depth : int;
+  st_inflight : int;
+  st_requests : int;
+  st_completed : int;
+  st_hits : int;
+  st_misses : int;
+  st_coalesced : int;
+  st_shed : int;
+  st_expired : int;
+  st_errors : int;
+  st_throughput_rps : float;
+  st_hit_rate : float;         (* percent, hits / (hits + misses) *)
+  st_p50_ms : float;
+  st_p90_ms : float;
+  st_p99_ms : float;
+  st_cache_entries : int;
+  st_cache_bytes : int;
+}
+
+type resp_body =
+  | R_rewrite of rewrite_reply
+  | R_stats of stats
+  | R_pong
+  | R_bye
+  | R_error of { code : int; msg : string }
+      (* 400 bad request, 404 unknown program/digest, 429 queue full,
+         500 worker failure, 503 draining, 504 deadline exceeded *)
+
+type response = { rs_id : int; rs_body : resp_body }
+
+(* --- encoding (hand-rolled, like the rest of the repo's JSON output) -------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+(* %.17g round-trips every finite float, so encode/decode is lossless. *)
+let jfloat f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let encode_request (r : request) : string =
+  let b = Buffer.create 128 in
+  (match r.rq_body with
+   | Rewrite q ->
+     Printf.bprintf b "{\"op\":\"rewrite\",\"id\":%d" r.rq_id;
+     (match q.q_prog with
+      | Some p -> Printf.bprintf b ",\"prog\":%s" (jstr p)
+      | None -> ());
+     (match q.q_digest with
+      | Some d -> Printf.bprintf b ",\"digest\":%s" (jstr d)
+      | None -> ());
+     Printf.bprintf b ",\"config\":%s,\"seed\":%d,\"want_image\":%b}"
+       (jstr q.q_config) q.q_seed q.q_want_image
+   | Stats -> Printf.bprintf b "{\"op\":\"stats\",\"id\":%d}" r.rq_id
+   | Ping -> Printf.bprintf b "{\"op\":\"ping\",\"id\":%d}" r.rq_id
+   | Shutdown -> Printf.bprintf b "{\"op\":\"shutdown\",\"id\":%d}" r.rq_id);
+  Buffer.contents b
+
+let encode_response (r : response) : string =
+  let b = Buffer.create 256 in
+  (match r.rs_body with
+   | R_rewrite rr ->
+     Printf.bprintf b
+       "{\"op\":\"rewrite\",\"ok\":true,\"id\":%d,\"prog\":%s,\"digest\":%s,\
+        \"key\":%s,\"cache\":%s"
+       r.rs_id (jstr rr.rr_prog) (jstr rr.rr_digest) (jstr rr.rr_key)
+       (jstr (cache_status_to_string rr.rr_cache));
+     (match rr.rr_image with
+      | Some img -> Printf.bprintf b ",\"image\":%s" (jstr (hex_encode img))
+      | None -> ());
+     Printf.bprintf b ",\"image_digest\":%s,\"funcs\":[" (jstr rr.rr_image_digest);
+     List.iteri
+       (fun i (f, st) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "[%s,%s]" (jstr f) (jstr st))
+       rr.rr_funcs;
+     Printf.bprintf b
+       "],\"gadget_uses\":%d,\"unique_gadgets\":%d,\"queue_ms\":%s,\
+        \"rewrite_ms\":%s}"
+       rr.rr_gadget_uses rr.rr_unique_gadgets (jfloat rr.rr_queue_ms)
+       (jfloat rr.rr_rewrite_ms)
+   | R_stats st ->
+     Printf.bprintf b
+       "{\"op\":\"stats\",\"ok\":true,\"id\":%d,\"uptime_s\":%s,\"jobs\":%d,\
+        \"queue_depth\":%d,\"inflight\":%d,\"requests\":%d,\"completed\":%d,\
+        \"hits\":%d,\"misses\":%d,\"coalesced\":%d,\"shed\":%d,\"expired\":%d,\
+        \"errors\":%d,\"throughput_rps\":%s,\"hit_rate\":%s,\"p50_ms\":%s,\
+        \"p90_ms\":%s,\"p99_ms\":%s,\"cache_entries\":%d,\"cache_bytes\":%d}"
+       r.rs_id (jfloat st.st_uptime_s) st.st_jobs st.st_queue_depth
+       st.st_inflight st.st_requests st.st_completed st.st_hits st.st_misses
+       st.st_coalesced st.st_shed st.st_expired st.st_errors
+       (jfloat st.st_throughput_rps) (jfloat st.st_hit_rate)
+       (jfloat st.st_p50_ms) (jfloat st.st_p90_ms) (jfloat st.st_p99_ms)
+       st.st_cache_entries st.st_cache_bytes
+   | R_pong -> Printf.bprintf b "{\"op\":\"pong\",\"ok\":true,\"id\":%d}" r.rs_id
+   | R_bye -> Printf.bprintf b "{\"op\":\"bye\",\"ok\":true,\"id\":%d}" r.rs_id
+   | R_error e ->
+     Printf.bprintf b "{\"op\":\"error\",\"ok\":false,\"id\":%d,\"code\":%d,\"error\":%s}"
+       r.rs_id e.code (jstr e.msg));
+  Buffer.contents b
+
+(* --- decoding (Obs.Json) ---------------------------------------------------- *)
+
+let jmem k j = Obs.Json.member k j
+
+let jget_str k j =
+  match Option.bind (jmem k j) Obs.Json.to_string with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" k)
+
+let jget_int_opt k j =
+  Option.map int_of_float (Option.bind (jmem k j) Obs.Json.to_float)
+
+let jget_int k j =
+  match jget_int_opt k j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-numeric field %S" k)
+
+let jget_float k j =
+  match Option.bind (jmem k j) Obs.Json.to_float with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-numeric field %S" k)
+
+let jget_bool_opt k j =
+  match jmem k j with Some (Obs.Json.Bool b) -> Some b | _ -> None
+
+let ( let* ) = Result.bind
+
+let decode_request (payload : string) : (request, string) result =
+  let* j = Obs.Json.parse payload in
+  let* () =
+    match j with
+    | Obs.Json.Obj _ -> Ok ()
+    | _ -> Error "request is not a JSON object"
+  in
+  let* op = jget_str "op" j in
+  let id = Option.value ~default:0 (jget_int_opt "id" j) in
+  match op with
+  | "rewrite" ->
+    let* config = jget_str "config" j in
+    let seed = Option.value ~default:1 (jget_int_opt "seed" j) in
+    let want = Option.value ~default:false (jget_bool_opt "want_image" j) in
+    let prog = Option.bind (jmem "prog" j) Obs.Json.to_string in
+    let digest = Option.bind (jmem "digest" j) Obs.Json.to_string in
+    Ok { rq_id = id;
+         rq_body = Rewrite { q_prog = prog; q_digest = digest;
+                             q_config = config; q_seed = seed;
+                             q_want_image = want } }
+  | "stats" -> Ok { rq_id = id; rq_body = Stats }
+  | "ping" -> Ok { rq_id = id; rq_body = Ping }
+  | "shutdown" -> Ok { rq_id = id; rq_body = Shutdown }
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let decode_funcs j =
+  match Option.bind (jmem "funcs" j) Obs.Json.to_list with
+  | None -> Error "missing funcs array"
+  | Some items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Obs.Json.Arr [ Obs.Json.Str f; Obs.Json.Str st ] :: rest ->
+        go ((f, st) :: acc) rest
+      | _ -> Error "malformed funcs entry"
+    in
+    go [] items
+
+let decode_response (payload : string) : (response, string) result =
+  let* j = Obs.Json.parse payload in
+  let* op = jget_str "op" j in
+  let id = Option.value ~default:0 (jget_int_opt "id" j) in
+  match op with
+  | "rewrite" ->
+    let* prog = jget_str "prog" j in
+    let* digest = jget_str "digest" j in
+    let* key = jget_str "key" j in
+    let* cache_s = jget_str "cache" j in
+    let* cache =
+      match cache_status_of_string cache_s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "bad cache status %S" cache_s)
+    in
+    let* image =
+      match Option.bind (jmem "image" j) Obs.Json.to_string with
+      | None -> Ok None
+      | Some hex ->
+        (match hex_decode hex with
+         | Ok raw -> Ok (Some raw)
+         | Error m -> Error ("bad image payload: " ^ m))
+    in
+    let* image_digest = jget_str "image_digest" j in
+    let* funcs = decode_funcs j in
+    let* uses = jget_int "gadget_uses" j in
+    let* uniq = jget_int "unique_gadgets" j in
+    let* queue_ms = jget_float "queue_ms" j in
+    let* rewrite_ms = jget_float "rewrite_ms" j in
+    Ok { rs_id = id;
+         rs_body = R_rewrite { rr_prog = prog; rr_digest = digest; rr_key = key;
+                               rr_cache = cache; rr_image = image;
+                               rr_image_digest = image_digest; rr_funcs = funcs;
+                               rr_gadget_uses = uses; rr_unique_gadgets = uniq;
+                               rr_queue_ms = queue_ms; rr_rewrite_ms = rewrite_ms } }
+  | "stats" ->
+    let* uptime = jget_float "uptime_s" j in
+    let* jobs = jget_int "jobs" j in
+    let* qd = jget_int "queue_depth" j in
+    let* infl = jget_int "inflight" j in
+    let* reqs = jget_int "requests" j in
+    let* comp = jget_int "completed" j in
+    let* hits = jget_int "hits" j in
+    let* misses = jget_int "misses" j in
+    let* coal = jget_int "coalesced" j in
+    let* shed = jget_int "shed" j in
+    let* expired = jget_int "expired" j in
+    let* errors = jget_int "errors" j in
+    let* rps = jget_float "throughput_rps" j in
+    let* hr = jget_float "hit_rate" j in
+    let* p50 = jget_float "p50_ms" j in
+    let* p90 = jget_float "p90_ms" j in
+    let* p99 = jget_float "p99_ms" j in
+    let* ce = jget_int "cache_entries" j in
+    let* cb = jget_int "cache_bytes" j in
+    Ok { rs_id = id;
+         rs_body = R_stats { st_uptime_s = uptime; st_jobs = jobs;
+                             st_queue_depth = qd; st_inflight = infl;
+                             st_requests = reqs; st_completed = comp;
+                             st_hits = hits; st_misses = misses;
+                             st_coalesced = coal; st_shed = shed;
+                             st_expired = expired; st_errors = errors;
+                             st_throughput_rps = rps; st_hit_rate = hr;
+                             st_p50_ms = p50; st_p90_ms = p90; st_p99_ms = p99;
+                             st_cache_entries = ce; st_cache_bytes = cb } }
+  | "pong" -> Ok { rs_id = id; rs_body = R_pong }
+  | "bye" -> Ok { rs_id = id; rs_body = R_bye }
+  | "error" ->
+    let* code = jget_int "code" j in
+    let* msg = jget_str "error" j in
+    Ok { rs_id = id; rs_body = R_error { code; msg } }
+  | op -> Error (Printf.sprintf "unknown op %S" op)

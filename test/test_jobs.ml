@@ -49,6 +49,56 @@ let test_cache_roundtrip () =
   Jobs.Cache.clear ~dir ();
   Alcotest.(check (option (list int))) "cleared" None (Jobs.Cache.find c' "k")
 
+let test_cache_corrupt_recovery () =
+  let dir = tmpdir () in
+  let c = Jobs.Cache.create ~salt:"t" ~dir () in
+  Jobs.Cache.store c "k" [ 1; 2; 3 ];
+  (* tear the entry: a crashed writer or disk corruption leaves bytes that
+     exist but do not unmarshal *)
+  let p = Jobs.Cache.path c "k" in
+  let oc = open_out_bin p in
+  output_string oc "not a marshalled value";
+  close_out oc;
+  Alcotest.(check (option (list int))) "corrupt entry reads as a miss" None
+    (Jobs.Cache.find c "k");
+  Alcotest.(check int) "corruption counted" 1 c.Jobs.Cache.corrupt;
+  Alcotest.(check bool) "poisoned file deleted on the spot" false
+    (Sys.file_exists p);
+  (* the slot heals: recompute + store, and the next find hits again *)
+  Jobs.Cache.store c "k" [ 4; 5 ];
+  Alcotest.(check (option (list int))) "next store heals the slot"
+    (Some [ 4; 5 ]) (Jobs.Cache.find c "k");
+  Alcotest.(check int) "no further corruption" 1 c.Jobs.Cache.corrupt
+
+let test_cache_prune_lru () =
+  let dir = tmpdir () in
+  let c = Jobs.Cache.create ~salt:"t" ~dir () in
+  let payload i = String.make 64 (Char.chr (Char.code 'a' + i)) in
+  List.iter (fun i -> Jobs.Cache.store c (string_of_int i) (payload i))
+    [ 0; 1; 2; 3 ];
+  let per_entry = Jobs.Cache.size_bytes c / 4 in
+  Alcotest.(check bool) "entries have a size" true (per_entry > 0);
+  (* age entries 0 and 1: mtime is the recency signal prune sorts by *)
+  let old = Unix.gettimeofday () -. 3600.0 in
+  List.iter
+    (fun i -> Unix.utimes (Jobs.Cache.path c (string_of_int i)) old old)
+    [ 0; 1 ];
+  let removed, removed_bytes =
+    Jobs.Cache.prune ~max_bytes:(2 * per_entry) c
+  in
+  Alcotest.(check int) "two oldest evicted" 2 removed;
+  Alcotest.(check int) "their bytes accounted" (2 * per_entry) removed_bytes;
+  Alcotest.(check int) "directory trimmed to budget" (2 * per_entry)
+    (Jobs.Cache.size_bytes c);
+  Alcotest.(check bool) "aged entries gone" true
+    (Jobs.Cache.find c "0" = None && Jobs.Cache.find c "1" = None);
+  Alcotest.(check bool) "recent entries kept" true
+    (Jobs.Cache.find c "2" = Some (payload 2)
+     && Jobs.Cache.find c "3" = Some (payload 3));
+  (* already under budget: prune removes nothing *)
+  Alcotest.(check (pair int int)) "under budget is a no-op" (0, 0)
+    (Jobs.Cache.prune ~max_bytes:(2 * per_entry) c)
+
 (* --- determinism ----------------------------------------------------------- *)
 
 let test_rng_of_key () =
@@ -219,7 +269,11 @@ let () =
     [ ("cache",
        [ Alcotest.test_case "key stability" `Quick test_cache_key_stability;
          Alcotest.test_case "roundtrip + second run" `Quick
-           test_cache_roundtrip ]);
+           test_cache_roundtrip;
+         Alcotest.test_case "corrupt entry recovery" `Quick
+           test_cache_corrupt_recovery;
+         Alcotest.test_case "prune LRU by mtime" `Quick
+           test_cache_prune_lru ]);
       ("determinism",
        [ Alcotest.test_case "rng of_key" `Quick test_rng_of_key;
          Alcotest.test_case "serial = parallel" `Quick

@@ -1,0 +1,646 @@
+(* lib/serve: wire protocol, one-shot entry, and server semantics.
+
+   The protocol tests are pure (encode/decode, framing, fuzz).  The server
+   tests drive a real forked server — over a socketpair ([L_pair], the
+   --stdio mode) for the semantics that need deterministic frame batching,
+   and over a real Unix-domain socket for the connect/accept path.  All
+   servers run with [jobs = 0] (inline compute on the event loop): every
+   frame batch written in a single [write] is admitted in one read phase
+   before the next dispatch, which makes coalescing, shedding and drain
+   order exact rather than probabilistic. *)
+
+module P = Serve.Protocol
+module O = Serve.Oneshot
+
+let () = ignore (Unix.alarm 600)   (* hard backstop: a hung server fails CI *)
+
+let tmpdir () =
+  let d = Filename.temp_file "serve_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+let spec p c s = { O.sp_prog = p; sp_config = c; sp_seed = s }
+
+(* --- protocol: round trips --------------------------------------------------- *)
+
+let rw ?(id = 1) ?(seed = 1) ?(want = false) ?digest ?prog config =
+  { P.rq_id = id;
+    rq_body =
+      P.Rewrite
+        { P.q_prog = prog; q_digest = digest; q_config = config;
+          q_seed = seed; q_want_image = want } }
+
+let sample_reply ~image =
+  { P.rr_prog = "fact";
+    rr_digest = String.make 32 'a';
+    rr_key = "serve/v1|aaaa|rop0.25|seed=7";
+    rr_cache = P.Miss;
+    rr_image = image;
+    rr_image_digest = String.make 32 'b';
+    rr_funcs = [ ("main", "ok chain=0x400000 bytes=128 blocks=3 points=2");
+                 ("aux", "failed: no gadget") ];
+    rr_gadget_uses = 123;
+    rr_unique_gadgets = 17;
+    rr_queue_ms = 0.25;
+    rr_rewrite_ms = 3.0 }
+
+let sample_stats =
+  { P.st_uptime_s = 12.5; st_jobs = 4; st_queue_depth = 2; st_inflight = 3;
+    st_requests = 100; st_completed = 90; st_hits = 40; st_misses = 50;
+    st_coalesced = 5; st_shed = 3; st_expired = 1; st_errors = 1;
+    st_throughput_rps = 7.2; st_hit_rate = 44.44444444444444;
+    st_p50_ms = 1.5; st_p90_ms = 9.0; st_p99_ms = 30.125;
+    st_cache_entries = 50; st_cache_bytes = 123456 }
+
+let test_request_roundtrip () =
+  let reqs =
+    [ rw ~id:1 ~prog:"fact" "rop0.25";
+      rw ~id:42 ~seed:9 ~want:true ~prog:"base64" "rop1.0+p2+gc";
+      rw ~id:3 ~digest:(String.make 32 'f') "plain";
+      rw ~id:4 ~prog:"corpus" ~digest:"dd" ~seed:0 "rop0";
+      { P.rq_id = 5; rq_body = P.Stats };
+      { P.rq_id = 6; rq_body = P.Ping };
+      { P.rq_id = 7; rq_body = P.Shutdown } ]
+  in
+  List.iter
+    (fun r ->
+       match P.decode_request (P.encode_request r) with
+       | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+       | Error m -> Alcotest.failf "decode failed: %s" m)
+    reqs
+
+let test_response_roundtrip () =
+  (* the image payload covers every byte value: hex transport must be 8-bit
+     clean, and jfloat must round-trip the timing floats losslessly *)
+  let all_bytes = String.init 256 Char.chr in
+  let resps =
+    [ { P.rs_id = 1; rs_body = P.R_rewrite (sample_reply ~image:(Some all_bytes)) };
+      { P.rs_id = 2;
+        rs_body =
+          P.R_rewrite
+            { (sample_reply ~image:None) with
+              P.rr_cache = P.Hit; rr_queue_ms = 0.0; rr_rewrite_ms = 0.0 } };
+      { P.rs_id = 3;
+        rs_body =
+          P.R_rewrite
+            { (sample_reply ~image:None) with
+              P.rr_cache = P.Coalesced; rr_funcs = [];
+              rr_rewrite_ms = 1.0 /. 3.0 } };
+      { P.rs_id = 4; rs_body = P.R_stats sample_stats };
+      { P.rs_id = 5; rs_body = P.R_pong };
+      { P.rs_id = 6; rs_body = P.R_bye };
+      { P.rs_id = 0; rs_body = P.R_error { code = 429; msg = "queue full" } };
+      { P.rs_id = 7;
+        rs_body = P.R_error { code = 400; msg = "with \"quotes\"\nand\tctrl \x01" } } ]
+  in
+  List.iter
+    (fun r ->
+       match P.decode_response (P.encode_response r) with
+       | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+       | Error m -> Alcotest.failf "decode failed: %s" m)
+    resps
+
+let test_hex () =
+  let all = String.init 256 Char.chr in
+  Alcotest.(check string) "hex round-trips every byte" all
+    (ok (P.hex_decode (P.hex_encode all)));
+  (match P.hex_decode "abc" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "odd-length hex accepted");
+  match P.hex_decode "zz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad hex digit accepted"
+
+(* --- protocol: framing ------------------------------------------------------- *)
+
+let test_frame_blocking () =
+  let r, w = Unix.pipe () in
+  P.write_frame w "hello";
+  P.write_frame w "";   (* zero-length payload is a legal frame *)
+  Alcotest.(check string) "first frame" "hello"
+    (match P.read_frame r with Ok p -> p | Error _ -> Alcotest.fail "read 1");
+  Alcotest.(check string) "empty frame" ""
+    (match P.read_frame r with Ok p -> p | Error _ -> Alcotest.fail "read 2");
+  Unix.close w;
+  (match P.read_frame r with
+   | Error `Eof -> ()
+   | _ -> Alcotest.fail "close at frame boundary must read as Eof");
+  Unix.close r
+
+let test_frame_truncated () =
+  (* header cut short *)
+  let r, w = Unix.pipe () in
+  P.write_all w "\x00\x00";
+  Unix.close w;
+  (match P.read_frame r with
+   | Error `Truncated -> ()
+   | _ -> Alcotest.fail "partial header must read as Truncated");
+  Unix.close r;
+  (* full header, body cut short *)
+  let r, w = Unix.pipe () in
+  let f = P.frame "abcdef" in
+  P.write_all w (String.sub f 0 (String.length f - 2));
+  Unix.close w;
+  (match P.read_frame r with
+   | Error `Truncated -> ()
+   | _ -> Alcotest.fail "partial body must read as Truncated");
+  Unix.close r
+
+let test_frame_oversized () =
+  let r, w = Unix.pipe () in
+  let len = P.max_frame + 1 in
+  let hdr =
+    String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  P.write_all w hdr;
+  (match P.read_frame r with
+   | Error (`Oversized n) ->
+     Alcotest.(check int) "oversized length reported" len n
+   | _ -> Alcotest.fail "oversized header must be rejected");
+  Unix.close w;
+  Unix.close r;
+  match P.frame (String.make (P.max_frame + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frame() must refuse oversized payloads"
+
+let test_deframer_incremental () =
+  let payloads = [ "alpha"; ""; "bravo-bravo"; String.make 1000 'z' ] in
+  let stream = String.concat "" (List.map P.frame payloads) in
+  let d = P.deframer () in
+  (* worst-case fragmentation: one byte per feed *)
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+       match P.feed d (String.make 1 ch) with
+       | Ok fs -> got := !got @ fs
+       | Error m -> Alcotest.failf "deframer error: %s" m)
+    stream;
+  Alcotest.(check (list string)) "frames reassembled in order" payloads !got;
+  (* an oversized length field poisons the stream permanently *)
+  let d = P.deframer () in
+  let len = P.max_frame + 1 in
+  let hdr =
+    String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  match P.feed d hdr with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deframer must reject an oversized length"
+
+(* --- protocol: decoder fuzz -------------------------------------------------- *)
+
+(* Decoders face the network: whatever bytes arrive, they must return
+   [Error], never raise.  Half the cases are mutations of a valid message
+   (the adversarial-but-plausible region), half are raw noise. *)
+let fuzz_one rng valid decode =
+  let s =
+    if Util.Rng.bool rng then begin
+      let n = String.length valid in
+      let b = Bytes.of_string valid in
+      for _ = 1 to Util.Rng.int rng 4 do
+        Bytes.set b (Util.Rng.int rng n) (Char.chr (Util.Rng.int rng 256))
+      done;
+      Bytes.sub_string b 0 (Util.Rng.int rng (n + 1))
+    end
+    else
+      String.init (Util.Rng.int rng 80) (fun _ -> Char.chr (Util.Rng.int rng 256))
+  in
+  match decode s with Ok _ -> () | Error (_ : string) -> ()
+
+let test_decode_fuzz () =
+  let rng = Util.Rng.of_key ~seed:11 "serve-protocol-fuzz" in
+  let vreq = P.encode_request (rw ~id:7 ~want:true ~prog:"fact" "rop0.25") in
+  let vresp =
+    P.encode_response
+      { P.rs_id = 7; rs_body = P.R_rewrite (sample_reply ~image:(Some "\x00\xff")) }
+  in
+  let vstats =
+    P.encode_response { P.rs_id = 8; rs_body = P.R_stats sample_stats }
+  in
+  for _ = 1 to 400 do
+    fuzz_one rng vreq P.decode_request;
+    fuzz_one rng vresp P.decode_response;
+    fuzz_one rng vstats P.decode_response
+  done
+
+(* --- oneshot: config naming -------------------------------------------------- *)
+
+let test_config_names () =
+  (* every matrix name parses back to exactly the matrix's config, at a
+     non-default seed (the seed must thread through parsing) *)
+  List.iter
+    (fun (name, cfg) ->
+       match O.config_of_name ~seed:5 name with
+       | Ok cfg' ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%S resolves to its matrix config" name) true
+           (cfg = cfg')
+       | Error m -> Alcotest.failf "%S failed to parse: %s" name m)
+    (O.config_matrix 5);
+  (* feature order is immaterial *)
+  Alcotest.(check bool) "+gc+p2 = +p2+gc" true
+    (ok (O.config_of_name ~seed:1 "rop1.0+gc+p2")
+     = ok (O.config_of_name ~seed:1 "rop1.0+p2+gc"));
+  (* config_name emits the vocabulary config_of_name accepts *)
+  Alcotest.(check string) "name of k=0.25" "rop0.25"
+    (O.config_name ~plain:false 0.25);
+  Alcotest.(check string) "name with features" "rop1+p2+gc"
+    (O.config_name ~p2:true ~confusion:true ~plain:false 1.0);
+  Alcotest.(check string) "plain wins" "plain" (O.config_name ~plain:true 0.5);
+  List.iter
+    (fun bad ->
+       match O.config_of_name ~seed:1 bad with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "%S should not parse" bad)
+    [ ""; "plain+p2"; "rop"; "rop2.0"; "rop-0.1"; "ropx"; "rop0.5+zz";
+      "gadget"; "+p2" ]
+
+(* --- oneshot: determinism and image canonicalisation ------------------------- *)
+
+let test_oneshot_deterministic () =
+  let a1 = ok (O.one_shot (spec "fact" "rop1.0+p2+gc" 3)) in
+  let a2 = ok (O.one_shot (spec "fact" "rop1.0+p2+gc" 3)) in
+  Alcotest.(check string) "same spec, same bytes" a1.O.a_image a2.O.a_image;
+  Alcotest.(check string) "same digest" a1.O.a_image_digest a2.O.a_image_digest;
+  Alcotest.(check bool) "per-function audit carried" true (a1.O.a_funcs <> []);
+  let a3 = ok (O.one_shot (spec "fact" "rop1.0+p2+gc" 4)) in
+  Alcotest.(check bool) "seed changes the bytes" false
+    (a1.O.a_image = a3.O.a_image);
+  (* a warm table reused across configs still reproduces the cold path:
+     the prepared context is config- and seed-independent *)
+  let w = O.warm () in
+  let b1 = ok (O.rewrite w (spec "fact" "rop1.0+p2+gc" 3)) in
+  let _ = ok (O.rewrite w (spec "fact" "rop0.25" 9)) in
+  let b2 = ok (O.rewrite w (spec "fact" "rop1.0+p2+gc" 3)) in
+  Alcotest.(check string) "warm = cold" a1.O.a_image b1.O.a_image;
+  Alcotest.(check string) "warm unaffected by interleaved configs"
+    a1.O.a_image b2.O.a_image;
+  match O.one_shot (spec "no-such-program" "rop0.25" 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown program must be an error"
+
+let test_image_roundtrip () =
+  let e = Option.get (O.find "base64") in
+  let img = e.O.e_build () in
+  let ser = Image.serialize img in
+  let img' = ok (Image.deserialize ser) in
+  Alcotest.(check string) "canonical form is a fixpoint" ser
+    (Image.serialize img');
+  Alcotest.(check string) "digest = digest of serialization"
+    (Image.digest img)
+    (Digest.to_hex (Digest.string ser));
+  match Image.deserialize (String.sub ser 0 (String.length ser - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated serialization must be rejected"
+
+(* --- server harness ---------------------------------------------------------- *)
+
+let test_opts () =
+  { Serve.Server.default_opts with Serve.Server.cache_dir = tmpdir () }
+
+(* Fork a server over a socketpair; the parent keeps the client end.  The
+   single fd pair is the --stdio deployment shape. *)
+let with_pair_server opts f =
+  let srv, cli = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close cli;
+    let rc =
+      try Serve.Server.run ~opts (Serve.Server.L_pair (srv, srv))
+      with _ -> 3
+    in
+    Unix._exit rc
+  | pid ->
+    Unix.close srv;
+    let finally () =
+      (try Unix.close cli with Unix.Unix_error _ -> ());
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally (fun () -> f cli pid)
+
+let with_socket_server opts f =
+  let path = Filename.temp_file "serve_test" ".sock" in
+  Sys.remove path;
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let rc =
+      try Serve.Server.run ~opts (Serve.Server.L_socket path) with _ -> 3
+    in
+    Unix._exit rc
+  | pid ->
+    let rec connect n =
+      if n = 0 then Alcotest.fail "server did not come up"
+      else
+        match Serve.Client.connect path with
+        | Ok c -> c
+        | Error _ ->
+          Unix.sleepf 0.02;
+          connect (n - 1)
+    in
+    let finally () =
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+       | 0, _ ->
+         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+         (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+       | _ -> ()
+       | exception Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ()
+    in
+    Fun.protect ~finally (fun () -> f (connect 250) pid)
+
+(* One write = one read batch on the server: admission order and batching
+   are deterministic for everything sent here. *)
+let send_batch fd reqs =
+  P.write_all fd
+    (String.concat "" (List.map (fun r -> P.frame (P.encode_request r)) reqs))
+
+let recv fd =
+  match P.read_frame fd with
+  | Ok p -> ok (P.decode_response p)
+  | Error `Eof -> Alcotest.fail "server closed early"
+  | Error `Truncated -> Alcotest.fail "truncated frame from server"
+  | Error (`Oversized n) -> Alcotest.failf "oversized frame from server: %d" n
+
+let rec recv_n fd n = if n = 0 then [] else recv fd :: recv_n fd (n - 1)
+
+let expect_eof fd =
+  match P.read_frame fd with
+  | Error `Eof -> ()
+  | Ok _ -> Alcotest.fail "expected EOF, got a frame"
+  | Error _ -> Alcotest.fail "expected clean EOF"
+
+let expect_exit0 pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+  | _ -> Alcotest.fail "server killed by a signal"
+
+let body_of id rs =
+  match List.find_opt (fun r -> r.P.rs_id = id) rs with
+  | Some r -> r.P.rs_body
+  | None -> Alcotest.failf "no response for id %d" id
+
+let cache_of = function
+  | P.R_rewrite r -> r.P.rr_cache
+  | P.R_error e -> Alcotest.failf "expected rewrite, got error %d: %s" e.code e.msg
+  | _ -> Alcotest.fail "expected a rewrite reply"
+
+let err_code = function
+  | P.R_error e -> e.code
+  | _ -> Alcotest.fail "expected an error reply"
+
+(* --- server semantics -------------------------------------------------------- *)
+
+let test_server_miss_hit_identity () =
+  with_socket_server { (test_opts ()) with Serve.Server.shards = 3 }
+  @@ fun c pid ->
+  ok (Serve.Client.ping c);
+  let r1 =
+    ok (Serve.Client.rewrite c ~want_image:true ~prog:"fact"
+          ~config:"rop0.25" ~seed:1 ())
+  in
+  Alcotest.(check bool) "first request misses" true (r1.P.rr_cache = P.Miss);
+  let r2 =
+    ok (Serve.Client.rewrite c ~want_image:true ~prog:"fact"
+          ~config:"rop0.25" ~seed:1 ())
+  in
+  Alcotest.(check bool) "repeat hits" true (r2.P.rr_cache = P.Hit);
+  Alcotest.(check string) "hit serves identical bytes"
+    (Option.get r1.P.rr_image) (Option.get r2.P.rr_image);
+  (* the acceptance property: served output is byte-identical to the cold
+     one-shot CLI path *)
+  let a = ok (O.one_shot (spec "fact" "rop0.25" 1)) in
+  Alcotest.(check string) "served = one-shot bytes" a.O.a_image
+    (Option.get r1.P.rr_image);
+  Alcotest.(check string) "served = one-shot digest" a.O.a_image_digest
+    r1.P.rr_image_digest;
+  (* digest-only addressing probes the cache without rebuilding *)
+  (match
+     Serve.Client.call c
+       (P.Rewrite
+          { P.q_prog = None; q_digest = Some a.O.a_digest;
+            q_config = "rop0.25"; q_seed = 1; q_want_image = false })
+   with
+   | Ok (P.R_rewrite r) ->
+     Alcotest.(check bool) "digest probe hits" true (r.P.rr_cache = P.Hit)
+   | Ok _ | Error _ -> Alcotest.fail "digest probe failed");
+  (match
+     Serve.Client.call c
+       (P.Rewrite
+          { P.q_prog = None; q_digest = Some (String.make 32 '0');
+            q_config = "rop0.25"; q_seed = 1; q_want_image = false })
+   with
+   | Ok (P.R_error e) ->
+     Alcotest.(check int) "unknown digest is 404" 404 e.code
+   | Ok _ | Error _ -> Alcotest.fail "unknown digest must 404");
+  (match Serve.Client.rewrite c ~prog:"no-such" ~config:"rop0.25" ~seed:1 () with
+   | Error m ->
+     Alcotest.(check bool) "unknown program is 404" true
+       (String.length m > 4 && String.sub m 0 4 = "404:")
+   | Ok _ -> Alcotest.fail "unknown program must 404");
+  (match Serve.Client.rewrite c ~prog:"fact" ~config:"rop9" ~seed:1 () with
+   | Error m ->
+     Alcotest.(check bool) "bad config is 400" true
+       (String.length m > 4 && String.sub m 0 4 = "400:")
+   | Ok _ -> Alcotest.fail "bad config must 400");
+  let st = ok (Serve.Client.stats c) in
+  Alcotest.(check int) "stats: requests" 6 st.P.st_requests;
+  Alcotest.(check int) "stats: hits" 2 st.P.st_hits;
+  Alcotest.(check int) "stats: misses" 1 st.P.st_misses;
+  Alcotest.(check int) "stats: errors" 3 st.P.st_errors;
+  Alcotest.(check int) "stats: one cache entry" 1 st.P.st_cache_entries;
+  Alcotest.(check bool) "stats: cache holds bytes" true (st.P.st_cache_bytes > 0);
+  ok (Serve.Client.shutdown c);
+  expect_exit0 pid;
+  Serve.Client.close c
+
+let test_server_coalescing () =
+  with_pair_server (test_opts ()) @@ fun fd pid ->
+  (* three identical in-flight keys in one batch: one compute, first waiter
+     Miss, the rest Coalesced with the same artifact *)
+  send_batch fd
+    [ rw ~id:1 ~seed:7 ~want:true ~prog:"fact" "rop0.25";
+      rw ~id:2 ~seed:7 ~want:true ~prog:"fact" "rop0.25";
+      rw ~id:3 ~seed:7 ~want:true ~prog:"fact" "rop0.25" ];
+  let rs = recv_n fd 3 in
+  Alcotest.(check bool) "first waiter is the miss" true
+    (cache_of (body_of 1 rs) = P.Miss);
+  Alcotest.(check bool) "second coalesces" true
+    (cache_of (body_of 2 rs) = P.Coalesced);
+  Alcotest.(check bool) "third coalesces" true
+    (cache_of (body_of 3 rs) = P.Coalesced);
+  let dig = function
+    | P.R_rewrite r -> r.P.rr_image_digest
+    | _ -> Alcotest.fail "expected rewrite"
+  in
+  Alcotest.(check string) "coalesced waiters get the same artifact"
+    (dig (body_of 1 rs)) (dig (body_of 2 rs));
+  Alcotest.(check string) "all three agree"
+    (dig (body_of 1 rs)) (dig (body_of 3 rs));
+  (* a later request on the now-cached key is a plain hit *)
+  send_batch fd [ rw ~id:4 ~seed:7 ~prog:"fact" "rop0.25" ];
+  Alcotest.(check bool) "then it is cached" true
+    (cache_of (body_of 4 (recv_n fd 1)) = P.Hit);
+  send_batch fd [ { P.rq_id = 5; rq_body = P.Shutdown } ];
+  (match body_of 5 (recv_n fd 1) with
+   | P.R_bye -> ()
+   | _ -> Alcotest.fail "expected bye");
+  expect_eof fd;
+  expect_exit0 pid
+
+let test_server_shed () =
+  with_pair_server { (test_opts ()) with Serve.Server.max_queue = 1 }
+  @@ fun fd pid ->
+  (* three distinct keys against a queue of one: the first is accepted, the
+     overflow is shed immediately with 429 — and the server neither hangs
+     nor drops the accepted request *)
+  send_batch fd
+    [ rw ~id:1 ~seed:1 ~prog:"fact" "rop0";
+      rw ~id:2 ~seed:2 ~prog:"fact" "rop0";
+      rw ~id:3 ~seed:3 ~prog:"fact" "rop0" ];
+  let rs = recv_n fd 3 in
+  Alcotest.(check bool) "accepted request completes" true
+    (cache_of (body_of 1 rs) = P.Miss);
+  Alcotest.(check int) "second is shed" 429 (err_code (body_of 2 rs));
+  Alcotest.(check int) "third is shed" 429 (err_code (body_of 3 rs));
+  (* shedding is back-pressure, not a failure: the connection still serves *)
+  send_batch fd [ { P.rq_id = 4; rq_body = P.Ping } ];
+  (match body_of 4 (recv_n fd 1) with
+   | P.R_pong -> ()
+   | _ -> Alcotest.fail "expected pong");
+  let st =
+    send_batch fd [ { P.rq_id = 5; rq_body = P.Stats } ];
+    match body_of 5 (recv_n fd 1) with
+    | P.R_stats s -> s
+    | _ -> Alcotest.fail "expected stats"
+  in
+  Alcotest.(check int) "stats count the shed pair" 2 st.P.st_shed;
+  Unix.close fd;
+  expect_exit0 pid
+
+let test_server_deadline () =
+  let dir = tmpdir () in
+  (* warm a cache with one artifact under a normal server... *)
+  with_pair_server { (test_opts ()) with Serve.Server.cache_dir = dir }
+    (fun fd pid ->
+       send_batch fd [ rw ~id:1 ~seed:1 ~prog:"fact" "rop0" ];
+       Alcotest.(check bool) "precompute misses" true
+         (cache_of (body_of 1 (recv_n fd 1)) = P.Miss);
+       Unix.close fd;
+       expect_exit0 pid);
+  (* ...then serve from the same cache with an already-expired deadline:
+     every queued compute is answered 504 before dispatch, but cache hits
+     never enter the queue, so the precomputed key still serves *)
+  with_pair_server
+    { (test_opts ()) with
+      Serve.Server.cache_dir = dir; deadline_ms = Some (-1.0) }
+    (fun fd pid ->
+       send_batch fd
+         [ rw ~id:1 ~seed:1 ~prog:"fact" "rop0";     (* cached: hit *)
+           rw ~id:2 ~seed:2 ~prog:"fact" "rop0" ];   (* queued: expires *)
+       let rs = recv_n fd 2 in
+       Alcotest.(check bool) "hit bypasses the deadline" true
+         (cache_of (body_of 1 rs) = P.Hit);
+       Alcotest.(check int) "queued request expires with 504" 504
+         (err_code (body_of 2 rs));
+       send_batch fd [ { P.rq_id = 3; rq_body = P.Stats } ];
+       (match body_of 3 (recv_n fd 1) with
+        | P.R_stats s ->
+          Alcotest.(check int) "stats count the expiry" 1 s.P.st_expired
+        | _ -> Alcotest.fail "expected stats");
+       Unix.close fd;
+       expect_exit0 pid)
+
+let test_server_drain_on_shutdown () =
+  with_pair_server (test_opts ()) @@ fun fd pid ->
+  (* work queued behind a shutdown verb in the same batch must still
+     complete and flush: drain means "stop accepting", never "drop" *)
+  send_batch fd
+    [ rw ~id:1 ~seed:21 ~prog:"fact" "rop0.25";
+      rw ~id:2 ~seed:22 ~prog:"fact" "rop0.25";
+      { P.rq_id = 3; rq_body = P.Shutdown } ];
+  let rs = recv_n fd 3 in
+  Alcotest.(check bool) "queued request 1 completed during drain" true
+    (cache_of (body_of 1 rs) = P.Miss);
+  Alcotest.(check bool) "queued request 2 completed during drain" true
+    (cache_of (body_of 2 rs) = P.Miss);
+  (match body_of 3 rs with
+   | P.R_bye -> ()
+   | _ -> Alcotest.fail "expected bye");
+  expect_eof fd;
+  expect_exit0 pid
+
+let test_server_sigterm_drain () =
+  with_pair_server (test_opts ()) @@ fun fd pid ->
+  send_batch fd [ rw ~id:1 ~seed:1 ~want:true ~prog:"fact" "rop0.5" ];
+  let r1 = body_of 1 (recv_n fd 1) in
+  Alcotest.(check bool) "request served" true (cache_of r1 = P.Miss);
+  (* SIGTERM with replies flushed and nothing queued: clean exit 0, EOF at
+     a frame boundary on the client *)
+  Unix.kill pid Sys.sigterm;
+  expect_eof fd;
+  expect_exit0 pid
+
+let test_server_protocol_errors () =
+  with_pair_server (test_opts ()) @@ fun fd pid ->
+  (* an unparseable frame is answered (id 0) but the connection survives *)
+  P.write_all fd (P.frame "{this is not json");
+  Alcotest.(check int) "malformed JSON answered with 400" 400
+    (err_code (body_of 0 (recv_n fd 1)));
+  send_batch fd [ { P.rq_id = 2; rq_body = P.Ping } ];
+  (match body_of 2 (recv_n fd 1) with
+   | P.R_pong -> ()
+   | _ -> Alcotest.fail "connection should survive bad JSON");
+  (* an oversized length field is unframeable: answered once, then cut *)
+  let len = P.max_frame + 1 in
+  P.write_all fd
+    (String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff)));
+  Alcotest.(check int) "oversized frame answered with 400" 400
+    (err_code (body_of 0 (recv_n fd 1)));
+  expect_eof fd;
+  expect_exit0 pid
+
+let () =
+  Alcotest.run "serve"
+    [ ("protocol",
+       [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+         Alcotest.test_case "response round-trip" `Quick
+           test_response_roundtrip;
+         Alcotest.test_case "hex transport" `Quick test_hex;
+         Alcotest.test_case "blocking frames" `Quick test_frame_blocking;
+         Alcotest.test_case "truncated frames" `Quick test_frame_truncated;
+         Alcotest.test_case "oversized frames" `Quick test_frame_oversized;
+         Alcotest.test_case "incremental deframer" `Quick
+           test_deframer_incremental;
+         Alcotest.test_case "decoder fuzz" `Quick test_decode_fuzz ]);
+      ("oneshot",
+       [ Alcotest.test_case "config naming" `Quick test_config_names;
+         Alcotest.test_case "deterministic rewrites" `Quick
+           test_oneshot_deterministic;
+         Alcotest.test_case "image round-trip" `Quick test_image_roundtrip ]);
+      ("server",
+       [ Alcotest.test_case "miss, hit, byte identity" `Quick
+           test_server_miss_hit_identity;
+         Alcotest.test_case "duplicate coalescing" `Quick
+           test_server_coalescing;
+         Alcotest.test_case "queue-full shed" `Quick test_server_shed;
+         Alcotest.test_case "queue deadline" `Quick test_server_deadline;
+         Alcotest.test_case "drain on shutdown verb" `Quick
+           test_server_drain_on_shutdown;
+         Alcotest.test_case "drain on SIGTERM" `Quick
+           test_server_sigterm_drain;
+         Alcotest.test_case "protocol errors" `Quick
+           test_server_protocol_errors ]) ]

@@ -8,6 +8,7 @@
      experiments ropaware            §VII-A.2 (ROPMEMU / ROPDissector)
      experiments coverage            §VII-C1 (corpus rewrite coverage)
      experiments casestudy           §VII-C3 (base64 memory models)
+     experiments layers              ROPfuscator layer matrix (robustness x overhead)
      experiments all [--full]        everything
 
    Matrix experiments (table2, fig5, table3, casestudy) fan their cells out
@@ -35,11 +36,12 @@ let run_one pool full name =
   | "ropaware" -> Harness.Experiments.ropaware ()
   | "coverage" -> ignore (Harness.Experiments.coverage ())
   | "casestudy" -> Harness.Experiments.casestudy ~pool ()
+  | "layers" -> ignore (Harness.Experiments.layers ~pool ())
   | other -> Printf.eprintf "unknown experiment: %s\n" other; exit 2
 
 let all_names =
   [ "table4"; "table3"; "fig5"; "coverage"; "ropaware"; "efficacy";
-    "casestudy"; "table2" ]
+    "casestudy"; "layers"; "table2" ]
 
 let main name full jobs no_cache cache_dir manifest timeout only trace metrics =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
@@ -79,7 +81,7 @@ let main name full jobs no_cache cache_dir manifest timeout only trace metrics =
       0)
 
 let name_arg =
-  let doc = "Experiment id: table2, fig5, table3, table4, efficacy, ropaware, coverage, casestudy, all." in
+  let doc = "Experiment id: table2, fig5, table3, table4, efficacy, ropaware, coverage, casestudy, layers, all." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
 let full_arg =

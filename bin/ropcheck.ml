@@ -59,8 +59,12 @@ let check_one ~verbose name cfg_name config build fns =
   end;
   (errs, warns, Buffer.contents buf)
 
-let main seed program config verbose jobs manifest trace metrics =
+let main seed program config verbose jobs manifest trace metrics inject_opaque =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
+  let adjust cfg =
+    if inject_opaque then { cfg with Ropc.Config.debug_opaque_residue = true }
+    else cfg
+  in
   let matrix =
     match config with
     | None -> config_matrix seed
@@ -97,7 +101,7 @@ let main seed program config verbose jobs manifest trace metrics =
     let (_, build, fns) =
       List.find (fun (n, _, _) -> n = tname) (targets ())
     in
-    let cfg = List.assoc cfg_name (config_matrix seed) in
+    let cfg = adjust (List.assoc cfg_name (config_matrix seed)) in
     check_one ~verbose tname cfg_name cfg build fns
   in
   Jobs.Pool.with_manifest manifest (fun m ->
@@ -108,7 +112,9 @@ let main seed program config verbose jobs manifest trace metrics =
       in
       let results =
         Jobs.Pool.map ~label:"ropcheck" pool
-          ~key:(fun (t, c) -> Printf.sprintf "ropcheck/seed=%d/%s/%s" seed t c)
+          ~key:(fun (t, c) ->
+              Printf.sprintf "ropcheck/seed=%d/injo=%b/%s/%s" seed
+                inject_opaque t c)
           ~f cells
       in
       let runs = ref 0 and errs = ref 0 and warns = ref 0 in
@@ -171,10 +177,17 @@ let cmd =
     Arg.(value & flag
          & info [ "metrics" ] ~doc:"Dump the metrics registry to stderr on exit.")
   in
+  let inject_opaque =
+    Arg.(value & flag
+         & info [ "inject-opaque" ]
+             ~doc:"Fault injection: record the first opaque-encoded slot \
+                   with the wrong residue (the chain byte check must flag \
+                   it). Only meaningful with +oc configurations.")
+  in
   Cmd.v
     (Cmd.info "ropcheck"
        ~doc:"Statically verify rewritten images without executing them")
     Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest
-          $ trace $ metrics)
+          $ trace $ metrics $ inject_opaque)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,8 @@
 
 open Cmdliner
 
-let main prog_name k p2 confusion seed arg verify trace metrics =
+let main prog_name k p2 confusion opaque hiding pf seed arg verify trace
+    metrics =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   match Serve.Oneshot.find prog_name with
   | None ->
@@ -35,7 +36,9 @@ let main prog_name k p2 confusion seed arg verify trace metrics =
          native.Runner.rax native.Runner.steps;
        let cfg_name =
          if k < 0.0 then "plain"
-         else Serve.Oneshot.config_name ~p2 ~confusion ~plain:false k
+         else
+           Serve.Oneshot.config_name ~p2 ~confusion ~opaque ~hiding ~pf
+             ~plain:false k
        in
        (match Serve.Oneshot.config_of_name ~seed cfg_name with
         | Error m -> Printf.eprintf "bad configuration: %s\n" m; 2
@@ -100,6 +103,24 @@ let cmd =
   let k = Arg.(value & opt float 0.25 & info [ "k" ] ~doc:"P3 fraction (Table I).") in
   let p2 = Arg.(value & flag & info [ "p2" ] ~doc:"Enable predicate P2.") in
   let confusion = Arg.(value & flag & info [ "confusion" ] ~doc:"Enable gadget confusion.") in
+  let opaque =
+    Arg.(value & flag
+         & info [ "opaque" ]
+             ~doc:"Opaque-constant layer: store chain slots as residuals \
+                   recovered at runtime from the P1 array.")
+  in
+  let hiding =
+    Arg.(value & flag
+         & info [ "hiding" ]
+             ~doc:"Instruction-hiding layer: smuggle real roplets into P3 \
+                   predicate bodies.")
+  in
+  let pf =
+    Arg.(value & flag
+         & info [ "per-function" ]
+             ~doc:"Per-function layer: full config on sensitive functions, \
+                   bare P1 elsewhere.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Obfuscation seed.") in
   let arg = Arg.(value & opt int64 8L & info [ "arg" ] ~doc:"Argument for the entry function.") in
   let verify =
@@ -118,7 +139,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ropfuscator" ~doc:"Rewrite a program's functions into ROP chains")
-    Term.(const main $ prog $ k $ p2 $ confusion $ seed $ arg $ verify $ trace
-          $ metrics)
+    Term.(const main $ prog $ k $ p2 $ confusion $ opaque $ hiding $ pf $ seed
+          $ arg $ verify $ trace $ metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,17 +22,9 @@ open Cmdliner
 module F = Verify.Finding
 module SA = Staticanalysis
 
-let config_matrix seed =
-  [ ("plain", Ropc.Config.plain ~seed ());
-    ("rop0", Ropc.Config.rop_k ~seed 0.0);
-    ("rop0.05", Ropc.Config.rop_k ~seed 0.05);
-    ("rop0.25", Ropc.Config.rop_k ~seed 0.25);
-    ("rop0.5", Ropc.Config.rop_k ~seed 0.5);
-    ("rop0.75", Ropc.Config.rop_k ~seed 0.75);
-    ("rop1.0", Ropc.Config.rop_k ~seed 1.0);
-    ("rop1.0+p2", Ropc.Config.rop_k ~seed ~p2:true 1.0);
-    ("rop1.0+gc", Ropc.Config.rop_k ~seed ~confusion:true 1.0);
-    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0) ]
+(* Table I/II matrix plus the ROPfuscator layer rows — shared with ropcheck,
+   the CLI and the daemon via Serve.Oneshot so names resolve identically. *)
+let config_matrix = Serve.Oneshot.config_matrix
 
 let targets () =
   [ ("corpus", Minic.Corpus.compile, Minic.Corpus.all_names);
@@ -142,7 +134,10 @@ let lint_one ~verbose ~transval ~ropaware tname cfg_name config build fns =
            let true_slots =
              Array.fold_left
                (fun n (_, s) ->
-                  match s with Ropc.Chain.S_gadget _ -> n + 1 | _ -> n)
+                  match s with
+                  | Ropc.Chain.S_gadget _
+                  | Ropc.Chain.S_opaque_dispatch _ -> n + 1
+                  | _ -> n)
                0 f.Ropc.Audit.f_layout
            in
            let d =
@@ -189,7 +184,18 @@ let lint_one ~verbose ~transval ~ropaware tname cfg_name config build fns =
      | Some tv ->
        Printf.bprintf buf "  transval: %d proven, %d unproven, %d skipped\n"
          tv.SA.Transval.tv_proven tv.SA.Transval.tv_unproven
-         (List.length tv.SA.Transval.tv_skipped)
+         (List.length tv.SA.Transval.tv_skipped);
+       let reasons = Hashtbl.create 8 in
+       List.iter
+         (fun (_, _, why) ->
+            Hashtbl.replace reasons why
+              (1 + Option.value ~default:0 (Hashtbl.find_opt reasons why)))
+         tv.SA.Transval.tv_skipped;
+       List.iter
+         (fun (why, n) -> Printf.bprintf buf "    skip %4d  %s\n" n why)
+         (List.sort
+            (fun (a, _) (b, _) -> compare a b)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) reasons []))
      | None -> ());
     let st = report.SA.Driver.r_stealth in
     (match st.SA.Stealth.sl_funcs with
@@ -228,10 +234,14 @@ let lint_one ~verbose ~transval ~ropaware tname cfg_name config build fns =
 (* --- driver ---------------------------------------------------------------- *)
 
 let main seed program config verbose jobs manifest trace metrics no_transval
-    min_proven json_out no_timings ropaware inject =
+    min_proven json_out no_timings ropaware inject inject_hidden =
   Obs.Run.with_reporting ?trace ~metrics @@ fun () ->
   let adjust cfg =
-    if inject then { cfg with Ropc.Config.debug_unbalanced_epilogue = true }
+    let cfg =
+      if inject then { cfg with Ropc.Config.debug_unbalanced_epilogue = true }
+      else cfg
+    in
+    if inject_hidden then { cfg with Ropc.Config.debug_hidden_payload = true }
     else cfg
   in
   let matrix =
@@ -277,8 +287,8 @@ let main seed program config verbose jobs manifest trace metrics no_transval
         Jobs.Pool.map ~label:"roplint" pool
           ~key:(fun (t, c) ->
               Printf.sprintf
-                "roplint/seed=%d/tv=%b/ra=%b/inj=%b/%s/%s" seed
-                (not no_transval) ropaware inject t c)
+                "roplint/seed=%d/tv=%b/ra=%b/inj=%b/injh=%b/%s/%s" seed
+                (not no_transval) ropaware inject inject_hidden t c)
           ~f cells
       in
       let runs = ref 0 and errs = ref 0 and warns = ref 0 in
@@ -419,12 +429,19 @@ let cmd =
              ~doc:"Fault injection: rewrite with the deliberately unbalanced \
                    chain epilogue (the stack-discipline pass must flag it).")
   in
+  let inject_hidden =
+    Arg.(value & flag
+         & info [ "inject-hidden" ]
+             ~doc:"Fault injection: corrupt one instruction-hiding payload \
+                   with a stray register write (translation validation must \
+                   flag it). Only meaningful with +ih configurations.")
+  in
   Cmd.v
     (Cmd.info "roplint"
        ~doc:"Fixpoint dataflow lint + translation validation for rewritten \
              images")
     Term.(const main $ seed $ program $ config $ verbose $ jobs $ manifest
           $ trace $ metrics $ no_transval $ min_proven $ json_out
-          $ no_timings $ ropaware $ inject)
+          $ no_timings $ ropaware $ inject $ inject_hidden)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,6 +20,12 @@ dune build @jobs
 echo "== static-analysis lint (@lint: roplint matrix, 100% proven gate + fault injection) =="
 dune build @lint
 
+echo "== ROPfuscator layers (@layers: full stack ropcheck + opaque/hidden fault legs) =="
+dune build @layers
+
+echo "== layered difftest smoke (30 cases, strongest layer stack, verifier on) =="
+dune exec bin/difftest.exe -- --cases 30 --seed 42 --config rop-layered-verified
+
 echo "== observability (@obs: lib/obs suite + schema-validated --trace smoke) =="
 dune build @obs
 

@@ -115,7 +115,7 @@ let config_named name =
   match
     List.find_opt
       (fun (c : Harness.Configs.named) -> c.Harness.Configs.name = name)
-      Harness.Configs.table2_configs
+      (Harness.Configs.table2_configs @ Harness.Configs.layer_configs)
   with
   | Some c -> c
   | None -> invalid_arg ("unknown configuration: " ^ name)

@@ -30,6 +30,11 @@ type point = {
   p_defs : R.t;                 (* what the roplet intends to define *)
   p_borrowed : R.t;             (* spilled-and-restored scratch borrows *)
   p_slots : (int * Chain.slot) array;
+  p_hidden : (int * int) option;
+      (* instruction hiding: chain-offset range [lo, hi) of the real
+         roplet smuggled inside this point's P3 predicate body.  Roplint's
+         Transval pass validates the hidden sub-region symbolically even
+         though the surrounding predicate is shielded. *)
 }
 
 type func = {

@@ -25,6 +25,9 @@ type point = {
   mutable pt_borrowed : R.t;   (* spilled-and-restored (scratch borrows) *)
   pt_start : int;              (* first chain slot index of the roplet *)
   mutable pt_stop : int;       (* one past the last slot index *)
+  mutable pt_hidden : (int * int) option;
+      (* instruction hiding: slot-index range [lo, hi) of a real roplet
+         smuggled inside this point's P3 predicate body *)
 }
 
 type t = {
@@ -40,6 +43,7 @@ type t = {
   p1_array : int64;            (* base of the P1 opaque array (0 if no P1) *)
   p1_class_a : int array;      (* residue per class *)
   mutable branch_ordinal : int;
+  mutable opaque_ordinal : int;   (* residue-class rotation for S_opaque *)
   mutable fresh_counter : int;
   mutable program_points : int;   (* N of Table III *)
   mutable points : point list;    (* reversed; audit trace *)
@@ -50,7 +54,8 @@ let create ~pool ~config ~rng ~fname ~ss_addr ~spill_base ~flags_spill
     ~funcret_gadget ~p1_array ~p1_class_a =
   { pool; chain = Chain.create (); config; rng; fname; ss_addr; spill_base;
     flags_spill; funcret_gadget; p1_array; p1_class_a;
-    branch_ordinal = 0; fresh_counter = 0; program_points = 0;
+    branch_ordinal = 0; opaque_ordinal = 0; fresh_counter = 0;
+    program_points = 0;
     points = []; cur_point = None }
 
 (* --- audit trace ---------------------------------------------------------- *)
@@ -70,7 +75,8 @@ let begin_point b ~addr ~desc ~live ~flags_live ~defs =
            pt_flags_live = flags_live; pt_defs = defs;
            pt_borrowed = R.empty;
            pt_start = Chain.length b.chain;
-           pt_stop = Chain.length b.chain }
+           pt_stop = Chain.length b.chain;
+           pt_hidden = None }
 
 (* Extend the live set recorded for the current point (e.g. a P2 branch value
    that must survive into the trampoline). *)
@@ -82,6 +88,13 @@ let widen_point_live b extra =
 let note_borrowed b regs =
   match b.cur_point with
   | Some p -> p.pt_borrowed <- R.union p.pt_borrowed regs
+  | None -> ()
+
+(* Record the slot-index range of a hidden roplet within the current point
+   (instruction hiding layer). *)
+let note_hidden b lo hi =
+  match b.cur_point with
+  | Some p -> p.pt_hidden <- Some (lo, hi)
   | None -> ()
 
 let points b =
@@ -434,6 +447,134 @@ let branch b ~live ~cc ~target =
   match b.config.Config.p1 with
   | Some _ -> p1_branch b ~live ~cc ~target
   | None -> plain_branch b ~live ~cc ~target
+
+(* --- opaque-constant slots (ROPfuscator layer) ----------------------------- *)
+
+(* The layer piggybacks on the P1 array, so it is active only when P1 is. *)
+let opaque_active b =
+  b.config.Config.opaque_constants
+  && b.config.Config.p1 <> None
+  && Int64.compare b.p1_array 0L <> 0
+
+(* Per-slot coin flip at [opaque_prob] percent. *)
+let opaque_roll b =
+  opaque_active b && Util.Rng.int b.rng 100 < b.config.Config.opaque_prob
+
+(* Free (dead, unreserved) registers at this point, for templates that must
+   not spill because their trailing slots have adjacency requirements. *)
+let free_scratch _b ~live ~avoid =
+  let forbidden = R.union (R.union live avoid) reserved in
+  List.length (List.filter (fun r -> not (R.mem_reg forbidden r)) all_regs)
+
+(* Shared middle of every opaque recovery: sv := P1[f(x)*s*8 + cls*8] mod m,
+   clobbering [si] and [st] — byte for byte the extraction sequence of
+   [p1_branch], so a scanner cannot tell a recovered constant from an
+   encoded branch. *)
+let opaque_residue_seq b ~live ~cls (si, st, sv) =
+  let p1 =
+    match b.config.Config.p1 with
+    | Some p -> p
+    | None -> invalid_arg "Builder.opaque_residue_seq: no P1 parameters"
+  in
+  let sources =
+    List.filter
+      (fun r -> R.mem_reg live r && not (R.mem_reg reserved r))
+      all_regs
+  in
+  let sources = Util.Rng.shuffle b.rng sources in
+  let sources = List.filteri (fun i _ -> i < 4) sources in
+  (match sources with
+   | [] -> g b [ Mov (W64, Reg si, Imm 0L) ]
+   | first :: others ->
+     g b [ Mov (W64, Reg si, Reg first) ];
+     List.iter
+       (fun r ->
+          match Util.Rng.int b.rng 3 with
+          | 0 -> g b [ Alu (Add, W64, Reg si, Reg r) ]
+          | 1 -> g b [ Alu (Xor, W64, Reg si, Reg r) ]
+          | _ -> g b [ Alu (Add, W64, Reg si, Reg r);
+                       Shift (Rol, W64, Reg si, S_imm 3) ])
+       others);
+  g b [ Alu (And, W64, Reg si, Imm (Int64.of_int (p1.Config.p - 1))) ];
+  load_imm b ~scratch:[] st (Int64.of_int (8 * p1.Config.s));
+  g b [ Imul2 (W64, si, Reg st) ];
+  load_imm b ~scratch:[] st (Int64.add b.p1_array (Int64.of_int (8 * cls)));
+  g b [ Mov (W64, Reg sv,
+             Mem { base = Some st; index = Some (si, 1); disp = 0L }) ];
+  if p1.Config.m land (p1.Config.m - 1) = 0 then
+    g b [ Alu (And, W64, Reg sv, Imm (Int64.of_int (p1.Config.m - 1))) ]
+  else
+    raise (Bail "non-power-of-two P1 modulus requires the div path \
+                 (unimplemented fast path)")
+
+(* Choose this slot's encoding and rotate the class.  The first slot under
+   [debug_opaque_residue] records a residue that disagrees with the array's
+   ground truth: the stored bytes come out mult bytes off and the runtime
+   recovery genuinely miscompiles — the fault ropcheck's byte check must
+   catch against [f_p1]. *)
+let opaque_pick b =
+  let p1 =
+    match b.config.Config.p1 with
+    | Some p -> p
+    | None -> invalid_arg "Builder.opaque_pick: no P1 parameters"
+  in
+  let ordinal = b.opaque_ordinal in
+  b.opaque_ordinal <- ordinal + 1;
+  let cls = ordinal mod p1.Config.n in
+  let a = b.p1_class_a.(cls) in
+  let mult = Int64.of_int (0x10000 + Util.Rng.int b.rng 0x40000) in
+  let residue =
+    if b.config.Config.debug_opaque_residue && ordinal = 0 then
+      Int64.of_int ((a + 1) mod p1.Config.m)
+    else Int64.of_int a
+  in
+  (cls, residue, mult)
+
+(* Tail of every recovery, entered with sv = a: scale to (a+1)*mult, pop the
+   residual slot into [r], add the two back together. *)
+let opaque_finish b ~cls ~residue ~mult r (st, sv) value =
+  g b [ Pop (Reg st) ];
+  imm b mult;
+  g b [ Imul2 (W64, sv, Reg st) ];
+  g b [ Alu (Add, W64, Reg sv, Reg st) ];
+  g b [ Pop (Reg r) ];
+  Chain.opaque b.chain ~value ~cls ~residue ~mult;
+  g b [ Alu (Add, W64, Reg r, Reg sv) ]
+
+(* Load [value] into [r] without the value ever appearing in the chain
+   bytes: the slot stores value - mult*(a+1), and the preceding gadgets
+   recover mult*(a+1) from the opaque array.  Clobbers the status flags. *)
+let opaque_load b ~live r value =
+  let cls, residue, mult = opaque_pick b in
+  with_scratch b ~live ~avoid:(R.of_reg r) 3 (fun regs ->
+      match regs with
+      | [ si; st; sv ] ->
+        opaque_residue_seq b ~live ~cls (si, st, sv);
+        opaque_finish b ~cls ~residue ~mult r (st, sv) value
+      | regs -> template_error "opaque_load (opaque recovery, 3 scratch)" regs)
+
+(* Emit one gadget with its *address* opaque-encoded: the slot that would
+   have held the gadget address holds a jmp-reg trampoline instead, and the
+   register it jumps through is recovered opaquely.  The target's own ret
+   continues the chain right after the dispatch slot, so callers emit the
+   gadget's operand slots immediately after this returns — which is also
+   why this template must never spill (restore gadgets would land between
+   the dispatch and its operands); under register pressure it falls back to
+   a literal slot. *)
+let g_opaque b ?(clobber = []) ~live instrs =
+  if free_scratch b ~live ~avoid:R.empty < 4 then g b ~clobber instrs
+  else begin
+    let target = Pool.request ~clobberable:clobber b.pool instrs in
+    let cls, residue, mult = opaque_pick b in
+    with_scratch ~allow_spill:false b ~live ~avoid:R.empty 4 (fun regs ->
+        match regs with
+        | [ s; si; st; sv ] ->
+          opaque_residue_seq b ~live ~cls (si, st, sv);
+          opaque_finish b ~cls ~residue ~mult s (st, sv) target;
+          let jop = Pool.request_jop b.pool [ Jmp (J_op (Reg s)) ] in
+          Chain.opaque_dispatch b.chain ~jop ~target
+        | regs -> template_error "g_opaque (opaque dispatch, 4 scratch)" regs)
+  end
 
 (* Jump-table dispatch: [reg] already holds the RSP displacement loaded from
    the rewritten table (Appendix A); returns the anchor name the table

@@ -13,9 +13,28 @@ type slot =
   | S_disp of { target : string; anchor : string; bias : int64 }
       (* materializes as off(target) - off(anchor) - bias; [bias] is the
          array-encoded part [a] under P1, 0 otherwise *)
+  | S_opaque of { oq_value : int64; oq_cls : int; oq_residue : int64;
+                  oq_mult : int64 }
+      (* opaque-constant slot (ROPfuscator layer): materializes
+         value - mult*(residue+1), never the value itself.  The chain
+         recovers [oq_value] at runtime by adding mult*(a+1) back, where
+         a = P1[f(x)*stride + cls] mod m is extracted from the opaque
+         array exactly like a P1-encoded branch displacement.  The full
+         encoding is recorded so the verifier can recompute the stored
+         bytes from the array's ground truth. *)
+  | S_opaque_dispatch of { od_jop : int64; od_target : int64 }
+      (* opaque gadget dispatch: the slot holds the address of a
+         jmp-reg trampoline; the register it jumps through carries
+         [od_target], recovered opaquely by the preceding slots.  The
+         target's own ret then continues the chain at the next slot. *)
   | S_label of string          (* marks a chain position (block entry) *)
   | S_anchor of string         (* marks the RSP base of a displacement *)
   | S_skew of int              (* skip this many junk bytes (eta, §V-D) *)
+
+(* The 8 bytes an opaque-constant slot actually stores.  Shared with
+   lib/verify so the checker and the materializer can never drift. *)
+let opaque_stored ~value ~residue ~mult =
+  Int64.sub value (Int64.mul mult (Int64.add residue 1L))
 
 type t = {
   mutable slots : slot list;   (* reversed during construction *)
@@ -36,6 +55,11 @@ let length t = t.n
 let gadget t addr = push t (S_gadget addr)
 let imm t v = push t (S_imm v)
 let disp t ~target ~anchor ~bias = push t (S_disp { target; anchor; bias })
+let opaque t ~value ~cls ~residue ~mult =
+  push t (S_opaque { oq_value = value; oq_cls = cls; oq_residue = residue;
+                     oq_mult = mult })
+let opaque_dispatch t ~jop ~target =
+  push t (S_opaque_dispatch { od_jop = jop; od_target = target })
 let label t name = push t (S_label name)
 let anchor t name = push t (S_anchor name)
 let skew t eta = push t (S_skew eta)
@@ -55,7 +79,7 @@ type materialized = {
 exception Materialize_error of string
 
 let slot_size = function
-  | S_gadget _ | S_imm _ | S_disp _ -> 8
+  | S_gadget _ | S_imm _ | S_disp _ | S_opaque _ | S_opaque_dispatch _ -> 8
   | S_label _ | S_anchor _ -> 0
   | S_skew eta -> eta
 
@@ -83,7 +107,8 @@ let materialize ?junk ~base t =
             if Hashtbl.mem offsets name then
               raise (Materialize_error ("duplicate label " ^ name));
             Hashtbl.replace offsets name off
-          | S_gadget _ | S_imm _ | S_disp _ | S_skew _ -> ());
+          | S_gadget _ | S_imm _ | S_disp _ | S_opaque _
+          | S_opaque_dispatch _ | S_skew _ -> ());
          layout_rev := (off, s) :: !layout_rev;
          off + slot_size s)
       0 items
@@ -106,6 +131,10 @@ let materialize ?junk ~base t =
       (fun off s ->
          (match s with
           | S_gadget a | S_imm a -> write64 off a
+          | S_opaque { oq_value; oq_residue; oq_mult; _ } ->
+            write64 off
+              (opaque_stored ~value:oq_value ~residue:oq_residue ~mult:oq_mult)
+          | S_opaque_dispatch { od_jop; _ } -> write64 off od_jop
           | S_disp { target; anchor; bias } ->
             let v =
               Int64.sub

@@ -36,6 +36,17 @@ type t = {
                                unaligned RSP update (needs gadget_confusion) *)
   imm_confusion_prob : int; (* percent of immediates encoded as address
                                differences (needs gadget_confusion) *)
+  opaque_constants : bool;  (* ROPfuscator layer: chain slot values (gadget
+                               addresses and immediates) are stored as
+                               residuals and recovered at runtime by opaque
+                               arithmetic over the P1 array (needs p1) *)
+  opaque_prob : int;        (* percent of eligible slots opaque-encoded *)
+  instr_hiding : bool;      (* ROPfuscator layer: smuggle real roplets into
+                               P3 predicate bodies so predicate code is no
+                               longer semantically dead (needs p3) *)
+  per_function : per_function option;
+                            (* ROPfuscator layer: strong layers for
+                               "sensitive" functions, [pf_weak] elsewhere *)
   variants : int;           (* gadget diversification factor *)
   spill_slots : int;        (* per-function scratch spill capacity *)
   read_only_chains : bool;  (* reserved: see §IV-C *)
@@ -43,6 +54,21 @@ type t = {
                             (* test-only fault injection: emit an epilogue
                                that leaves the virtual stack 8 bytes off,
                                the seeded rewriter bug Stackdisc must catch *)
+  debug_opaque_residue : bool;
+                            (* test-only fault injection: materialize one
+                               opaque-encoded slot with the wrong residue
+                               class, which ropcheck's byte check must catch *)
+  debug_hidden_payload : bool;
+                            (* test-only fault injection: append a stray
+                               write to a defined register inside one hidden
+                               payload, which roplint Transval must catch *)
+}
+
+and per_function = {
+  pf_sensitive : string list option;
+                            (* names getting the full config; None selects
+                               by the deterministic name heuristic below *)
+  pf_weak : t;              (* config applied to every other function *)
 }
 
 let default = {
@@ -53,26 +79,68 @@ let default = {
   gadget_confusion = false;
   skew_prob = 15;
   imm_confusion_prob = 20;
+  opaque_constants = false;
+  opaque_prob = 60;
+  instr_hiding = false;
+  per_function = None;
   variants = 3;
   spill_slots = 2;
   read_only_chains = false;
   debug_unbalanced_epilogue = false;
+  debug_opaque_residue = false;
+  debug_hidden_payload = false;
 }
 
 (* ROP_k of Table I: P1 at the paper's parameters plus P3 at fraction [k]
    (P2 and confusion are orthogonal switches used by the ROP-aware
-   experiments, disabled for the DSE measurements as in §VII-B). *)
-let rop_k ?(seed = 1) ?(p2 = false) ?(confusion = false) k = {
-  default with
-  seed;
-  p1 = Some default_p1;
-  p2;
-  p3 = (if k > 0.0 then Some (default_p3 k) else None);
-  gadget_confusion = confusion;
-}
+   experiments, disabled for the DSE measurements as in §VII-B).  [opaque]
+   and [hiding] stack the ROPfuscator layers on top; [pf] wraps the result
+   in a per-function split whose weak side is the bare ROP_0 encoding. *)
+let rop_k ?(seed = 1) ?(p2 = false) ?(confusion = false) ?(opaque = false)
+    ?(hiding = false) ?(pf = false) k =
+  let base = {
+    default with
+    seed;
+    p1 = Some default_p1;
+    p2;
+    p3 = (if k > 0.0 then Some (default_p3 k) else None);
+    gadget_confusion = confusion;
+    opaque_constants = opaque;
+    instr_hiding = hiding;
+  } in
+  if not pf then base
+  else
+    { base with
+      per_function =
+        Some { pf_sensitive = None;
+               pf_weak = { default with seed; p1 = Some default_p1 } } }
 
 (* Plain encoding with no strengthening predicates. *)
 let plain ?(seed = 1) () = { default with seed }
+
+(* Default sensitivity heuristic: a deterministic, platform-independent
+   function of the name (byte-sum parity), so roughly half of any corpus
+   lands on each side of a per-function split and both paths stay hot in
+   every differential run. *)
+let name_sensitive name =
+  let s = ref 0 in
+  String.iter (fun ch -> s := !s + Char.code ch) name;
+  !s land 1 = 1
+
+(* Resolve the configuration that actually applies to [fname].  The weak
+   side inherits the parent seed (one rewrite session, one RNG universe)
+   and any further nesting is stripped: per-function splits do not recurse. *)
+let for_function t fname =
+  match t.per_function with
+  | None -> t
+  | Some pf ->
+    let sensitive =
+      match pf.pf_sensitive with
+      | Some names -> List.mem fname names
+      | None -> name_sensitive fname
+    in
+    if sensitive then { t with per_function = None }
+    else { pf.pf_weak with seed = t.seed; per_function = None }
 
 let describe t =
   let b = Buffer.create 64 in
@@ -91,4 +159,15 @@ let describe t =
           p.k)
    | None -> ());
   if t.gadget_confusion then Buffer.add_string b "+GC";
+  if t.opaque_constants then
+    Buffer.add_string b (Printf.sprintf "+OC(p=%d)" t.opaque_prob);
+  if t.instr_hiding then Buffer.add_string b "+IH";
+  (match t.per_function with
+   | Some pf ->
+     Buffer.add_string b
+       (Printf.sprintf "+PF(%s)"
+          (match pf.pf_sensitive with
+           | Some names -> String.concat "," names
+           | None -> "auto"))
+   | None -> ());
   Buffer.contents b

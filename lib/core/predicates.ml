@@ -87,27 +87,48 @@ let fall_guard b ~live ~cc bv =
 (* --- P3: state-space widening (§V-C) -------------------------------------- *)
 
 (* Pick the "symbolic" register: a live value the later computation may
-   depend on (approximating the paper's angr-based data-flow selection). *)
-let pick_sym b ~live =
+   depend on (approximating the paper's angr-based data-flow selection).
+   [avoid] excludes registers a hidden payload defines: the identity
+   fold-back reads sym after the payload, so sym must survive it. *)
+let pick_sym ?(avoid = R.empty) b ~live =
   let candidates =
     List.filter
-      (fun r -> R.mem_reg live r && not (R.mem_reg Builder.reserved r))
+      (fun r ->
+         R.mem_reg live r
+         && not (R.mem_reg Builder.reserved r)
+         && not (R.mem_reg avoid r))
       all_regs
   in
   match candidates with
   | [] -> None
   | cs -> Some (Util.Rng.choose b.Builder.rng cs)
 
+(* Instruction hiding (ROPfuscator layer): a real roplet smuggled into the
+   P3 predicate body, so the predicate computation is no longer
+   semantically dead.  [pl_avoid] lists the registers the hidden roplet
+   reads or writes (the predicate's scratch must not collide with them);
+   [pl_emit] emits the roplet's slots, treating [extra_live] — the
+   predicate registers still needed after the payload — as live. *)
+type payload = {
+  pl_avoid : R.t;
+  pl_emit : extra_live:R.t -> unit;
+}
+
 (* First variant: FOR state-forking loop adapted from Ollivier et al. [14].
    A ROP loop counts up to the low bits of the symbolic register in a dead
    register, then folds the (identical) bits back: the value is preserved,
    but a path-oriented explorer sees [max_iters+1] distinct states. *)
-let p3_for b ~live ~max_iters sym =
+let p3_for ?payload b ~live ~max_iters sym =
   let head = Builder.fresh b "p3h" in
   let done_ = Builder.fresh b "p3e" in
   let a_exit = Builder.fresh b "p3x" in
   let a_back = Builder.fresh b "p3b" in
-  Builder.with_scratch b ~live ~avoid:(R.of_reg sym) 4 (fun regs ->
+  let avoid =
+    match payload with
+    | Some p -> R.add p.pl_avoid sym
+    | None -> R.of_reg sym
+  in
+  Builder.with_scratch b ~live ~avoid 4 (fun regs ->
       match regs with
       | [ dead; cnt; t; u ] ->
         Builder.g b [ Mov (W64, Reg dead, Imm 0L) ];
@@ -128,6 +149,12 @@ let p3_for b ~live ~max_iters sym =
         Builder.g b [ Alu (Add, W64, Reg RSP, Reg u) ];
         Chain.anchor b.Builder.chain a_back;
         Chain.label b.Builder.chain done_;
+        (* hidden roplet: real work emitted on the loop's exit path,
+           before the fold-back reads [dead] and [sym].  The payload must
+           not define either (pick_sym / pl_avoid guarantee it). *)
+        (match payload with
+         | Some p -> p.pl_emit ~extra_live:(R.of_reg dead)
+         | None -> ());
         Builder.g b [ Alu (And, W64, Reg dead, Imm 0xFFL) ];
         Builder.g b [ Alu (Or, W64, Reg sym, Reg dead) ]
       | regs ->
@@ -174,22 +201,38 @@ let p3_array b ~live sym =
           "Predicates.p3_array (array update, 3 scratch)" regs)
 
 (* Insert a P3 instance at the current point if the configuration and RNG
-   say so; flags are preserved when live. *)
-let maybe_p3 b ~live ~flags_live =
+   say so; flags are preserved when live.  When a [payload] is offered and
+   a P3_for instance fires, the payload roplet is emitted inside the
+   predicate body (instruction hiding); returns whether that happened so
+   the caller knows not to emit the roplet again. *)
+let maybe_p3 ?payload b ~live ~flags_live =
   match b.Builder.config.Config.p3 with
-  | None -> ()
+  | None -> false
   | Some p3 ->
-    if Util.Rng.int b.Builder.rng 1000 < int_of_float (p3.Config.k *. 1000.) then
-      match pick_sym b ~live with
-      | None -> ()
+    if Util.Rng.int b.Builder.rng 1000 < int_of_float (p3.Config.k *. 1000.)
+    then begin
+      let avoid =
+        match payload with Some p -> p.pl_avoid | None -> R.empty
+      in
+      match pick_sym ~avoid b ~live with
+      | None -> false
       | Some sym ->
         (* both variants write [sym] with a value-preserving opaque update
            (identity fold / array cell bump), so record it as borrowed: the
            static clobber check would otherwise flag a live-register write *)
         Builder.note_borrowed b (R.of_reg sym);
+        let hidden = ref false in
         Builder.with_flags_preserved b ~flags_live (fun () ->
             match p3.Config.variant with
-            | Config.P3_for -> p3_for b ~live ~max_iters:p3.Config.max_iters sym
+            | Config.P3_for ->
+              p3_for ?payload b ~live ~max_iters:p3.Config.max_iters sym;
+              hidden := Option.is_some payload
             | Config.P3_array ->
               if b.Builder.config.Config.p1 <> None then p3_array b ~live sym
-              else p3_for b ~live ~max_iters:p3.Config.max_iters sym)
+              else begin
+                p3_for ?payload b ~live ~max_iters:p3.Config.max_iters sym;
+                hidden := Option.is_some payload
+              end);
+        !hidden
+    end
+    else false

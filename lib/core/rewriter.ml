@@ -92,7 +92,12 @@ let translate_instr b ~live ~flags_live (i : instr) =
         List.filter (fun r -> not (R.mem_reg keep r)) all_regs
       end
     in
-    Builder.g b ~clobber [ i ]
+    (* opaque-constant layer: sometimes dispatch the gadget through a
+       jmp-reg trampoline with its address recovered from the P1 array
+       (the recovery pollutes the flags, so only when they are dead) *)
+    if (not flags_live) && Builder.opaque_roll b then
+      Builder.g_opaque b ~clobber ~live [ i ]
+    else Builder.g b ~clobber [ i ]
   in
   (* split an ALU immediate into a chain operand with some probability, for
      diversity and to give gadget confusion material to work on *)
@@ -102,7 +107,9 @@ let translate_instr b ~live ~flags_live (i : instr) =
         (fun regs ->
            match regs with
            | [ s ] ->
-             Builder.load_imm b ~scratch:[] s v;
+             if (not flags_live) && Builder.opaque_roll b then
+               Builder.opaque_load b ~live s v
+             else Builder.load_imm b ~scratch:[] s v;
              Builder.g b [ Alu (op, w, d, Reg s) ]
            | regs ->
              Builder.template_error
@@ -189,6 +196,9 @@ let translate_instr b ~live ~flags_live (i : instr) =
        (native_call needs the call site's own address)"
   | Xchg (_, a, bb) when mentions_rsp_op a || mentions_rsp_op bb ->
     raise (Unsupported "xchg with rsp")
+  | Mov (W64, Reg r, Imm v) when (not flags_live) && Builder.opaque_roll b ->
+    (* opaque-constant layer: the value never appears in the chain bytes *)
+    Builder.opaque_load b ~live r v
   | Mov (W64, Reg r, Imm v) ->
     (* idiomatic pop-from-chain load; subject to immediate confusion *)
     Builder.with_scratch b ~live ~avoid:(R.of_reg r) 1 (fun regs ->
@@ -319,6 +329,8 @@ let rewrite_function (s : session) fname
       let trampolines = ref [] in
       (* jump tables to patch once the chain layout is final *)
       let table_jobs : (int64 * string * int64 list) list ref = ref [] in
+      (* instruction hiding: one seeded fault per function at most *)
+      let hidden_fault_done = ref false in
       let emit_block_body block =
         List.iter
           (fun bi ->
@@ -328,33 +340,77 @@ let rewrite_function (s : session) fname
                || Analysis.Reguse.reads_flags bi.Cfg.instr
              in
              b.Builder.program_points <- b.Builder.program_points + 1;
-             let _, defs = Analysis.Reguse.def_use bi.Cfg.instr in
+             let uses, defs = Analysis.Reguse.def_use bi.Cfg.instr in
              Builder.begin_point b ~addr:bi.Cfg.addr
                ~desc:(X86.Pp.instr_str bi.Cfg.instr) ~live
                ~flags_live:
                  (Analysis.Liveness.flags_live_after live_info bi.Cfg.addr)
                ~defs;
-             Predicates.maybe_p3 b ~live ~flags_live;
-             (match bi.Cfg.instr with
-              | Call (J_rel d) ->
-                let target = Int64.add (Cfg.next_addr bi) (Int64.of_int d) in
-                Builder.native_call b ~live (Builder.Ct_imm target)
-              | Call (J_op (Reg r)) ->
-                Builder.native_call b ~live (Builder.Ct_reg r)
-              | Call (J_op (Mem m)) when not (mentions_rsp_mem m) ->
-                Builder.with_scratch b ~live ~avoid:(Analysis.Reguse.use_mem m)
-                  1 (fun regs ->
-                      match regs with
-                      | [ sr ] ->
-                        Builder.g b [ Mov (W64, Reg sr, Mem m) ];
-                        Builder.native_call b ~live:(R.add live sr)
-                          (Builder.Ct_reg sr)
-                      | regs ->
-                        Builder.template_error
-                          "Rewriter.emit_block_body (call [mem], 1 scratch)"
-                          regs)
-              | Call (J_op _) -> raise (Unsupported "call through rsp memory")
-              | i -> translate_instr b ~live ~flags_live i);
+             (* instruction hiding layer: offer the roplet to the P3
+                predicate as a payload.  Calls keep their dedicated lowering
+                (the stack switch must not sit inside a predicate body), and
+                flag-live points are excluded: the payload would run inside
+                the flag spill/restore bracket. *)
+             let hideable =
+               s.config.Config.instr_hiding && not flags_live
+               && (match bi.Cfg.instr with Call _ | Nop -> false | _ -> true)
+             in
+             let hidden =
+               if not hideable then begin
+                 ignore (Predicates.maybe_p3 b ~live ~flags_live : bool);
+                 false
+               end
+               else begin
+                 let payload =
+                   { Predicates.pl_avoid = R.union uses defs;
+                     pl_emit =
+                       (fun ~extra_live ->
+                          let lo = Chain.length b.Builder.chain in
+                          translate_instr b ~live:(R.union live extra_live)
+                            ~flags_live bi.Cfg.instr;
+                          (* seeded fault: a stray increment of a defined
+                             register.  The clobber check excuses writes to
+                             p_defs, so only a semantic validation of the
+                             hidden region (roplint Transval) can see it. *)
+                          (if s.config.Config.debug_hidden_payload
+                              && not !hidden_fault_done then
+                             match
+                               List.filter
+                                 (fun r -> not (R.mem_reg Builder.reserved r))
+                                 (R.to_list defs)
+                             with
+                             | r :: _ ->
+                               hidden_fault_done := true;
+                               Builder.g b [ Unary (Inc, W64, Reg r) ]
+                             | [] -> ());
+                          Builder.note_hidden b lo
+                            (Chain.length b.Builder.chain)) }
+                 in
+                 Predicates.maybe_p3 ~payload b ~live ~flags_live
+               end
+             in
+             (if not hidden then
+                match bi.Cfg.instr with
+                | Call (J_rel d) ->
+                  let target = Int64.add (Cfg.next_addr bi) (Int64.of_int d) in
+                  Builder.native_call b ~live (Builder.Ct_imm target)
+                | Call (J_op (Reg r)) ->
+                  Builder.native_call b ~live (Builder.Ct_reg r)
+                | Call (J_op (Mem m)) when not (mentions_rsp_mem m) ->
+                  Builder.with_scratch b ~live
+                    ~avoid:(Analysis.Reguse.use_mem m)
+                    1 (fun regs ->
+                        match regs with
+                        | [ sr ] ->
+                          Builder.g b [ Mov (W64, Reg sr, Mem m) ];
+                          Builder.native_call b ~live:(R.add live sr)
+                            (Builder.Ct_reg sr)
+                        | regs ->
+                          Builder.template_error
+                            "Rewriter.emit_block_body (call [mem], 1 scratch)"
+                            regs)
+                | Call (J_op _) -> raise (Unsupported "call through rsp memory")
+                | i -> translate_instr b ~live ~flags_live i);
              if not flags_live then Builder.maybe_skew b;
              Builder.end_point b)
           block.Cfg.b_instrs
@@ -518,7 +574,17 @@ let rewrite_function (s : session) fname
                    p_borrowed = p.Builder.pt_borrowed;
                    p_slots =
                      Array.sub layout p.Builder.pt_start
-                       (p.Builder.pt_stop - p.Builder.pt_start) })
+                       (p.Builder.pt_stop - p.Builder.pt_start);
+                   p_hidden =
+                     (match p.Builder.pt_hidden with
+                      | None -> None
+                      | Some (lo, hi) ->
+                        (* slot indices -> chain byte offsets *)
+                        let off i =
+                          if i < Array.length layout then fst layout.(i)
+                          else Bytes.length m.Chain.bytes
+                        in
+                        Some (off lo, off hi)) })
               (Builder.points b)
           in
           let fa =
@@ -616,9 +682,13 @@ let rewrite_with (ctx : context) ~(config : Config.t) : result =
   let raw =
     List.map
       (fun fname ->
+         (* per-function layer split: resolve the config that applies to this
+            function (identity unless [config.per_function] is set); the
+            session RNG stays shared so the split perturbs nothing else *)
+         let fs = { s with config = Config.for_function config fname } in
          (fname,
           Obs.Trace.with_span ~args:[ ("func", fname) ] "rewrite.function"
-            (fun () -> rewrite_function s fname)))
+            (fun () -> rewrite_function fs fname)))
       functions
   in
   let funcs =

@@ -114,6 +114,21 @@ let configs =
     { default_config with name = "rop-confusion";
       rop = Some (Ropc.Config.rop_k ~seed:1 ~confusion:true 1.0) };
     { default_config with name = "rop-verified"; verify = true };
+    (* ROPfuscator layer presets: each layer alone, stacked, and stacked
+       with per-function config; the -verified variant adds the static
+       chain verifier to the leg *)
+    { default_config with name = "rop-opaque";
+      rop = Some (Ropc.Config.rop_k ~seed:1 ~opaque:true 1.0) };
+    { default_config with name = "rop-hiding";
+      rop = Some (Ropc.Config.rop_k ~seed:1 ~hiding:true 1.0) };
+    { default_config with name = "rop-layered";
+      rop = Some (Ropc.Config.rop_k ~seed:1 ~opaque:true ~hiding:true 1.0) };
+    { default_config with name = "rop-perfunction";
+      rop =
+        Some (Ropc.Config.rop_k ~seed:1 ~opaque:true ~hiding:true ~pf:true 1.0) };
+    { default_config with name = "rop-layered-verified";
+      rop = Some (Ropc.Config.rop_k ~seed:1 ~opaque:true ~hiding:true 1.0);
+      verify = true };
     { default_config with name = "2vm"; vm = Some (2, Vmobf.Imp_none);
       vm_fuel = 200_000_000 };
     { default_config with name = "2vm-implast";

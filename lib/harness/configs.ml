@@ -28,6 +28,21 @@ let table2_configs : named list =
 
 let rop_ks = [ 0.0; 0.05; 0.25; 0.50; 0.75; 1.00 ]
 
+(* ROPfuscator layer combinations (OC opaque constants, IH instruction
+   hiding, PF per-function config) as named axis values for grids and
+   campaigns, alongside the Table II vocabulary. *)
+let layer_configs : named list =
+  [ { name = "ROP_0.50+OC";
+      obf = Rop_full (Ropc.Config.rop_k ~opaque:true 0.50) };
+    { name = "ROP_0.50+IH";
+      obf = Rop_full (Ropc.Config.rop_k ~hiding:true 0.50) };
+    { name = "ROP_0.50+OC+IH";
+      obf = Rop_full (Ropc.Config.rop_k ~opaque:true ~hiding:true 0.50) };
+    { name = "ROP_0.50+OC+IH+PF";
+      obf = Rop_full (Ropc.Config.rop_k ~opaque:true ~hiding:true ~pf:true 0.50) };
+    { name = "ROP_1.00+OC+IH";
+      obf = Rop_full (Ropc.Config.rop_k ~opaque:true ~hiding:true 1.00) } ]
+
 exception Obfuscation_failed of string
 
 (* Apply a configuration to [prog], obfuscating [funcs] (ROP) or each

@@ -482,6 +482,130 @@ let ropaware () =
         "GUESS CANDIDATES" ]
     rows
 
+(* --- ROPfuscator layer matrix: robustness x overhead -------------------------- *)
+
+(* Layer combinations (opaque constants / instruction hiding / per-function
+   config) against the attacker battery, with run-time and image-size
+   overhead columns.  One pool job per combination; cells carry only plain
+   data so a --jobs run renders byte-identically to a serial one. *)
+
+type layers_row = {
+  ly_config : string;
+  ly_cells : string list;
+}
+
+let layer_combos ~seed : (string * Ropc.Config.t option) list =
+  [ ("NATIVE", None);
+    ("ROP_0.5", Some (Ropc.Config.rop_k ~seed 0.5));
+    ("ROP_0.5+OC", Some (Ropc.Config.rop_k ~seed ~opaque:true 0.5));
+    ("ROP_0.5+IH", Some (Ropc.Config.rop_k ~seed ~hiding:true 0.5));
+    ("ROP_0.5+OC+IH",
+     Some (Ropc.Config.rop_k ~seed ~opaque:true ~hiding:true 0.5));
+    ("ROP_0.5+OC+IH+PF",
+     Some (Ropc.Config.rop_k ~seed ~opaque:true ~hiding:true ~pf:true 0.5)) ]
+
+let layers ?(pool = Jobs.Pool.default) ?(budget_s = 3.0) ?(seed = 1) () =
+  let t =
+    Minic.Randomfuns.generate
+      (Minic.Randomfuns.default_params ~loop_size:4 ~seed:1 ~input_size:1
+         ~control_index:1 ())
+  in
+  (* Attack cells report only the found/resisted outcome, not wall times or
+     state counts: a --jobs run must render byte-identically to a serial
+     one, and under this budget the outcomes have enormous margins (native
+     finds the secret in well under a second; a rewritten path alone costs
+     minutes of symbolic stepping — opaque recoveries in particular drag
+     P1-array loads through every expression). *)
+  let budget = { E.default_budget with wall_seconds = budget_s } in
+  let row_of (name, config) =
+    let native = Minic.Codegen.compile t.prog in
+    let native_steps =
+      (Runner.call_exn ~fuel:1_000_000_000 native ~func:"target" ~args:[ 7L ])
+        .Runner.steps
+    in
+    let native_bytes = String.length (Image.serialize native) in
+    let img, ropstats =
+      match config with
+      | None -> (native, None)
+      | Some config ->
+        let r = Ropc.Rewriter.rewrite native ~functions:[ "target" ] ~config in
+        (match List.assoc "target" r.Ropc.Rewriter.funcs with
+         | Ok st -> (r.Ropc.Rewriter.image, Some st)
+         | Error e -> failwith (Ropc.Rewriter.failure_to_string e))
+    in
+    let tgt = { E.img; func = "target"; n_inputs = 1 } in
+    let fmt (r : E.result) =
+      match r.E.secret_input with
+      | Some _ -> "found"
+      | None -> "resisted"
+    in
+    let se = E.se ~goal:E.G_secret ~budget tgt in
+    let dse = E.dse ~goal:E.G_secret ~budget tgt in
+    let tds =
+      Taint.Tds.run ~fuel:400_000 img ~func:"target" ~n_inputs:1
+        ~input:[| 7 |]
+    in
+    let ropaware_cell =
+      match ropstats with
+      | None -> "-"
+      | Some st ->
+        let dis =
+          Ropaware.Ropdissector.analyze img
+            ~chain_addr:st.Ropc.Rewriter.fs_chain_addr
+            ~chain_len:st.Ropc.Rewriter.fs_chain_bytes
+        in
+        Printf.sprintf "%d blk, %d unres"
+          (Hashtbl.length dis.Ropaware.Ropdissector.blocks)
+          dis.Ropaware.Ropdissector.unresolved
+    in
+    let steps =
+      (Runner.call_exn ~fuel:1_000_000_000 img ~func:"target" ~args:[ 7L ])
+        .Runner.steps
+    in
+    let bytes = String.length (Image.serialize img) in
+    { ly_config = name;
+      ly_cells =
+        [ fmt se; fmt dse;
+          Printf.sprintf "%d/%d" tds.Taint.Tds.tainted_branches
+            tds.Taint.Tds.n_kept;
+          ropaware_cell;
+          Printf.sprintf "%.1fx"
+            (float_of_int steps /. float_of_int native_steps);
+          Printf.sprintf "%.2fx"
+            (float_of_int bytes /. float_of_int native_bytes) ] }
+  in
+  let combos = layer_combos ~seed in
+  let results =
+    Jobs.Pool.map ~label:"layers" pool
+      ~key:(fun (name, _) ->
+          Printf.sprintf "layers/seed=%d/budget=%g/%s" seed budget_s name)
+      ~f:row_of combos
+  in
+  let rows =
+    List.map2
+      (fun (name, _) (r : _ Jobs.Pool.result) ->
+         match r.Jobs.Pool.outcome with
+         | Jobs.Pool.Done row -> row
+         | Jobs.Pool.Failed m ->
+           { ly_config = name ^ " [failed: " ^ m ^ "]";
+             ly_cells = [ "-"; "-"; "-"; "-"; "-"; "-" ] }
+         | Jobs.Pool.Timed_out tmo ->
+           { ly_config = Printf.sprintf "%s [timed out %.0fs]" name tmo;
+             ly_cells = [ "-"; "-"; "-"; "-"; "-"; "-" ] })
+      combos results
+  in
+  Report.table
+    ~title:
+      "ROPfuscator layers: attack robustness x overhead (OC opaque \
+       constants, IH instruction hiding, PF per-function config)"
+    ~headers:
+      ([ "CONFIGURATION"; "SE"; "DSE"; "TAINTED/KEPT"; "ROP-AWARE";
+         "STEP OVERHEAD"; "SIZE OVERHEAD" ]
+       @ cost_headers)
+    (List.map2 (fun r res -> (r.ly_config :: r.ly_cells) @ cell_cost res)
+       rows results);
+  rows
+
 (* --- §VII-C1: deployability coverage ------------------------------------------ *)
 
 let coverage () =

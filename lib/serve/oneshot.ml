@@ -74,36 +74,54 @@ let config_matrix seed =
     ("rop1.0", Ropc.Config.rop_k ~seed 1.0);
     ("rop1.0+p2", Ropc.Config.rop_k ~seed ~p2:true 1.0);
     ("rop1.0+gc", Ropc.Config.rop_k ~seed ~confusion:true 1.0);
-    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0) ]
+    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed ~p2:true ~confusion:true 1.0);
+    (* ROPfuscator layers on top of the Table I/II base configs *)
+    ("rop0.5+oc", Ropc.Config.rop_k ~seed ~opaque:true 0.5);
+    ("rop0.5+ih", Ropc.Config.rop_k ~seed ~hiding:true 0.5);
+    ("rop0.5+oc+ih", Ropc.Config.rop_k ~seed ~opaque:true ~hiding:true 0.5);
+    ("rop0.5+oc+ih+pf",
+     Ropc.Config.rop_k ~seed ~opaque:true ~hiding:true ~pf:true 0.5);
+    ("rop1.0+p2+gc+oc+ih",
+     Ropc.Config.rop_k ~seed ~p2:true ~confusion:true ~opaque:true
+       ~hiding:true 1.0) ]
 
 let matrix_names () = List.map fst (config_matrix 1)
 
 (* Parse a configuration name: "plain", or "ropK" (K the P3 coverage
-   fraction) with "+p2" / "+gc" feature suffixes in any order.  Accepts the
-   exact vocabulary [config_name] emits, so names built from CLI flags,
-   cache keys and wire requests all resolve to identical configs. *)
+   fraction) with "+p2" / "+gc" feature suffixes and "+oc" / "+ih" / "+pf"
+   ROPfuscator-layer suffixes in any order.  Accepts the exact vocabulary
+   [config_name] emits, so names built from CLI flags, cache keys and wire
+   requests all resolve to identical configs. *)
 let config_of_name ~seed name : (Ropc.Config.t, string) result =
   match String.split_on_char '+' name with
   | [] | [ "" ] -> Error "empty config name"
   | base :: feats ->
-    let p2 = ref false and gc = ref false and bad = ref None in
+    let p2 = ref false and gc = ref false in
+    let oc = ref false and ih = ref false and pf = ref false in
+    let bad = ref None in
     List.iter
       (fun f ->
          match f with
          | "p2" -> p2 := true
          | "gc" -> gc := true
+         | "oc" -> oc := true
+         | "ih" -> ih := true
+         | "pf" -> pf := true
          | f -> if !bad = None then bad := Some f)
       feats;
     (match !bad with
      | Some f -> Error (Printf.sprintf "unknown feature %S in config %S" f name)
      | None ->
        if base = "plain" then
-         if !p2 || !gc then Error "config \"plain\" takes no features"
+         if !p2 || !gc || !oc || !ih || !pf then
+           Error "config \"plain\" takes no features"
          else Ok (Ropc.Config.plain ~seed ())
        else if String.length base > 3 && String.sub base 0 3 = "rop" then
          match float_of_string_opt (String.sub base 3 (String.length base - 3)) with
          | Some k when k >= 0.0 && k <= 1.0 ->
-           Ok (Ropc.Config.rop_k ~seed ~p2:!p2 ~confusion:!gc k)
+           Ok
+             (Ropc.Config.rop_k ~seed ~p2:!p2 ~confusion:!gc ~opaque:!oc
+                ~hiding:!ih ~pf:!pf k)
          | Some _ -> Error (Printf.sprintf "coverage out of [0,1] in config %S" name)
          | None -> Error (Printf.sprintf "bad coverage fraction in config %S" name)
        else Error (Printf.sprintf "unknown config %S" name))
@@ -111,11 +129,16 @@ let config_of_name ~seed name : (Ropc.Config.t, string) result =
 (* The name for a flag combination, normalised so "%g" prints "rop0.25",
    "rop1" prints as "rop1" — callers wanting the canonical matrix names
    should pass the matrix's own k values. *)
-let config_name ?(p2 = false) ?(confusion = false) ~plain k =
+let config_name ?(p2 = false) ?(confusion = false) ?(opaque = false)
+    ?(hiding = false) ?(pf = false) ~plain k =
   if plain then "plain"
   else
-    Printf.sprintf "rop%g%s%s" k (if p2 then "+p2" else "")
+    Printf.sprintf "rop%g%s%s%s%s%s" k
+      (if p2 then "+p2" else "")
       (if confusion then "+gc" else "")
+      (if opaque then "+oc" else "")
+      (if hiding then "+ih" else "")
+      (if pf then "+pf" else "")
 
 (* --- warm state ------------------------------------------------------------- *)
 

@@ -37,6 +37,11 @@ let run (audit : A.t) : t =
          (fun (_, s) ->
             match s with
             | Ropc.Chain.S_gadget a -> Hashtbl.replace referenced a ()
+            | Ropc.Chain.S_opaque_dispatch { od_jop; od_target } ->
+              (* the trampoline is referenced by the slot bytes; the target
+                 is reached through the opaque recovery, never by address *)
+              Hashtbl.replace referenced od_jop ();
+              Hashtbl.replace referenced od_target ()
             | _ -> ())
          f.A.f_layout)
     audit.A.a_funcs;

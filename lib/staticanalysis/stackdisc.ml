@@ -289,7 +289,8 @@ let chain_ctx (audit : A.t) (f : A.func) : chain_ctx =
   Array.iter
     (fun (off, s) ->
        match s with
-       | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _ ->
+       | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _
+       | Ropc.Chain.S_opaque _ | Ropc.Chain.S_opaque_dispatch _ ->
          Hashtbl.replace slot8 off s
        | Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _ | Ropc.Chain.S_skew _ ->
          ())
@@ -367,7 +368,9 @@ let av_addr regs (m : mem) =
 let sim (ctx : chain_ctx) ~emit off (st0 : Chain_dom.t) =
   let f = ctx.cc_func in
   match Hashtbl.find_opt ctx.cc_slot8 off with
-  | None | Some (Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _) ->
+  | None
+  | Some (Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _ | Ropc.Chain.S_opaque _)
+    ->
     (* execution reaching a data slot / hole is ropcheck's Chain_bad_slot;
        do not duplicate it here, just cut the path *)
     []
@@ -377,7 +380,16 @@ let sim (ctx : chain_ctx) ~emit off (st0 : Chain_dom.t) =
       (Printf.sprintf
          "Stackdisc.sim: marker slot in %s at chain+%d escaped the filter"
          f.A.f_name off)
-  | Some (Ropc.Chain.S_gadget ga) ->
+  | Some (Ropc.Chain.S_gadget _ | Ropc.Chain.S_opaque_dispatch _ as slot) ->
+    (* at runtime a dispatch slot behaves like its opaquely-recovered
+       target: the jmp-reg trampoline is stack-neutral and the target's
+       own ret continues the chain, so simulate the target body *)
+    let ga =
+      match slot with
+      | Ropc.Chain.S_gadget a -> a
+      | Ropc.Chain.S_opaque_dispatch { od_target; _ } -> od_target
+      | _ -> assert false
+    in
     match Hashtbl.find_opt ctx.cc_gmap ga with
     | None -> []   (* ropcheck's Chain_unknown_gadget *)
     | Some grec ->
@@ -456,6 +468,15 @@ let sim (ctx : chain_ctx) ~emit off (st0 : Chain_dom.t) =
           (match Hashtbl.find_opt ctx.cc_slot8 !cursor with
            | Some (Ropc.Chain.S_imm v) -> set r (Cst v)
            | Some (Ropc.Chain.S_gadget a) -> set r (Cst a)
+           | Some (Ropc.Chain.S_opaque { oq_value; oq_residue; oq_mult; _ })
+             ->
+             (* the slot's bytes are the residual, not the value *)
+             set r
+               (Cst
+                  (Ropc.Chain.opaque_stored ~value:oq_value
+                     ~residue:oq_residue ~mult:oq_mult))
+           | Some (Ropc.Chain.S_opaque_dispatch { od_jop; _ }) ->
+             set r (Cst od_jop)
            | Some (Ropc.Chain.S_disp { target; _ }) ->
              set r
                (match List.assoc_opt target f.A.f_labels with

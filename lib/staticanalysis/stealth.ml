@@ -90,7 +90,18 @@ let func_score ~pool_lo ~pool_hi ~ret_density ~popret_per_kib (f : A.func) =
          Hashtbl.replace uses a (1 + Option.value ~default:0 (Hashtbl.find_opt uses a));
          if Int64.compare a !lo_ref < 0 then lo_ref := a;
          if Int64.compare a !hi_ref > 0 then hi_ref := a
-       | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _ -> incr slots
+       | Ropc.Chain.S_opaque_dispatch { od_jop = a; _ } ->
+         (* the slot's bytes are a pool pointer (the jmp-reg trampoline),
+            so a scanner sees it exactly like a literal gadget slot *)
+         incr slots;
+         incr gadget_slots;
+         Hashtbl.replace uses a (1 + Option.value ~default:0 (Hashtbl.find_opt uses a));
+         if Int64.compare a !lo_ref < 0 then lo_ref := a;
+         if Int64.compare a !hi_ref > 0 then hi_ref := a
+       | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _
+       | Ropc.Chain.S_opaque _ ->
+         (* opaque slots store residuals, indistinguishable from data *)
+         incr slots
        | Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _ | Ropc.Chain.S_skew _ ->
          ())
     f.A.f_layout;

@@ -150,22 +150,51 @@ let p3_shielded (p : A.point) =
     p.A.p_slots
 
 let slot_size = function
-  | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _ -> 8
+  | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _
+  | Ropc.Chain.S_opaque _ | Ropc.Chain.S_opaque_dispatch _ -> 8
   | Ropc.Chain.S_skew k -> k
   | Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _ -> 0
 
 (* First executable slot of the region and the offset one past its last
-   byte (where the terminal ret must deliver rsp). *)
+   byte (where the terminal ret must deliver rsp).  A dispatch slot's
+   bytes hold the jmp-reg trampoline address, so it can open a region. *)
 let region_bounds (p : A.point) =
   let entry = ref None and last = ref 0 in
   Array.iter
     (fun (off, s) ->
        (match s, !entry with
         | Ropc.Chain.S_gadget a, None -> entry := Some (off, a)
+        | Ropc.Chain.S_opaque_dispatch { od_jop; _ }, None ->
+          entry := Some (off, od_jop)
         | _ -> ());
        last := max !last (off + slot_size s))
     p.A.p_slots;
   (!entry, !last)
+
+(* Instruction-hiding sub-region: the slice of a shielded point's slots
+   holding the real roplet (byte range [lo, hi) of the chain, recorded by
+   the rewriter).  Validating the slice as its own straight-line region
+   keeps the semantic check alive even though the surrounding predicate is
+   input-dependent. *)
+let hidden_subpoint (p : A.point) =
+  match p.A.p_hidden with
+  | None -> None
+  | Some (lo, hi) ->
+    let slots =
+      Array.of_list
+        (List.filter (fun (off, _) -> off >= lo && off < hi)
+           (Array.to_list p.A.p_slots))
+    in
+    let has_entry =
+      Array.exists
+        (fun (_, s) ->
+           match s with
+           | Ropc.Chain.S_gadget _ | Ropc.Chain.S_opaque_dispatch _ -> true
+           | _ -> false)
+        slots
+    in
+    if has_entry then Some { p with A.p_slots = slots; p_hidden = None }
+    else None
 
 (* --- oracles --------------------------------------------------------------- *)
 
@@ -296,6 +325,25 @@ let resolve_ctrl (f : A.func) e =
     if overlaps then None else Some (Machine.Memory.read_u64 m.E.base a)
   | _ -> None
 
+(* Opaque gadget dispatch: a jmp-reg whose register was recovered through
+   the P1 array, so the target expression is symbolic by design.  The
+   dispatch slot just consumed sits 8 bytes below the current rsp; its
+   audited target is what the recovery produces (ropcheck's byte check
+   already ties the stored residual to the array's ground truth), so the
+   jump resolves from the layout. *)
+let resolve_dispatch (f : A.func) (st : S.t) =
+  match S.get st RSP with
+  | E.Const rsp ->
+    let off = Int64.to_int (Int64.sub rsp f.A.f_chain_base) - 8 in
+    Array.fold_left
+      (fun acc (o, s) ->
+         match acc, s with
+         | None, Ropc.Chain.S_opaque_dispatch { od_target; _ } when o = off ->
+           Some od_target
+         | acc, _ -> acc)
+      None f.A.f_layout
+  | _ -> None
+
 (* Execute the region's chain slots: start "mid-ret" onto the first gadget
    slot and run until the pending instruction is the terminal ret that
    would pop the next region's first slot. *)
@@ -322,10 +370,15 @@ let run_chain ~mem ~decode_cache (f : A.func) (p : A.point) =
                 | Some v ->
                   st.S.rip <- v;
                   go (steps + 1)
-                | None ->
-                  Error
-                    (Format.asprintf
-                       "chain ret/jmp target became symbolic: %a" E.pp e))
+                | None -> (
+                    match resolve_dispatch f st with
+                    | Some v ->
+                      st.S.rip <- v;
+                      go (steps + 1)
+                    | None ->
+                      Error
+                        (Format.asprintf
+                           "chain ret/jmp target became symbolic: %a" E.pp e)))
             | S.O_halt -> Error "chain executed hlt"
             | S.O_fault m -> Error ("chain faulted: " ^ m))
     in
@@ -384,6 +437,26 @@ let run ~(orig : Image.t) ~(rewritten : Image.t) (audit : A.t) : result =
   List.iter
     (fun (f : A.func) ->
        let decode_rw = Hashtbl.create 256 in
+       let record (p : A.point) ~desc verdict =
+         (match verdict with
+          | Unproven reason
+            when String.length reason >= 14
+                 && String.sub reason 0 14 = "counterexample" ->
+            findings :=
+              F.make ~func:f.A.f_name ~addr:p.A.p_addr "transval-mismatch"
+                ("lowering is NOT equivalent: " ^ reason)
+              :: !findings
+          | Unproven reason ->
+            findings :=
+              F.make ~severity:F.Warning ~func:f.A.f_name ~addr:p.A.p_addr
+                "transval-unproven" ("equivalence not proven: " ^ reason)
+              :: !findings
+          | Proven _ -> ());
+         regions :=
+           { rg_func = f.A.f_name; rg_addr = p.A.p_addr; rg_desc = desc;
+             rg_verdict = verdict }
+           :: !regions
+       in
        List.iter
          (fun (p : A.point) ->
             if p.A.p_addr <> 0L then
@@ -397,6 +470,27 @@ let run ~(orig : Image.t) ~(rewritten : Image.t) (audit : A.t) : result =
                   match classify i with
                   | Error reason ->
                     skipped := (f.A.f_name, p.A.p_addr, reason) :: !skipped
+                  | Ok () when p.A.p_hidden <> None -> (
+                      (* the translation was smuggled into a P3 predicate
+                         body; the surrounding loop is input-forking and
+                         stays shielded, but the payload slice itself is a
+                         straight-line region we can validate on its own *)
+                      match hidden_subpoint p with
+                      | None ->
+                        skipped :=
+                          (f.A.f_name, p.A.p_addr,
+                           "hidden payload region has no executable slots")
+                          :: !skipped
+                      | Some hp ->
+                        let verdict =
+                          try
+                            validate_region ~orig_img:orig ~orig_mem ~rw_mem
+                              ~decode_orig ~decode_rw f hp i
+                          with S.Sym_fault m ->
+                            Unproven ("symbolic fault: " ^ m)
+                        in
+                        record p ~desc:(p.A.p_desc ^ " [hidden in p3 body]")
+                          verdict)
                   | Ok () when p3_shielded p ->
                     skipped :=
                       (f.A.f_name, p.A.p_addr,
@@ -414,26 +508,7 @@ let run ~(orig : Image.t) ~(rewritten : Image.t) (audit : A.t) : result =
                       with S.Sym_fault m ->
                         Unproven ("symbolic fault: " ^ m)
                     in
-                    (match verdict with
-                     | Unproven reason
-                       when String.length reason >= 14
-                            && String.sub reason 0 14 = "counterexample" ->
-                       findings :=
-                         F.make ~func:f.A.f_name ~addr:p.A.p_addr
-                           "transval-mismatch"
-                           ("lowering is NOT equivalent: " ^ reason)
-                         :: !findings
-                     | Unproven reason ->
-                       findings :=
-                         F.make ~severity:F.Warning ~func:f.A.f_name
-                           ~addr:p.A.p_addr "transval-unproven"
-                           ("equivalence not proven: " ^ reason)
-                         :: !findings
-                     | Proven _ -> ());
-                    regions :=
-                      { rg_func = f.A.f_name; rg_addr = p.A.p_addr;
-                        rg_desc = p.A.p_desc; rg_verdict = verdict }
-                      :: !regions))
+                    record p ~desc:p.A.p_desc verdict))
          f.A.f_points)
     audit.A.a_funcs;
   let regions = List.rev !regions in

@@ -155,7 +155,8 @@ let chain_pass img summaries (f : A.func) =
   Array.iter
     (fun (off, s) ->
        match s with
-       | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _ ->
+       | Ropc.Chain.S_gadget _ | Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _
+       | Ropc.Chain.S_opaque _ | Ropc.Chain.S_opaque_dispatch _ ->
          Hashtbl.replace slot8 off s
        | Ropc.Chain.S_skew eta -> Hashtbl.replace skew_at off eta
        | Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _ -> ())
@@ -176,13 +177,28 @@ let chain_pass img summaries (f : A.func) =
        in
        match s with
        | Ropc.Chain.S_gadget a | Ropc.Chain.S_imm a -> expect a
+       | Ropc.Chain.S_opaque { oq_value; oq_cls; oq_residue; oq_mult } ->
+         (* recompute the stored bytes from the P1 array's ground truth, not
+            from the recorded residue: a slot encoded against the wrong
+            residue class (the debug_opaque_residue seeded fault) genuinely
+            recovers the wrong value at runtime, and must be flagged here *)
+         let residue =
+           match f.A.f_p1 with
+           | Some (_, _, a) when oq_cls >= 0 && oq_cls < Array.length a ->
+             Int64.of_int a.(oq_cls)
+           | _ -> oq_residue
+         in
+         expect
+           (Ropc.Chain.opaque_stored ~value:oq_value ~residue ~mult:oq_mult)
+       | Ropc.Chain.S_opaque_dispatch { od_jop; _ } -> expect od_jop
        | Ropc.Chain.S_disp { target; anchor; bias } ->
          (match label_off target, label_off anchor with
           | Some t, Some a ->
             expect (Int64.sub (Int64.of_int (t - a)) bias);
             (* the displacement must deliver RSP onto a gadget slot *)
             (match Hashtbl.find_opt slot8 t with
-             | Some (Ropc.Chain.S_gadget _) -> ()
+             | Some (Ropc.Chain.S_gadget _ | Ropc.Chain.S_opaque_dispatch _)
+               -> ()
              | _ ->
                emit ~chain_off:off Diag.Chain_bad_disp
                  (Printf.sprintf "target %s (chain+%d) is not a gadget slot"
@@ -277,7 +293,8 @@ let chain_pass img summaries (f : A.func) =
         if not spec then
           emit ~chain_off:off Diag.Chain_bad_slot
             "execution reaches a chain offset holding no slot"
-      | Some (Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _) ->
+      | Some (Ropc.Chain.S_imm _ | Ropc.Chain.S_disp _
+             | Ropc.Chain.S_opaque _) ->
         if not spec then
           emit ~chain_off:off Diag.Chain_bad_slot
             "execution lands on a data slot, not a gadget address"
@@ -287,50 +304,43 @@ let chain_pass img summaries (f : A.func) =
            if not spec then
              emit ~chain_off:off ~addr:a Diag.Chain_unknown_gadget
                (Printf.sprintf "slot points at %Lx, not a known gadget" a)
-         | Some (s : Summary.t) ->
-           let cur = ref (off + 8) and stopped = ref false in
-           List.iter
-             (fun ev ->
-                if not !stopped then
-                  match ev with
-                  | Summary.Ev_pop ->
-                    if Hashtbl.mem slot8 !cur then begin
-                      Hashtbl.replace consumed !cur ();
-                      cur := !cur + 8
-                    end else begin
-                      if not spec then
-                        emit ~chain_off:!cur ~addr:a Diag.Chain_stack_mismatch
-                          (Printf.sprintf
-                             "gadget %Lx pops chain+%d, which holds no slot"
-                             a !cur);
-                      stopped := true
-                    end
-                  | Summary.Ev_skip k ->
-                    if skippable !cur k then cur := !cur + k
-                    else begin
-                      if not spec then
-                        emit ~chain_off:!cur ~addr:a Diag.Chain_stack_mismatch
-                          (Printf.sprintf
-                             "gadget %Lx skips %d bytes at chain+%d, \
-                              which the layout does not provide" a k !cur);
-                      stopped := true
-                    end
-                  | Summary.Ev_branch ->
-                    (* variable addend: the possible targets are covered by
-                       the displacement seeds; keep walking past the branch
-                       speculatively if a gadget sits there (the layout of a
-                       conditional fall-through), else stop *)
-                    (match Hashtbl.find_opt slot8 !cur with
-                     | Some (Ropc.Chain.S_gadget _) ->
-                       step ~spec:true !cur
-                     | _ -> ());
-                    stopped := true
-                  | Summary.Ev_stop -> stopped := true)
-             s.Summary.events;
-           if not !stopped then
-             match s.Summary.ending with
-             | Summary.End_ret | Summary.End_switch_call -> step ~spec !cur
-             | Summary.End_jop | Summary.End_halt | Summary.End_fall -> ())
+         | Some (s : Summary.t) -> exec_summary ~spec off a s)
+      | Some (Ropc.Chain.S_opaque_dispatch { od_jop; od_target }) ->
+        (* the slot holds a jmp-reg trampoline; the register it jumps
+           through was recovered opaquely and carries [od_target], whose
+           own ret continues the chain.  Walk the target's summary as if
+           its address sat in the slot. *)
+        (match Hashtbl.find_opt summaries od_jop with
+         | None ->
+           if not spec then
+             emit ~chain_off:off ~addr:od_jop Diag.Chain_unknown_gadget
+               (Printf.sprintf
+                  "dispatch slot points at %Lx, not a known gadget" od_jop)
+         | Some (j : Summary.t) ->
+           let stackless =
+             List.for_all
+               (function
+                 | Summary.Ev_pop | Summary.Ev_skip _ | Summary.Ev_branch ->
+                   false
+                 | Summary.Ev_stop -> true)
+               j.Summary.events
+           in
+           if j.Summary.ending <> Summary.End_jop || not stackless then begin
+             if not spec then
+               emit ~chain_off:off ~addr:od_jop Diag.Chain_stack_mismatch
+                 (Printf.sprintf
+                    "dispatch trampoline %Lx is not a stack-neutral \
+                     jmp-reg gadget" od_jop)
+           end
+           else
+             match Hashtbl.find_opt summaries od_target with
+             | None ->
+               if not spec then
+                 emit ~chain_off:off ~addr:od_target Diag.Chain_unknown_gadget
+                   (Printf.sprintf
+                      "opaque dispatch targets %Lx, not a known gadget"
+                      od_target)
+             | Some (s : Summary.t) -> exec_summary ~spec off od_target s)
       | Some ((Ropc.Chain.S_label _ | Ropc.Chain.S_anchor _
               | Ropc.Chain.S_skew _) as s) ->
         (* zero-width markers share offsets with data slots and are filtered
@@ -346,6 +356,52 @@ let chain_pass img summaries (f : A.func) =
               | _ -> "?")
              f.A.f_name off)
     end
+  (* run gadget [a]'s summary [s] for a slot at chain offset [off] *)
+  and exec_summary ~spec off a (s : Summary.t) =
+    let cur = ref (off + 8) and stopped = ref false in
+    List.iter
+      (fun ev ->
+         if not !stopped then
+           match ev with
+           | Summary.Ev_pop ->
+             if Hashtbl.mem slot8 !cur then begin
+               Hashtbl.replace consumed !cur ();
+               cur := !cur + 8
+             end else begin
+               if not spec then
+                 emit ~chain_off:!cur ~addr:a Diag.Chain_stack_mismatch
+                   (Printf.sprintf
+                      "gadget %Lx pops chain+%d, which holds no slot"
+                      a !cur);
+               stopped := true
+             end
+           | Summary.Ev_skip k ->
+             if skippable !cur k then cur := !cur + k
+             else begin
+               if not spec then
+                 emit ~chain_off:!cur ~addr:a Diag.Chain_stack_mismatch
+                   (Printf.sprintf
+                      "gadget %Lx skips %d bytes at chain+%d, \
+                       which the layout does not provide" a k !cur);
+               stopped := true
+             end
+           | Summary.Ev_branch ->
+             (* variable addend: the possible targets are covered by
+                the displacement seeds; keep walking past the branch
+                speculatively if a gadget sits there (the layout of a
+                conditional fall-through), else stop *)
+             (match Hashtbl.find_opt slot8 !cur with
+              | Some (Ropc.Chain.S_gadget _
+                     | Ropc.Chain.S_opaque_dispatch _) ->
+                step ~spec:true !cur
+              | _ -> ());
+             stopped := true
+           | Summary.Ev_stop -> stopped := true)
+      s.Summary.events;
+    if not !stopped then
+      match s.Summary.ending with
+      | Summary.End_ret | Summary.End_switch_call -> step ~spec !cur
+      | Summary.End_jop | Summary.End_halt | Summary.End_fall -> ()
   in
   while not (Queue.is_empty queue) do
     step ~spec:false (Queue.pop queue)
@@ -354,7 +410,7 @@ let chain_pass img summaries (f : A.func) =
   Array.iter
     (fun (off, s) ->
        match s with
-       | Ropc.Chain.S_gadget _
+       | Ropc.Chain.S_gadget _ | Ropc.Chain.S_opaque_dispatch _
          when (not (Hashtbl.mem visited off))
               && not (Hashtbl.mem consumed off) ->
          emit ~severity:Diag.Warning ~chain_off:off
@@ -371,16 +427,20 @@ let clobber_pass summaries (f : A.func) =
   List.iter
     (fun (p : A.point) ->
        let clobbered = ref R.empty and flags_dirty = ref false in
+       let absorb a =
+         match Hashtbl.find_opt summaries a with
+         | None -> ()    (* pass 2 already reported it *)
+         | Some (su : Summary.t) ->
+           clobbered := R.union !clobbered su.Summary.writes;
+           if su.Summary.flags_dirty then flags_dirty := true
+           else if su.Summary.flags_written then flags_dirty := false
+       in
        Array.iter
          (fun (_, s) ->
             match s with
-            | Ropc.Chain.S_gadget a ->
-              (match Hashtbl.find_opt summaries a with
-               | None -> ()    (* pass 2 already reported it *)
-               | Some (su : Summary.t) ->
-                 clobbered := R.union !clobbered su.Summary.writes;
-                 if su.Summary.flags_dirty then flags_dirty := true
-                 else if su.Summary.flags_written then flags_dirty := false)
+            | Ropc.Chain.S_gadget a -> absorb a
+            | Ropc.Chain.S_opaque_dispatch { od_jop; od_target } ->
+              absorb od_jop; absorb od_target
             | _ -> ())
          p.A.p_slots;
        let excused =

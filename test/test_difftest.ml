@@ -65,7 +65,45 @@ let test_configs () =
   Alcotest.(check bool) "native-only skips obfuscated legs" true
     (match Oracle.find_config "native-only" with
      | Some c -> c.Oracle.rop = None && c.Oracle.vm = None
+     | None -> false);
+  (* the ROPfuscator layer presets resolve and carry the layers they name *)
+  let layer_of name =
+    match Oracle.find_config name with
+    | Some { Oracle.rop = Some cfg; _ } ->
+      (cfg.Ropc.Config.opaque_constants, cfg.Ropc.Config.instr_hiding,
+       cfg.Ropc.Config.per_function <> None)
+    | _ -> Alcotest.failf "layer preset %s missing or has no ROP leg" name
+  in
+  Alcotest.(check (triple bool bool bool)) "rop-opaque" (true, false, false)
+    (layer_of "rop-opaque");
+  Alcotest.(check (triple bool bool bool)) "rop-hiding" (false, true, false)
+    (layer_of "rop-hiding");
+  Alcotest.(check (triple bool bool bool)) "rop-layered" (true, true, false)
+    (layer_of "rop-layered");
+  Alcotest.(check (triple bool bool bool)) "rop-perfunction" (true, true, true)
+    (layer_of "rop-perfunction");
+  Alcotest.(check bool) "rop-layered-verified runs the verifier" true
+    (match Oracle.find_config "rop-layered-verified" with
+     | Some c -> c.Oracle.verify
      | None -> false)
+
+(* A small fixed-seed run of the strongest layer preset with the chain
+   verifier on: the four-way oracle plus lib/verify must accept every case
+   the layered rewriter emits. *)
+let test_oracle_layered_smoke () =
+  let config =
+    match Oracle.find_config "rop-layered-verified" with
+    | Some c -> c
+    | None -> Alcotest.fail "rop-layered-verified preset missing"
+  in
+  let s = Driver.run ~shrink:false config ~seed:42 ~cases:12 () in
+  (match s.Driver.s_failures with
+   | [] -> ()
+   | f :: _ ->
+     Alcotest.failf "discrepancy in case %d:\n%s" f.Driver.f_index
+       (Driver.discrepancy_str f.Driver.f_first));
+  Alcotest.(check bool) "most cases ROP-rewritten" true
+    (s.Driver.s_coverage.Coverage.rop_rewritten >= 9)
 
 let () =
   Alcotest.run "difftest"
@@ -75,6 +113,8 @@ let () =
       ("oracle",
        [ Alcotest.test_case "20-case smoke, default config" `Quick
            test_oracle_smoke;
+         Alcotest.test_case "12-case smoke, layered+verified" `Quick
+           test_oracle_layered_smoke;
          Alcotest.test_case "preset table" `Quick test_configs ]);
       ("shrink",
        [ Alcotest.test_case "synthetic predicate" `Quick test_shrink_synthetic ])

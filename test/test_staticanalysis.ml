@@ -120,6 +120,35 @@ let test_transval_proves_fact () =
        Alcotest.(check bool) "skip has a reason" true (String.length reason > 0))
     tv.TV.tv_skipped
 
+(* Instruction hiding at k = 1.0 shields every point behind a P3 loop, but
+   the hidden-payload regions are real lowered code and must still be
+   validated — the +ih audit converts would-be skips into proven regions. *)
+let test_transval_proves_hidden () =
+  let orig, r = rewrite ~config:(Ropc.Config.rop_k ~seed:3 ~hiding:true 1.0) () in
+  let tv =
+    TV.run ~orig ~rewritten:r.Ropc.Rewriter.image r.Ropc.Rewriter.audit
+  in
+  Alcotest.(check bool) "proved hidden-payload regions" true (tv.TV.tv_proven > 0);
+  Alcotest.(check int) "no unproven regions" 0 tv.TV.tv_unproven;
+  Alcotest.(check int) "no findings" 0 (List.length tv.TV.tv_findings)
+
+(* The seeded hidden-payload bug: a stray register write smuggled into one
+   payload.  The differential runs cannot see it unless the register is
+   observed downstream, but translation validation compares full final
+   states and must refuse to prove the region. *)
+let test_injected_hidden_caught () =
+  let config =
+    { (Ropc.Config.rop_k ~seed:3 ~hiding:true 1.0) with
+      Ropc.Config.debug_hidden_payload = true }
+  in
+  let orig, r = rewrite ~config () in
+  let tv =
+    TV.run ~orig ~rewritten:r.Ropc.Rewriter.image r.Ropc.Rewriter.audit
+  in
+  let tags = List.map (fun f -> f.F.tag) tv.TV.tv_findings in
+  Alcotest.(check bool) "transval-mismatch reported" true
+    (List.mem "transval-mismatch" tags)
+
 (* --- stealth + pool bloat ------------------------------------------------- *)
 
 let test_stealth_smoke () =
@@ -137,6 +166,42 @@ let test_stealth_smoke () =
     (List.exists
        (fun fs -> fs.Staticanalysis.Stealth.fs_name = "fact")
        st.Staticanalysis.Stealth.sl_funcs)
+
+(* Stealth recalibration for the opaque layer: residuals are plain data
+   words and the dispatch trampoline is one more pool pointer, so the
+   opaque chain must never look MORE like an injected ROP payload than the
+   literal chain it replaces — and both must stay below the warning
+   threshold on today's corpus shapes. *)
+let test_stealth_opaque_vs_literal () =
+  let score config =
+    let _, r = rewrite ~config () in
+    let st =
+      Staticanalysis.Stealth.run ~rewritten:r.Ropc.Rewriter.image
+        r.Ropc.Rewriter.audit
+    in
+    match
+      List.find_opt
+        (fun fs -> fs.Staticanalysis.Stealth.fs_name = "fact")
+        st.Staticanalysis.Stealth.sl_funcs
+    with
+    | Some fs ->
+      (fs.Staticanalysis.Stealth.fs_score,
+       fs.Staticanalysis.Stealth.fs_slot_frac)
+    | None -> Alcotest.fail "fact not scored"
+  in
+  let lit_score, lit_slot = score (Ropc.Config.rop_k ~seed:3 1.0) in
+  let opq_score, opq_slot =
+    score (Ropc.Config.rop_k ~seed:3 ~opaque:true 1.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "opaque slot_frac %.3f <= literal %.3f" opq_slot lit_slot)
+    true (opq_slot <= lit_slot +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "opaque score %.1f <= literal %.1f" opq_score lit_score)
+    true (opq_score <= lit_score +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "opaque score %.1f below warning threshold" opq_score)
+    true (opq_score < Staticanalysis.Stealth.warning_threshold)
 
 let test_poolbloat_smoke () =
   let _, r = rewrite () in
@@ -180,9 +245,15 @@ let () =
            test_injected_unbalance_caught ]);
       ("transval",
        [ Alcotest.test_case "fact regions proven" `Quick
-           test_transval_proves_fact ]);
+           test_transval_proves_fact;
+         Alcotest.test_case "hidden-payload regions proven" `Quick
+           test_transval_proves_hidden;
+         Alcotest.test_case "seeded hidden payload caught" `Quick
+           test_injected_hidden_caught ]);
       ("stealth",
-       [ Alcotest.test_case "scores bounded" `Quick test_stealth_smoke ]);
+       [ Alcotest.test_case "scores bounded" `Quick test_stealth_smoke;
+         Alcotest.test_case "opaque chains score no worse than literal" `Quick
+           test_stealth_opaque_vs_literal ]);
       ("poolbloat",
        [ Alcotest.test_case "accounting invariants" `Quick
            test_poolbloat_smoke ]);

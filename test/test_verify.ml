@@ -47,7 +47,15 @@ let configs =
     ("rop1.0", Ropc.Config.rop_k ~seed:1 1.0);
     ("rop1.0+p2", Ropc.Config.rop_k ~seed:1 ~p2:true 1.0);
     ("rop1.0+gc", Ropc.Config.rop_k ~seed:1 ~confusion:true 1.0);
-    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed:1 ~p2:true ~confusion:true 1.0) ]
+    ("rop1.0+p2+gc", Ropc.Config.rop_k ~seed:1 ~p2:true ~confusion:true 1.0);
+    ("rop1.0+oc", Ropc.Config.rop_k ~seed:1 ~opaque:true 1.0);
+    ("rop1.0+ih", Ropc.Config.rop_k ~seed:1 ~hiding:true 1.0);
+    ("rop1.0+oc+ih", Ropc.Config.rop_k ~seed:1 ~opaque:true ~hiding:true 1.0);
+    ("rop1.0+oc+ih+pf",
+     Ropc.Config.rop_k ~seed:1 ~opaque:true ~hiding:true ~pf:true 1.0);
+    ("rop1.0+p2+gc+oc+ih",
+     Ropc.Config.rop_k ~seed:1 ~p2:true ~confusion:true ~opaque:true
+       ~hiding:true 1.0) ]
 
 let rewrite ?(config = Ropc.Config.rop_k ~seed:1 0.25) prog fns =
   let img = Minic.Codegen.compile prog in
@@ -240,6 +248,20 @@ let test_inject_p1_residue () =
   expect_kind "P1 residue" Verify.Diag.Chain_p1_invariant
     (Verify.Check.run img audit)
 
+(* the seeded wrong-residue fault: one opaque slot is materialized against
+   the wrong residue class, so it recovers the wrong value at runtime.  The
+   byte check recomputes stored bytes from the P1 array's ground truth and
+   must flag the slot — this is the fault leg that keeps the opaque-constant
+   audit honest. *)
+let test_inject_opaque_residue () =
+  let config =
+    { (Ropc.Config.rop_k ~seed:1 ~opaque:true 1.0) with
+      Ropc.Config.debug_opaque_residue = true }
+  in
+  let r = rewrite ~config fact_prog [ "fact" ] in
+  expect_kind "opaque residue" Verify.Diag.Chain_byte_mismatch
+    (Verify.Check.run r.Ropc.Rewriter.image r.Ropc.Rewriter.audit)
+
 let () =
   Alcotest.run "verify"
     [ ("positive",
@@ -257,4 +279,6 @@ let () =
          Alcotest.test_case "undersized pivot stub" `Quick
            test_inject_undersized_stub;
          Alcotest.test_case "chain byte patch" `Quick test_inject_chain_patch;
-         Alcotest.test_case "P1 residue break" `Quick test_inject_p1_residue ]) ]
+         Alcotest.test_case "P1 residue break" `Quick test_inject_p1_residue;
+         Alcotest.test_case "opaque wrong-residue slot" `Quick
+           test_inject_opaque_residue ]) ]
